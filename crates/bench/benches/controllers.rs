@@ -1,0 +1,44 @@
+//! Criterion benches: Lyapunov controller and queue primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyapunov::{DecisionOption, DriftPlusPenalty, Queue, ServiceController};
+
+fn menu(n: usize) -> Vec<DecisionOption> {
+    (0..n)
+        .map(|i| DecisionOption::new(i as f64 * 0.5, i as f64))
+        .collect()
+}
+
+fn bench_dpp_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_decide");
+    for n in [2usize, 8, 32] {
+        let options = menu(n);
+        let dpp = DriftPlusPenalty::new(20.0).expect("valid V");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &options, |b, options| {
+            let mut q = 0.0;
+            b.iter(|| {
+                q = (q + 1.7) % 100.0;
+                std::hint::black_box(dpp.decide(q, options).expect("non-empty"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let options = menu(4);
+    c.bench_function("service_controller_step", |b| {
+        let mut ctl = ServiceController::new(20.0).expect("valid V");
+        b.iter(|| std::hint::black_box(ctl.step(0.9, &options).expect("steps")))
+    });
+}
+
+fn bench_queue_step(c: &mut Criterion) {
+    c.bench_function("queue_step", |b| {
+        let mut q = Queue::new();
+        b.iter(|| std::hint::black_box(q.step(1.3, 1.1)))
+    });
+}
+
+criterion_group!(benches, bench_dpp_decide, bench_controller_step, bench_queue_step);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches: MDP solver scaling on the per-RSU cache MDP.
+
+use aoi_cache::{Age, RsuSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdp::solver::{QLearning, ValueIteration};
+use mdp::{FiniteMdp, ProductSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec(n_contents: usize, cap: u32) -> RsuSpec {
+    let popularity: Vec<f64> = (0..n_contents)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .collect();
+    let total: f64 = popularity.iter().sum();
+    RsuSpec {
+        max_ages: (0..n_contents)
+            .map(|i| Age::new(cap - 1 - (i as u32 % 2)).expect("non-zero"))
+            .collect(),
+        popularity: popularity.into_iter().map(|p| p / total).collect(),
+        age_cap: Age::new(cap).expect("non-zero"),
+        weight: 1.0,
+        update_cost: 0.3,
+    }
+}
+
+fn bench_value_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_iteration");
+    group.sample_size(10);
+    for (n, cap) in [(2usize, 6u32), (3, 6), (4, 6)] {
+        let s = spec(n, cap);
+        let mdp = s.mdp().expect("valid spec");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}states", mdp.n_states())),
+            &mdp,
+            |b, mdp| {
+                b.iter(|| {
+                    ValueIteration::new(0.9)
+                        .tolerance(1e-6)
+                        .solve(mdp)
+                        .expect("solves")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_q_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_learning");
+    group.sample_size(10);
+    let s = spec(3, 6);
+    let mdp = s.mdp().expect("valid spec");
+    for steps in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                QLearning::new(0.9)
+                    .steps(steps)
+                    .learn(&mdp, &mut rng)
+                    .expect("learns")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_encoding(c: &mut Criterion) {
+    let space = ProductSpace::new(vec![9; 5]).expect("fits");
+    let coords = vec![3usize, 7, 1, 8, 0];
+    c.bench_function("product_space_encode_decode", |b| {
+        b.iter(|| {
+            let idx = space.encode(std::hint::black_box(&coords)).expect("valid");
+            std::hint::black_box(space.decode(idx))
+        })
+    });
+}
+
+fn bench_transition_row(c: &mut Criterion) {
+    let s = spec(5, 9);
+    let mdp = s.mdp().expect("valid spec");
+    let mut buf = Vec::new();
+    c.bench_function("cache_mdp_transition_row", |b| {
+        let mut state = 0usize;
+        b.iter(|| {
+            mdp.transitions(std::hint::black_box(state), 2, &mut buf);
+            state = (state + 9973) % mdp.n_states();
+            std::hint::black_box(buf.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_value_iteration,
+    bench_q_learning,
+    bench_state_encoding,
+    bench_transition_row
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Extension — solver scaling on the per-RSU cache MDP.
+//!
+//! Wall-clock time of the exact and learning solvers as the state space
+//! grows (`A_cap^{L′}` states), and the realized reward of each on the
+//! same simulated horizon. This quantifies the practical limit of the
+//! exact approach and where Q-learning takes over.
+
+use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation};
+use simkit::table::{fmt_f64, Table};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new([
+        "contents/RSU",
+        "age cap",
+        "states",
+        "solver",
+        "solve+run (s)",
+        "cum. reward",
+    ]);
+
+    // (L', cap) ladder: states = cap^L'.
+    let ladder = [(2usize, 6u32), (3, 6), (4, 8), (5, 9)];
+    for (per_rsu, cap) in ladder {
+        let scenario = CacheScenario {
+            n_rsus: 1,
+            regions_per_rsu: per_rsu,
+            age_cap: cap,
+            max_age_min: 3,
+            max_age_max: cap.saturating_sub(1).max(3),
+            horizon: 1000,
+            seed: 99,
+            ..CacheScenario::default()
+        };
+        let sim = CacheSimulation::new(scenario)?;
+        let states = (cap as usize).pow(per_rsu as u32);
+
+        let solvers: Vec<CachePolicyKind> = vec![
+            CachePolicyKind::ValueIteration { gamma: 0.95 },
+            CachePolicyKind::QLearning {
+                gamma: 0.95,
+                steps: 30 * states, // scale exploration with the space
+            },
+            CachePolicyKind::Myopic,
+        ];
+        for kind in solvers {
+            let start = Instant::now();
+            let report = sim.run(kind)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            table.row([
+                format!("{per_rsu}"),
+                format!("{cap}"),
+                format!("{states}"),
+                report.policy.clone(),
+                fmt_f64(elapsed),
+                fmt_f64(report.final_cumulative_reward()),
+            ]);
+            eprintln!("{per_rsu} contents, {states} states, {}: {elapsed:.2}s", report.policy);
+        }
+    }
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Fig. 1b — "delay-aware content service".
+//!
+//! Reproduces the paper's second evaluation artifact: the UV latency
+//! (request backlog `Q[t]`) of one RSU over 1000 slots under the proposed
+//! Lyapunov drift-plus-penalty rule, compared against the two baseline
+//! extremes the paper's own Eq. 5 sanity analysis describes: always-serve
+//! (latency-greedy) and cost-greedy (never serve while idling is free).
+//!
+//! All three policies face the identical Poisson arrival trace.
+
+use aoi_cache::presets::{fig1b_policies, fig1b_scenario};
+use aoi_cache::compare_service;
+use simkit::plot::AsciiPlot;
+use simkit::table::{fmt_f64, Table};
+use simkit::TimeSeries;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = fig1b_scenario();
+    println!(
+        "Fig. 1b scenario: Poisson({}) arrivals, {} service levels, V = {}, horizon {}\n",
+        scenario.arrival_rate,
+        scenario.levels.len(),
+        scenario.v,
+        scenario.horizon
+    );
+    let reports = compare_service(&scenario, &fig1b_policies())?;
+
+    let mut plot =
+        AsciiPlot::new("Fig. 1b: UV latency Q[t]", 72, 14).y_label("queue length");
+    for r in &reports {
+        let named = rename(r.queue.downsample(72), r.policy.clone());
+        plot = plot.series(&named);
+    }
+    println!("{}", plot.render());
+
+    let mut table = Table::new([
+        "policy",
+        "mean queue",
+        "final queue",
+        "mean cost",
+        "served",
+        "stability",
+    ]);
+    for r in &reports {
+        table.row([
+            r.policy.clone(),
+            fmt_f64(r.mean_queue),
+            fmt_f64(r.queue.last().map_or(0.0, |p| p.value)),
+            fmt_f64(r.mean_cost),
+            fmt_f64(r.total_served),
+            format!("{:?}", r.stability),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("csv: slot,{}", reports.iter().map(|r| r.policy.clone()).collect::<Vec<_>>().join(","));
+    for i in (0..scenario.horizon).step_by(25) {
+        let row: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{}", r.queue.iter().nth(i).map_or(0.0, |p| p.value)))
+            .collect();
+        println!("csv: {},{}", i, row.join(","));
+    }
+    Ok(())
+}
+
+fn rename(series: TimeSeries, name: String) -> TimeSeries {
+    let mut out = TimeSeries::with_capacity(name, series.len());
+    for p in series.iter() {
+        out.push(p.slot, p.value);
+    }
+    out
+}

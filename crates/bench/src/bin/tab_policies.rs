@@ -1,0 +1,54 @@
+//! Extension table — cache-policy comparison at the paper's Fig. 1a scale.
+//!
+//! Runs every stage-1 policy on the identical 4×5 scenario (same catalog,
+//! initial ages and popularity) and reports the reward / staleness / cost
+//! profile of each. Not a paper artifact (the paper reports no tables);
+//! this is the standard ablation for the design choices in DESIGN.md.
+
+use aoi_cache::presets::fig1a_scenario;
+use aoi_cache::{CachePolicyKind, CacheSimulation};
+use simkit::table::{fmt_f64, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = fig1a_scenario();
+    let sim = CacheSimulation::new(scenario)?;
+
+    let kinds = [
+        CachePolicyKind::ValueIteration { gamma: 0.95 },
+        CachePolicyKind::AverageReward,
+        CachePolicyKind::QLearning {
+            gamma: 0.95,
+            steps: 400_000,
+        },
+        CachePolicyKind::Myopic,
+        CachePolicyKind::Index { threshold: 0.05 },
+        CachePolicyKind::AgeThreshold { margin: 1 },
+        CachePolicyKind::Periodic { period: 1 },
+        CachePolicyKind::Random { probability: 0.5 },
+        CachePolicyKind::Never,
+    ];
+
+    let mut table = Table::new([
+        "policy",
+        "cum. reward",
+        "mean aoi/max",
+        "violation rate",
+        "updates/slot",
+        "cost/slot",
+    ]);
+    for kind in kinds {
+        let r = sim.run(kind)?;
+        eprintln!("ran {}", r.policy);
+        table.row([
+            r.policy.clone(),
+            fmt_f64(r.final_cumulative_reward()),
+            fmt_f64(r.mean_aoi_ratio),
+            fmt_f64(r.violation_rate()),
+            fmt_f64(r.updates_per_slot()),
+            fmt_f64(r.mean_cost),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Index of the experiment binaries in this crate.
+
+fn main() {
+    println!(
+        "aoi-bench — experiment harness for the ICDCS 2022 AoI-caching reproduction
+
+Paper artifacts:
+  cargo run --release -p aoi-bench --bin fig1a        Fig. 1a: AoI traces + cumulative reward
+  cargo run --release -p aoi-bench --bin fig1b        Fig. 1b: UV latency under 3 service policies
+
+Extensions (ablations beyond the paper):
+  cargo run --release -p aoi-bench --bin tab_policies Cache-policy comparison table
+  cargo run --release -p aoi-bench --bin ext_v_sweep  Lyapunov V tradeoff curve
+  cargo run --release -p aoi-bench --bin ext_w_sweep  Eq. 1 weight w tradeoff curve
+  cargo run --release -p aoi-bench --bin ext_joint    Two-stage joint runs on the vanet substrate
+  cargo run --release -p aoi-bench --bin ext_aoi_service  Eq. 4 AoI requirement via virtual queues
+  cargo run --release -p aoi-bench --bin ext_scaling  Exact vs learning solver scaling ladder
+
+Performance benches:
+  cargo bench -p aoi-bench
+"
+    );
+}

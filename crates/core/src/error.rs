@@ -1,0 +1,91 @@
+//! Error type for the AoI-caching core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the AoI-caching core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AoiCacheError {
+    /// A parameter was outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable valid range.
+        valid: &'static str,
+    },
+    /// A scenario is internally inconsistent (e.g. max age above the cap).
+    BadScenario {
+        /// Human-readable description of the inconsistency.
+        why: &'static str,
+    },
+    /// An error bubbled up from the MDP solver.
+    Solver(mdp::MdpError),
+    /// An error bubbled up from the Lyapunov controller.
+    Controller(lyapunov::LyapunovError),
+    /// An error bubbled up from the network substrate.
+    Network(vanet::VanetError),
+}
+
+impl fmt::Display for AoiCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AoiCacheError::BadParameter { what, valid } => {
+                write!(f, "{what} out of range (expected {valid})")
+            }
+            AoiCacheError::BadScenario { why } => write!(f, "inconsistent scenario: {why}"),
+            AoiCacheError::Solver(e) => write!(f, "mdp solver: {e}"),
+            AoiCacheError::Controller(e) => write!(f, "lyapunov controller: {e}"),
+            AoiCacheError::Network(e) => write!(f, "network model: {e}"),
+        }
+    }
+}
+
+impl Error for AoiCacheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AoiCacheError::Solver(e) => Some(e),
+            AoiCacheError::Controller(e) => Some(e),
+            AoiCacheError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mdp::MdpError> for AoiCacheError {
+    fn from(e: mdp::MdpError) -> Self {
+        AoiCacheError::Solver(e)
+    }
+}
+
+impl From<lyapunov::LyapunovError> for AoiCacheError {
+    fn from(e: lyapunov::LyapunovError) -> Self {
+        AoiCacheError::Controller(e)
+    }
+}
+
+impl From<vanet::VanetError> for AoiCacheError {
+    fn from(e: vanet::VanetError) -> Self {
+        AoiCacheError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AoiCacheError::from(mdp::MdpError::EmptyModel);
+        assert!(e.to_string().contains("mdp solver"));
+        assert!(e.source().is_some());
+        let e = AoiCacheError::BadScenario { why: "cap too low" };
+        assert!(e.to_string().contains("cap too low"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AoiCacheError>();
+    }
+}

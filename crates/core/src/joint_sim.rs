@@ -1,0 +1,428 @@
+//! The full two-stage scheme on the vehicular-network substrate.
+//!
+//! Each slot:
+//!
+//! 1. the network advances (mobility, requests, popularity estimates),
+//! 2. **stage 1** — every RSU's cache policy picks an update using the
+//!    *live* popularity estimate; updates are priced by the network's cost
+//!    model (congestion models see the slot's concurrency),
+//! 3. **stage 2** — every RSU's service policy drains its request queue;
+//!    requests for contents older than their freshness limit are *stale
+//!    hits* and incur an extra MBS-fetch cost,
+//! 4. ages advance.
+
+use crate::aoi::{Age, AgeVector};
+use crate::catalog::Catalog;
+use crate::policy::{CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, RsuSpec};
+use crate::reward::RewardModel;
+use crate::service::{ServiceDecisionContext, ServiceLevel, ServicePolicy, ServicePolicyKind};
+use crate::AoiCacheError;
+use lyapunov::Queue;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simkit::{SeedSequence, SlotClock, TimeSeries};
+use vanet::{Network, NetworkConfig, RsuId};
+
+/// Configuration of a joint two-stage experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointScenario {
+    /// The road/traffic/request substrate.
+    pub network: NetworkConfig,
+    /// Age cap `A_cap`.
+    pub age_cap: u32,
+    /// Lower bound of per-content `A^max_h`.
+    pub max_age_min: u32,
+    /// Upper bound of per-content `A^max_h`.
+    pub max_age_max: u32,
+    /// The Eq. 1 AoI weight `w`.
+    pub weight: f64,
+    /// Stage-1 cache policy.
+    pub cache_policy: CachePolicyKind,
+    /// Stage-2 service policy.
+    pub service_policy: ServicePolicyKind,
+    /// Service-level menu of every RSU.
+    pub levels: Vec<ServiceLevel>,
+    /// Extra cost charged when a request hits a stale cached content (the
+    /// RSU falls back to fetching from the MBS).
+    pub mbs_fetch_cost: f64,
+    /// Slots simulated (after warm-up).
+    pub horizon: usize,
+    /// Mobility-only warm-up slots.
+    pub warmup: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for JointScenario {
+    fn default() -> Self {
+        JointScenario {
+            network: NetworkConfig::default(),
+            age_cap: 9,
+            max_age_min: 4,
+            max_age_max: 8,
+            weight: 1.0,
+            cache_policy: CachePolicyKind::Myopic,
+            service_policy: ServicePolicyKind::Lyapunov { v: 20.0 },
+            // Scaled to the default network's offered load (~15–20 requests
+            // per slot per RSU at full traffic); the standard three-level
+            // menu of the standalone stage-2 scenario would be overloaded.
+            levels: vec![
+                ServiceLevel::new(0.0, 0.0),
+                ServiceLevel::new(1.0, 8.0),
+                ServiceLevel::new(3.0, 25.0),
+            ],
+            mbs_fetch_cost: 1.0,
+            horizon: 1000,
+            warmup: 50,
+            seed: 23,
+        }
+    }
+}
+
+impl JointScenario {
+    /// Validates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns parameter/scenario errors for inconsistent settings.
+    pub fn validate(&self) -> Result<(), AoiCacheError> {
+        if self.max_age_min == 0 || self.max_age_max < self.max_age_min {
+            return Err(AoiCacheError::BadParameter {
+                what: "max-age bounds",
+                valid: "1 <= min <= max",
+            });
+        }
+        if self.age_cap < self.max_age_max {
+            return Err(AoiCacheError::BadScenario {
+                why: "age cap must be at least the largest max age",
+            });
+        }
+        if self.horizon == 0 {
+            return Err(AoiCacheError::BadParameter {
+                what: "horizon",
+                valid: ">= 1",
+            });
+        }
+        if self.levels.is_empty() {
+            return Err(AoiCacheError::BadParameter {
+                what: "levels",
+                valid: "non-empty",
+            });
+        }
+        if !self.mbs_fetch_cost.is_finite() || self.mbs_fetch_cost < 0.0 {
+            return Err(AoiCacheError::BadParameter {
+                what: "mbs_fetch_cost",
+                valid: ">= 0 and finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything measured in one joint run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointReport {
+    /// Stage-1 per-slot Eq. 1 reward (live popularity).
+    pub cache_reward: TimeSeries,
+    /// Cumulative stage-1 reward.
+    pub cumulative_cache_reward: TimeSeries,
+    /// Per-RSU backlog trajectories.
+    pub queues: Vec<TimeSeries>,
+    /// Total requests issued by vehicles.
+    pub total_requests: u64,
+    /// Requests that hit a stale cached content.
+    pub stale_requests: u64,
+    /// Cache updates pushed.
+    pub updates: u64,
+    /// Mean backlog across RSUs and slots.
+    pub mean_queue: f64,
+    /// Mean per-slot service cost (all RSUs).
+    pub mean_service_cost: f64,
+    /// Mean per-slot update cost (all RSUs).
+    pub mean_update_cost: f64,
+    /// Mean per-slot stale-fallback cost (all RSUs).
+    pub mean_stale_cost: f64,
+}
+
+impl JointReport {
+    /// Fraction of requests served from fresh cache content.
+    pub fn freshness_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        1.0 - self.stale_requests as f64 / self.total_requests as f64
+    }
+
+    /// Mean per-slot total cost (service + updates + stale fallbacks).
+    pub fn mean_total_cost(&self) -> f64 {
+        self.mean_service_cost + self.mean_update_cost + self.mean_stale_cost
+    }
+}
+
+/// Runs the full two-stage scheme.
+///
+/// # Errors
+///
+/// Propagates scenario validation, network construction and policy
+/// construction errors.
+pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError> {
+    scenario.validate()?;
+    let mut seeds = SeedSequence::new(scenario.seed);
+    let mut network = Network::new(scenario.network)?;
+    let layout = network.layout().clone();
+    let n_rsus = layout.n_rsus();
+    let cap = Age::new(scenario.age_cap).expect("validated >= 1");
+
+    // Catalog over all regions.
+    let mut catalog_rng = seeds.rng("catalog");
+    let catalog = Catalog::random(
+        layout.n_regions(),
+        scenario.max_age_min,
+        scenario.max_age_max,
+        &mut catalog_rng,
+    )?;
+
+    // Per-RSU problem specs; the build-time popularity is the (uniform)
+    // initial estimate — live estimates flow in during the run.
+    let mut build_rng = seeds.rng("policy-build");
+    let mut cache_policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(n_rsus);
+    let mut service_policies: Vec<Box<dyn ServicePolicy>> = Vec::with_capacity(n_rsus);
+    let mut rewards: Vec<RewardModel> = Vec::with_capacity(n_rsus);
+    let mut specs: Vec<RsuSpec> = Vec::with_capacity(n_rsus);
+    for k in 0..n_rsus {
+        let coverage = layout.coverage(RsuId(k));
+        let n_local = coverage.end - coverage.start;
+        let spec = RsuSpec {
+            max_ages: catalog.max_ages(coverage.clone()),
+            popularity: vec![1.0 / n_local as f64; n_local],
+            age_cap: cap,
+            weight: scenario.weight,
+            update_cost: network.update_cost(RsuId(k), 1),
+        };
+        cache_policies.push(scenario.cache_policy.build(&spec, &mut build_rng)?);
+        service_policies.push(scenario.service_policy.build()?);
+        rewards.push(spec.reward_model()?);
+        specs.push(spec);
+    }
+
+    let mut init_rng = seeds.rng("init-ages");
+    let mut ages: Vec<AgeVector> = (0..n_rsus)
+        .map(|k| {
+            let n_local = layout.coverage_len(RsuId(k));
+            let v: Vec<Age> = (0..n_local)
+                .map(|_| Age::new(init_rng.gen_range(1..=scenario.age_cap)).expect(">= 1"))
+                .collect();
+            AgeVector::from_ages(v, cap)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut rng = seeds.rng("run");
+    network.warm_up(scenario.warmup, &mut rng);
+
+    let mut queues: Vec<Queue> = (0..n_rsus).map(|_| Queue::new()).collect();
+    let mut queue_series: Vec<TimeSeries> = (0..n_rsus)
+        .map(|k| TimeSeries::with_capacity(format!("rsu{k}/queue"), scenario.horizon))
+        .collect();
+    let mut reward_series = TimeSeries::with_capacity("cache reward", scenario.horizon);
+    let mut clock = SlotClock::new();
+
+    let mut total_requests = 0u64;
+    let mut stale_requests = 0u64;
+    let mut updates = 0u64;
+    let mut service_cost_sum = 0.0;
+    let mut update_cost_sum = 0.0;
+    let mut stale_cost_sum = 0.0;
+    let mut queue_sum = 0.0;
+
+    for _ in 0..scenario.horizon {
+        let now = clock.now();
+        let slot = network.step(&mut rng);
+
+        // Stage 1: collect decisions first so congestion pricing sees the
+        // slot's true concurrency.
+        let mut decisions: Vec<Option<usize>> = Vec::with_capacity(n_rsus);
+        for k in 0..n_rsus {
+            let popularity = network.popularity(RsuId(k));
+            let ctx = CacheDecisionContext {
+                slot: now,
+                ages: &ages[k],
+                max_ages: &specs[k].max_ages,
+                popularity: &popularity,
+                weight: scenario.weight,
+                update_cost: specs[k].update_cost,
+            };
+            decisions.push(cache_policies[k].decide(&ctx, &mut rng));
+        }
+        let concurrent = decisions.iter().filter(|d| d.is_some()).count();
+        let mut slot_reward = 0.0;
+        for k in 0..n_rsus {
+            if let Some(h) = decisions[k] {
+                if h >= ages[k].len() {
+                    return Err(AoiCacheError::BadParameter {
+                        what: "cache decision",
+                        valid: "local content index",
+                    });
+                }
+                ages[k].refresh(h);
+                updates += 1;
+                let cost = network.update_cost(RsuId(k), concurrent.max(1));
+                update_cost_sum += cost;
+                slot_reward -= cost;
+            }
+            let popularity = network.popularity(RsuId(k));
+            slot_reward += scenario.weight * rewards[k].aoi_utility(&ages[k], &popularity);
+        }
+        reward_series.push(now, slot_reward);
+
+        // Stage 2: per-RSU arrivals and freshness accounting.
+        let mut arrivals = vec![0.0f64; n_rsus];
+        for request in &slot.requests {
+            total_requests += 1;
+            let k = request.rsu.0;
+            arrivals[k] += 1.0;
+            let local = request.region.0 - layout.coverage(request.rsu).start;
+            let age = ages[k].age(local);
+            if age.exceeds(catalog.max_age(request.region.0)) {
+                stale_requests += 1;
+                stale_cost_sum += scenario.mbs_fetch_cost;
+            }
+        }
+        for k in 0..n_rsus {
+            let decision = {
+                let ctx = ServiceDecisionContext {
+                    slot: now,
+                    backlog: queues[k].backlog(),
+                    levels: &scenario.levels,
+                };
+                service_policies[k].decide(&ctx, &mut rng)
+            };
+            if decision >= scenario.levels.len() {
+                return Err(AoiCacheError::BadParameter {
+                    what: "service decision",
+                    valid: "level index",
+                });
+            }
+            let level = scenario.levels[decision];
+            queues[k].step(arrivals[k], level.rate);
+            service_cost_sum += level.cost;
+            queue_sum += queues[k].backlog();
+            queue_series[k].push(now, queues[k].backlog());
+        }
+
+        for a in &mut ages {
+            a.advance();
+        }
+        clock.tick();
+    }
+
+    let horizon = scenario.horizon as f64;
+    Ok(JointReport {
+        cumulative_cache_reward: reward_series.cumulative(),
+        cache_reward: reward_series,
+        queues: queue_series,
+        total_requests,
+        stale_requests,
+        updates,
+        mean_queue: queue_sum / (horizon * n_rsus as f64),
+        mean_service_cost: service_cost_sum / horizon,
+        mean_update_cost: update_cost_sum / horizon,
+        mean_stale_cost: stale_cost_sum / horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> JointScenario {
+        let network = NetworkConfig {
+            n_regions: 6,
+            n_rsus: 2,
+            road_length_m: 1200.0,
+            ..NetworkConfig::default()
+        };
+        JointScenario {
+            network,
+            age_cap: 6,
+            max_age_min: 3,
+            max_age_max: 5,
+            horizon: 400,
+            warmup: 30,
+            seed: 5,
+            ..JointScenario::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let report = run_joint(&tiny()).unwrap();
+        assert_eq!(report.queues.len(), 2);
+        assert_eq!(report.cache_reward.len(), 400);
+        assert!(report.total_requests > 0);
+        assert!(report.updates > 0);
+        assert!(report.freshness_rate() >= 0.0 && report.freshness_rate() <= 1.0);
+        assert!(report.mean_total_cost() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_joint(&tiny()).unwrap();
+        let b = run_joint(&tiny()).unwrap();
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.stale_requests, b.stale_requests);
+    }
+
+    #[test]
+    fn active_caching_is_fresher_than_never() {
+        let mut never = tiny();
+        never.cache_policy = CachePolicyKind::Never;
+        let mut myopic = tiny();
+        myopic.cache_policy = CachePolicyKind::Myopic;
+        let r_never = run_joint(&never).unwrap();
+        let r_myopic = run_joint(&myopic).unwrap();
+        assert!(
+            r_myopic.freshness_rate() > r_never.freshness_rate(),
+            "myopic {} vs never {}",
+            r_myopic.freshness_rate(),
+            r_never.freshness_rate()
+        );
+    }
+
+    #[test]
+    fn lyapunov_queues_stay_bounded() {
+        let report = run_joint(&tiny()).unwrap();
+        for q in &report.queues {
+            let last = q.last().unwrap().value;
+            assert!(last < 200.0, "queue exploded: {last}");
+        }
+    }
+
+    #[test]
+    fn cost_greedy_service_starves_queues() {
+        let mut s = tiny();
+        s.service_policy = ServicePolicyKind::CostGreedy;
+        let report = run_joint(&s).unwrap();
+        // Nothing is ever served, so the mean queue dominates the Lyapunov
+        // run's.
+        let lyap = run_joint(&tiny()).unwrap();
+        assert!(report.mean_queue > lyap.mean_queue);
+        assert!(report.mean_service_cost < lyap.mean_service_cost + 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = tiny();
+        s.age_cap = 2;
+        assert!(run_joint(&s).is_err());
+        let mut s = tiny();
+        s.horizon = 0;
+        assert!(run_joint(&s).is_err());
+        let mut s = tiny();
+        s.levels.clear();
+        assert!(run_joint(&s).is_err());
+        let mut s = tiny();
+        s.mbs_fetch_cost = -1.0;
+        assert!(run_joint(&s).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Ready-made scenarios matching the paper's evaluation section, used by
+//! the benchmark harness, the examples and EXPERIMENTS.md.
+
+use crate::cache_sim::CacheScenario;
+use crate::joint_sim::JointScenario;
+use crate::policy::CachePolicyKind;
+use crate::service::ServicePolicyKind;
+use crate::service_sim::ServiceScenario;
+
+/// The Fig. 1a experiment: 4 RSUs × 5 contents (20 contents managed by the
+/// MBS), 1000 slots, random initial ages and per-content `A^max`; the
+/// proposed MDP update policy.
+///
+/// The paper plots (i) the AoI of two selected contents of RSU 1 over time
+/// and (ii) the cumulative MBS reward.
+pub fn fig1a_scenario() -> CacheScenario {
+    CacheScenario::default()
+}
+
+/// The cache policy the paper proposes for Fig. 1a (exact MDP via value
+/// iteration).
+pub fn fig1a_policy() -> CachePolicyKind {
+    CachePolicyKind::ValueIteration { gamma: 0.95 }
+}
+
+/// The Fig. 1b experiment: one RSU queue over 1000 slots under Poisson
+/// request arrivals; the proposed drift-plus-penalty rule against the two
+/// baseline extremes.
+pub fn fig1b_scenario() -> ServiceScenario {
+    ServiceScenario::default()
+}
+
+/// The three service policies compared in Fig. 1b: the proposed rule plus
+/// the two extremes the paper's Eq. 5 sanity analysis describes.
+pub fn fig1b_policies() -> [ServicePolicyKind; 3] {
+    [
+        ServicePolicyKind::Lyapunov { v: 20.0 },
+        ServicePolicyKind::AlwaysServe,
+        ServicePolicyKind::CostGreedy,
+    ]
+}
+
+/// The joint two-stage extension experiment on the vehicular-network
+/// substrate (not a paper figure; exercises both stages end to end).
+pub fn joint_scenario() -> JointScenario {
+    JointScenario::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_matches_paper_scale() {
+        let s = fig1a_scenario();
+        assert_eq!(s.n_rsus, 4);
+        assert_eq!(s.regions_per_rsu, 5);
+        assert_eq!(s.n_contents(), 20);
+        assert_eq!(s.horizon, 1000);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn fig1b_has_three_policies() {
+        let s = fig1b_scenario();
+        assert_eq!(s.horizon, 1000);
+        assert!(s.validate().is_ok());
+        let kinds = fig1b_policies();
+        assert_eq!(kinds.len(), 3);
+        assert_eq!(kinds[0].label(), "lyapunov");
+    }
+
+    #[test]
+    fn joint_scenario_is_valid() {
+        assert!(joint_scenario().validate().is_ok());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the Eq. 4 AoI-constrained service controller:
+//! across random loads, menus, cache cycles and targets, the adaptive
+//! controller must (when the constraint is feasible at all) meet the
+//! served-age requirement, stay work-conserving, and never pay more than
+//! the always-fresh upper bound.
+
+use aoi_cache::{run_freshness_service, FreshnessScenario, ServiceLevel, SourcingMode};
+use proptest::prelude::*;
+
+fn arb_scenario() -> impl Strategy<Value = FreshnessScenario> {
+    (
+        0.2f64..1.2,   // arrival rate
+        2u32..12,      // cache refresh period
+        1.5f64..6.0,   // age target
+        0.2f64..2.0,   // mbs surcharge
+        1.0f64..60.0,  // V
+        0u64..500,     // seed
+    )
+        .prop_map(|(arrival, period, target, surcharge, v, seed)| FreshnessScenario {
+            arrival_rate: arrival,
+            levels: vec![
+                ServiceLevel::new(0.0, 0.0),
+                ServiceLevel::new(0.5, 1.0),
+                ServiceLevel::new(2.0, 3.0),
+            ],
+            mbs_surcharge: surcharge,
+            age_target: target,
+            cache_refresh_period: period,
+            v,
+            horizon: 4000,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adaptive_meets_feasible_targets(scenario in arb_scenario()) {
+        // MBS serving always has age 1 < target, so the constraint is
+        // always feasible; the virtual queue must therefore be rate-stable.
+        let report = run_freshness_service(&scenario, SourcingMode::Adaptive).unwrap();
+        prop_assert!(
+            report.constraint_met,
+            "constraint violated: served age {} vs target {} (period {})",
+            report.mean_served_age,
+            scenario.age_target,
+            scenario.cache_refresh_period
+        );
+        // Served-age average within noise of the target.
+        prop_assert!(
+            report.mean_served_age <= scenario.age_target + 0.5,
+            "mean served age {} far above target {}",
+            report.mean_served_age,
+            scenario.age_target
+        );
+    }
+
+    #[test]
+    fn adaptive_never_costs_more_than_mbs_only(scenario in arb_scenario()) {
+        let adaptive = run_freshness_service(&scenario, SourcingMode::Adaptive).unwrap();
+        let mbs = run_freshness_service(&scenario, SourcingMode::MbsOnly).unwrap();
+        // The adaptive menu contains every MBS-only decision, so its
+        // realized average cost can exceed the MBS-only run's only through
+        // queue-path differences; allow small slack.
+        prop_assert!(
+            adaptive.mean_cost <= mbs.mean_cost + 0.15,
+            "adaptive {} vs mbs-only {}",
+            adaptive.mean_cost,
+            mbs.mean_cost
+        );
+    }
+
+    #[test]
+    fn served_work_never_exceeds_arrivals(scenario in arb_scenario()) {
+        for mode in [SourcingMode::Adaptive, SourcingMode::CacheOnly, SourcingMode::MbsOnly] {
+            let report = run_freshness_service(&scenario, mode).unwrap();
+            let served = report.served_cache + report.served_mbs;
+            // Work conservation: cannot serve what never arrived.
+            let max_arrivals = scenario.arrival_rate * scenario.horizon as f64 * 1.5
+                + 10.0 * (scenario.horizon as f64).sqrt();
+            prop_assert!(served <= max_arrivals, "{mode:?} served {served}");
+            prop_assert!(report.mean_queue >= 0.0);
+        }
+    }
+
+    #[test]
+    fn loose_targets_make_all_modes_equivalent_on_freshness(
+        seed in 0u64..200, period in 2u32..6,
+    ) {
+        // Target above the worst cache age: no MBS fetch is ever needed and
+        // both adaptive and cache-only satisfy the constraint.
+        let scenario = FreshnessScenario {
+            age_target: f64::from(period) + 1.0,
+            cache_refresh_period: period,
+            seed,
+            horizon: 3000,
+            ..FreshnessScenario::default()
+        };
+        let adaptive = run_freshness_service(&scenario, SourcingMode::Adaptive).unwrap();
+        let cache = run_freshness_service(&scenario, SourcingMode::CacheOnly).unwrap();
+        prop_assert!(adaptive.constraint_met);
+        prop_assert!(cache.constraint_met);
+        prop_assert!(adaptive.mbs_fraction() < 0.05);
+    }
+}

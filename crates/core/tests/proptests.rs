@@ -1,0 +1,177 @@
+//! Property-based tests for the AoI-caching core.
+
+use aoi_cache::{
+    Age, AgeVector, CachePolicyKind, CacheScenario, CacheSimulation, PopularityModel, RewardModel,
+    RsuCacheMdp, RsuSpec,
+};
+use mdp::FiniteMdp;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = RsuSpec> {
+    (2usize..4, 2u32..5, 0u32..3, proptest::collection::vec(0.05f64..1.0, 4))
+        .prop_map(|(n, base_max, extra, weights)| {
+            let max_ages: Vec<Age> = (0..n)
+                .map(|i| Age::new(base_max + (i as u32 % (extra + 1))).unwrap())
+                .collect();
+            let cap = Age::new(base_max + extra + 2).unwrap();
+            let total: f64 = weights[..n].iter().sum();
+            let popularity: Vec<f64> = weights[..n].iter().map(|w| w / total).collect();
+            RsuSpec {
+                max_ages,
+                popularity,
+                age_cap: cap,
+                weight: 1.0,
+                update_cost: 0.3,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn age_vector_dynamics_preserve_bounds(
+        n in 1usize..8,
+        cap in 2u32..12,
+        ops in proptest::collection::vec((0usize..8, proptest::bool::ANY), 0..50),
+    ) {
+        let cap_age = Age::new(cap).unwrap();
+        let mut v = AgeVector::fresh(n, cap_age);
+        for (idx, refresh) in ops {
+            if refresh {
+                v.refresh(idx % n);
+            }
+            v.advance();
+            for a in v.as_slice() {
+                prop_assert!(a.get() >= 1 && a.get() <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn mdp_rows_are_distributions(spec in arb_spec()) {
+        let mdp = spec.mdp().unwrap();
+        let mut buf = Vec::new();
+        for s in 0..mdp.n_states() {
+            for a in 0..mdp.n_actions() {
+                mdp.transitions(s, a, &mut buf);
+                prop_assert!(!buf.is_empty());
+                let mass: f64 = buf.iter().map(|t| t.probability).sum();
+                prop_assert!((mass - 1.0).abs() < 1e-9);
+                for t in &buf {
+                    prop_assert!(t.next < mdp.n_states());
+                    prop_assert!(t.reward.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mdp_state_roundtrip(spec in arb_spec()) {
+        let mdp = spec.mdp().unwrap();
+        for s in 0..mdp.n_states() {
+            let (ages, phase) = mdp.decode_state(s);
+            prop_assert_eq!(mdp.encode_state(&ages, phase), s);
+        }
+    }
+
+    #[test]
+    fn update_reward_exceeds_no_update_minus_cost(spec in arb_spec()) {
+        // Updating can only improve the AoI term; the reward difference of
+        // (update j) vs (none) must be >= -cost.
+        let mdp = spec.mdp().unwrap();
+        let mut buf = Vec::new();
+        for s in 0..mdp.n_states() {
+            mdp.transitions(s, 0, &mut buf);
+            let r_none = buf[0].reward;
+            for j in 0..spec.n_contents() {
+                mdp.transitions(s, j + 1, &mut buf);
+                let r_up = buf[0].reward;
+                prop_assert!(
+                    r_up >= r_none - spec.update_cost - 1e-9,
+                    "update reward {r_up} below floor (none {r_none})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reward_model_is_monotone_in_freshness(spec in arb_spec()) {
+        let model = RewardModel::new(spec.weight, spec.update_cost, spec.max_ages.clone()).unwrap();
+        let n = spec.n_contents();
+        let fresh = AgeVector::fresh(n, spec.age_cap);
+        let mut stale = fresh.clone();
+        stale.advance();
+        prop_assert!(
+            model.aoi_utility(&fresh, &spec.popularity)
+                >= model.aoi_utility(&stale, &spec.popularity)
+        );
+    }
+
+    #[test]
+    fn two_phase_mdp_is_consistent(spec in arb_spec(), q in 0.0f64..1.0) {
+        let reward = RewardModel::new(spec.weight, spec.update_cost, spec.max_ages.clone()).unwrap();
+        let n = spec.n_contents();
+        let uniform = vec![1.0 / n as f64; n];
+        let mdp = RsuCacheMdp::new(
+            reward,
+            spec.age_cap,
+            PopularityModel::TwoPhase {
+                phases: [spec.popularity.clone(), uniform],
+                switch_probability: q,
+            },
+        ).unwrap();
+        let mut buf = Vec::new();
+        for s in (0..mdp.n_states()).step_by(7) {
+            for a in 0..mdp.n_actions() {
+                mdp.transitions(s, a, &mut buf);
+                let mass: f64 = buf.iter().map(|t| t.probability).sum();
+                prop_assert!((mass - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_reward_is_consistent_with_cumulative(seed in 0u64..200) {
+        let scenario = CacheScenario {
+            n_rsus: 1,
+            regions_per_rsu: 2,
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 60,
+            seed,
+            ..CacheScenario::default()
+        };
+        let sim = CacheSimulation::new(scenario).unwrap();
+        let report = sim.run(CachePolicyKind::Myopic).unwrap();
+        let manual: f64 = report.reward.values().sum();
+        prop_assert!((manual - report.final_cumulative_reward()).abs() < 1e-9);
+        // Mean utility minus mean cost equals the mean reward.
+        let mean_reward = manual / report.horizon as f64;
+        prop_assert!((report.mean_utility - report.mean_cost - mean_reward).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_update_per_rsu_per_slot(seed in 0u64..100) {
+        let scenario = CacheScenario {
+            n_rsus: 2,
+            regions_per_rsu: 2,
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 80,
+            seed,
+            ..CacheScenario::default()
+        };
+        let sim = CacheSimulation::new(scenario).unwrap();
+        for kind in [
+            CachePolicyKind::Myopic,
+            CachePolicyKind::Periodic { period: 1 },
+            CachePolicyKind::Random { probability: 1.0 },
+        ] {
+            let report = sim.run(kind).unwrap();
+            prop_assert!(report.updates <= (2 * 80) as u64, "{:?}", kind);
+        }
+    }
+}

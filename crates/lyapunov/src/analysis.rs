@@ -1,0 +1,157 @@
+//! Long-run tradeoff analytics for Lyapunov-controlled systems.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of the cost/backlog tradeoff curve (one value of `V`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Tradeoff coefficient used.
+    pub v: f64,
+    /// Time-average penalty.
+    pub mean_cost: f64,
+    /// Time-average backlog.
+    pub mean_backlog: f64,
+}
+
+/// Verdict of a rate-stability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StabilityVerdict {
+    /// `Q[T]/T` is (numerically) zero: the queue is rate-stable.
+    Stable,
+    /// `Q[T]/T` stayed bounded away from zero: the queue is growing
+    /// linearly (overload).
+    Unstable,
+    /// Not enough observations to decide.
+    Inconclusive,
+}
+
+/// Classifies rate stability from a backlog trajectory.
+///
+/// Uses the tail of the trajectory: the queue is declared stable when the
+/// final backlog divided by the horizon is below `tolerance`, unstable when
+/// the backlog grows by more than `tolerance` per slot over the second half.
+///
+/// ```
+/// use lyapunov::analysis::{check_stability, StabilityVerdict};
+/// let stable: Vec<f64> = (0..1000).map(|t| (t % 7) as f64).collect();
+/// assert_eq!(check_stability(&stable, 0.01), StabilityVerdict::Stable);
+/// let unstable: Vec<f64> = (0..1000).map(|t| t as f64 * 0.5).collect();
+/// assert_eq!(check_stability(&unstable, 0.01), StabilityVerdict::Unstable);
+/// ```
+pub fn check_stability(backlogs: &[f64], tolerance: f64) -> StabilityVerdict {
+    if backlogs.len() < 16 {
+        return StabilityVerdict::Inconclusive;
+    }
+    let t = backlogs.len() as f64;
+    let last = *backlogs.last().expect("non-empty");
+    if last / t < tolerance {
+        return StabilityVerdict::Stable;
+    }
+    // Linear growth estimate over the second half.
+    let half = backlogs.len() / 2;
+    let growth = (backlogs[backlogs.len() - 1] - backlogs[half]) / (backlogs.len() - half) as f64;
+    if growth > tolerance {
+        StabilityVerdict::Unstable
+    } else {
+        StabilityVerdict::Stable
+    }
+}
+
+/// Checks that a tradeoff curve exhibits the `O(1/V)` cost / `O(V)` backlog
+/// signature: as `V` grows, mean cost is non-increasing and mean backlog is
+/// non-decreasing (within `slack` to absorb simulation noise).
+///
+/// Returns `true` when the signature holds across all consecutive pairs of
+/// the `V`-sorted curve.
+pub fn has_v_tradeoff_signature(points: &[TradeoffPoint], slack: f64) -> bool {
+    let mut sorted: Vec<&TradeoffPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.v.partial_cmp(&b.v).expect("finite V values"));
+    sorted.windows(2).all(|w| {
+        w[1].mean_cost <= w[0].mean_cost + slack && w[1].mean_backlog >= w[0].mean_backlog - slack
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_trajectory_is_inconclusive() {
+        assert_eq!(
+            check_stability(&[1.0; 4], 0.01),
+            StabilityVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn bounded_oscillation_is_stable() {
+        let xs: Vec<f64> = (0..500).map(|t| ((t as f64) * 0.7).sin().abs() * 10.0).collect();
+        assert_eq!(check_stability(&xs, 0.05), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn linear_growth_is_unstable() {
+        let xs: Vec<f64> = (0..500).map(|t| t as f64).collect();
+        assert_eq!(check_stability(&xs, 0.05), StabilityVerdict::Unstable);
+    }
+
+    #[test]
+    fn big_but_flat_queue_is_stable() {
+        let mut xs = vec![500.0; 400];
+        xs[0] = 0.0;
+        assert_eq!(check_stability(&xs, 0.05), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn tradeoff_signature_detection() {
+        let good = vec![
+            TradeoffPoint {
+                v: 1.0,
+                mean_cost: 1.0,
+                mean_backlog: 1.0,
+            },
+            TradeoffPoint {
+                v: 10.0,
+                mean_cost: 0.5,
+                mean_backlog: 5.0,
+            },
+            TradeoffPoint {
+                v: 100.0,
+                mean_cost: 0.4,
+                mean_backlog: 40.0,
+            },
+        ];
+        assert!(has_v_tradeoff_signature(&good, 1e-9));
+
+        let bad = vec![
+            TradeoffPoint {
+                v: 1.0,
+                mean_cost: 0.1,
+                mean_backlog: 1.0,
+            },
+            TradeoffPoint {
+                v: 10.0,
+                mean_cost: 0.9,
+                mean_backlog: 0.5,
+            },
+        ];
+        assert!(!has_v_tradeoff_signature(&bad, 1e-9));
+    }
+
+    #[test]
+    fn tradeoff_signature_sorts_by_v() {
+        let unordered = vec![
+            TradeoffPoint {
+                v: 100.0,
+                mean_cost: 0.4,
+                mean_backlog: 40.0,
+            },
+            TradeoffPoint {
+                v: 1.0,
+                mean_cost: 1.0,
+                mean_backlog: 1.0,
+            },
+        ];
+        assert!(has_v_tradeoff_signature(&unordered, 1e-9));
+    }
+}

@@ -1,0 +1,200 @@
+//! A complete single-queue service controller: backlog queue plus
+//! drift-plus-penalty decision rule plus per-run accounting.
+
+use crate::dpp::{DecisionOption, DriftPlusPenalty};
+use crate::queue::Queue;
+use crate::LyapunovError;
+use serde::{Deserialize, Serialize};
+use simkit::RunningStats;
+
+/// Outcome of one controller slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Index of the chosen decision in the option set passed to
+    /// [`ServiceController::step`].
+    pub decision: usize,
+    /// Penalty incurred this slot.
+    pub cost: f64,
+    /// Backlog actually drained this slot.
+    pub served: f64,
+    /// Backlog after the slot (post-arrivals).
+    pub backlog: f64,
+}
+
+/// Drift-plus-penalty controller bound to a backlog queue.
+///
+/// Drives the paper's stage 2 (Eqs. 4–5): each slot the caller reports the
+/// new arrivals and the currently feasible decisions; the controller picks
+/// `argmin V·C(α) − Q[t]·b(α)`, applies the queue dynamics and keeps
+/// time-average cost/backlog statistics.
+///
+/// ```
+/// use lyapunov::{ServiceController, DecisionOption};
+///
+/// let mut ctl = ServiceController::new(20.0).unwrap();
+/// let options = [DecisionOption::new(0.0, 0.0), DecisionOption::new(1.0, 2.0)];
+/// for _ in 0..500 {
+///     ctl.step(1.0, &options).unwrap();
+/// }
+/// // One arrival per slot against service 2: the queue must be stable.
+/// assert!(ctl.queue().backlog_rate() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceController {
+    dpp: DriftPlusPenalty,
+    queue: Queue,
+    cost_stats: RunningStats,
+    backlog_stats: RunningStats,
+}
+
+impl ServiceController {
+    /// Creates a controller with tradeoff coefficient `v` and an empty
+    /// queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LyapunovError::BadParameter`] if `v` is negative or
+    /// non-finite.
+    pub fn new(v: f64) -> Result<Self, LyapunovError> {
+        Ok(ServiceController {
+            dpp: DriftPlusPenalty::new(v)?,
+            queue: Queue::new(),
+            cost_stats: RunningStats::new(),
+            backlog_stats: RunningStats::new(),
+        })
+    }
+
+    /// Creates a controller with an initial backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LyapunovError::BadParameter`] if `v` is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backlog` is negative or non-finite.
+    pub fn with_backlog(v: f64, backlog: f64) -> Result<Self, LyapunovError> {
+        Ok(ServiceController {
+            dpp: DriftPlusPenalty::new(v)?,
+            queue: Queue::with_backlog(backlog),
+            cost_stats: RunningStats::new(),
+            backlog_stats: RunningStats::new(),
+        })
+    }
+
+    /// The bound queue.
+    pub fn queue(&self) -> &Queue {
+        &self.queue
+    }
+
+    /// The tradeoff coefficient `V`.
+    pub fn v(&self) -> f64 {
+        self.dpp.v()
+    }
+
+    /// Runs one slot: decide on the pre-arrival backlog, drain, then admit
+    /// `arrivals`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LyapunovError::NoDecisions`] /
+    /// [`LyapunovError::BadQuantity`] from the decision rule.
+    pub fn step(
+        &mut self,
+        arrivals: f64,
+        options: &[DecisionOption],
+    ) -> Result<StepOutcome, LyapunovError> {
+        let decision = self.dpp.decide(self.queue.backlog(), options)?;
+        let chosen = options[decision];
+        let served = self.queue.step(arrivals, chosen.service);
+        self.cost_stats.push(chosen.cost);
+        self.backlog_stats.push(self.queue.backlog());
+        Ok(StepOutcome {
+            decision,
+            cost: chosen.cost,
+            served,
+            backlog: self.queue.backlog(),
+        })
+    }
+
+    /// Time-average penalty incurred so far.
+    pub fn mean_cost(&self) -> f64 {
+        self.cost_stats.mean()
+    }
+
+    /// Time-average backlog observed so far.
+    pub fn mean_backlog(&self) -> f64 {
+        self.backlog_stats.mean()
+    }
+
+    /// Number of slots run.
+    pub fn slots(&self) -> u64 {
+        self.cost_stats.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options() -> [DecisionOption; 3] {
+        [
+            DecisionOption::new(0.0, 0.0),
+            DecisionOption::new(0.5, 1.0),
+            DecisionOption::new(2.0, 3.0),
+        ]
+    }
+
+    #[test]
+    fn stabilizes_feasible_load() {
+        let mut ctl = ServiceController::new(50.0).unwrap();
+        for _ in 0..5_000 {
+            ctl.step(0.8, &options()).unwrap();
+        }
+        assert!(
+            ctl.queue().backlog_rate() < 0.05,
+            "rate {}",
+            ctl.queue().backlog_rate()
+        );
+        assert_eq!(ctl.slots(), 5_000);
+    }
+
+    #[test]
+    fn larger_v_trades_queue_for_cost() {
+        let run = |v: f64| {
+            let mut ctl = ServiceController::new(v).unwrap();
+            for _ in 0..20_000 {
+                ctl.step(0.8, &options()).unwrap();
+            }
+            (ctl.mean_cost(), ctl.mean_backlog())
+        };
+        let (cost_low_v, queue_low_v) = run(1.0);
+        let (cost_high_v, queue_high_v) = run(200.0);
+        assert!(
+            cost_high_v <= cost_low_v + 1e-9,
+            "cost {cost_high_v} vs {cost_low_v}"
+        );
+        assert!(
+            queue_high_v > queue_low_v,
+            "queue {queue_high_v} vs {queue_low_v}"
+        );
+    }
+
+    #[test]
+    fn accounts_costs() {
+        let mut ctl = ServiceController::with_backlog(0.0, 100.0).unwrap();
+        let out = ctl.step(0.0, &options()).unwrap();
+        // V = 0 with a large backlog: picks max service (decision 2).
+        assert_eq!(out.decision, 2);
+        assert_eq!(out.cost, 2.0);
+        assert_eq!(out.served, 3.0);
+        assert!((ctl.mean_cost() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let mut ctl = ServiceController::new(1.0).unwrap();
+        assert!(ctl.step(1.0, &[]).is_err());
+        assert!(ServiceController::new(-2.0).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the Lyapunov framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Lyapunov controllers and queues.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LyapunovError {
+    /// A parameter was outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable valid range.
+        valid: &'static str,
+    },
+    /// The decision set handed to the controller was empty.
+    NoDecisions,
+    /// A quantity that must be finite and non-negative was not.
+    BadQuantity {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LyapunovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LyapunovError::BadParameter { what, valid } => {
+                write!(f, "{what} out of range (expected {valid})")
+            }
+            LyapunovError::NoDecisions => write!(f, "decision set must not be empty"),
+            LyapunovError::BadQuantity { what } => {
+                write!(f, "{what} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl Error for LyapunovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            LyapunovError::NoDecisions.to_string(),
+            "decision set must not be empty"
+        );
+        assert!(LyapunovError::BadParameter {
+            what: "v",
+            valid: "> 0"
+        }
+        .to_string()
+        .contains("v out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LyapunovError>();
+    }
+}

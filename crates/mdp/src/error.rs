@@ -1,0 +1,111 @@
+//! Error type for MDP model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or solving an MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// A transition distribution does not sum to 1 (within tolerance).
+    BadDistribution {
+        /// State index of the offending row.
+        state: usize,
+        /// Action index of the offending row.
+        action: usize,
+        /// The actual probability mass found.
+        mass: f64,
+    },
+    /// A transition references a state outside `0..n_states`.
+    StateOutOfRange {
+        /// The offending state index.
+        state: usize,
+        /// The number of states in the model.
+        n_states: usize,
+    },
+    /// A probability or reward was NaN/infinite or a probability was negative.
+    NonFiniteEntry {
+        /// State index of the offending row.
+        state: usize,
+        /// Action index of the offending row.
+        action: usize,
+    },
+    /// The model has no states or no actions.
+    EmptyModel,
+    /// A solver parameter was outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable valid range.
+        valid: &'static str,
+    },
+    /// An iterative solver hit its iteration cap before reaching tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when the solver gave up.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::BadDistribution {
+                state,
+                action,
+                mass,
+            } => write!(
+                f,
+                "transition probabilities for state {state}, action {action} sum to {mass}, expected 1"
+            ),
+            MdpError::StateOutOfRange { state, n_states } => {
+                write!(f, "state {state} out of range (model has {n_states} states)")
+            }
+            MdpError::NonFiniteEntry { state, action } => write!(
+                f,
+                "non-finite probability or reward at state {state}, action {action}"
+            ),
+            MdpError::EmptyModel => write!(f, "model must have at least one state and one action"),
+            MdpError::BadParameter { what, valid } => {
+                write!(f, "{what} out of range (expected {valid})")
+            }
+            MdpError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for MdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MdpError::BadDistribution {
+            state: 3,
+            action: 1,
+            mass: 0.5,
+        };
+        assert!(e.to_string().contains("state 3"));
+        assert!(e.to_string().contains("0.5"));
+
+        let e = MdpError::NotConverged {
+            iterations: 10,
+            residual: 0.25,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MdpError>();
+    }
+}

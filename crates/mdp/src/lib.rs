@@ -1,0 +1,53 @@
+//! # mdp — finite Markov decision process toolkit
+//!
+//! Tabular MDP models and solvers used by the AoI-caching reproduction:
+//! the paper's cache-management stage ("AoI-Aware Markov Decision Policies
+//! for Caching", ICDCS 2022) formulates content refreshing at road-side
+//! units as a finite MDP; this crate provides the machinery to define and
+//! solve such MDPs exactly (value/policy iteration, backward induction) or
+//! approximately (Q-learning, SARSA).
+//!
+//! Conventions:
+//!
+//! * states are `0..n_states`, actions `0..n_actions`,
+//! * **rewards are maximized**,
+//! * transition rows are explicit probability distributions,
+//! * empty rows mark invalid `(state, action)` pairs.
+//!
+//! ## Example
+//!
+//! ```
+//! use mdp::{TabularMdp, FiniteMdp};
+//! use mdp::solver::ValueIteration;
+//!
+//! // Two-state "charge/discharge" toy: action 1 in state 0 invests
+//! // (no reward, move to state 1); state 1 pays 1 forever.
+//! let mdp = TabularMdp::builder(2, 2)
+//!     .transition(0, 0, 0, 1.0, 0.0)
+//!     .transition(0, 1, 1, 1.0, 0.0)
+//!     .transition(1, 0, 1, 1.0, 1.0)
+//!     .transition(1, 1, 1, 1.0, 1.0)
+//!     .build()?;
+//!
+//! let outcome = ValueIteration::new(0.9).solve(&mdp)?;
+//! assert!(outcome.converged);
+//! assert_eq!(outcome.policy.action(0), 1);
+//! # Ok::<(), mdp::MdpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod policy;
+pub mod reference;
+mod rollout;
+pub mod solver;
+mod space;
+
+pub use error::MdpError;
+pub use model::{FiniteMdp, FnMdp, TabularMdp, TabularMdpBuilder, Transition};
+pub use policy::{EpsilonGreedy, Policy, QTable, TabularPolicy, UniformRandomPolicy};
+pub use rollout::{Rollout, RolloutResult, Step};
+pub use space::{ProductSpace, ProductSpaceIter};

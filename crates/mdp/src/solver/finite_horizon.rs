@@ -1,0 +1,173 @@
+//! Exact finite-horizon dynamic programming (backward induction).
+
+use crate::model::FiniteMdp;
+use crate::policy::TabularPolicy;
+use crate::solver::q_value;
+use crate::MdpError;
+use serde::{Deserialize, Serialize};
+
+/// Backward induction over a fixed horizon of `T` decisions.
+///
+/// Produces the non-stationary optimal policy `π_0, …, π_{T-1}` and the
+/// optimal value-to-go at each stage. Undiscounted by default (`gamma = 1`
+/// is allowed here because the horizon is finite).
+///
+/// ```
+/// use mdp::solver::BackwardInduction;
+/// use mdp::reference;
+///
+/// let (mdp, _) = reference::two_state();
+/// let sol = BackwardInduction::new(3).solve(&mdp).unwrap();
+/// // From state 0: move (reward 0), then collect 1 twice => value 2.
+/// assert!((sol.stage_values[0][0] - 2.0).abs() < 1e-12);
+/// // From state 1: collect 1 three times.
+/// assert!((sol.stage_values[0][1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackwardInduction {
+    /// Number of decision stages.
+    pub horizon: usize,
+    /// Per-stage discount (may be 1.0 for finite horizons).
+    pub gamma: f64,
+}
+
+impl BackwardInduction {
+    /// Creates an undiscounted solver over `horizon` stages.
+    pub fn new(horizon: usize) -> Self {
+        BackwardInduction {
+            horizon,
+            gamma: 1.0,
+        }
+    }
+
+    /// Sets the per-stage discount.
+    #[must_use]
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Solves the finite-horizon control problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if the horizon is zero or `gamma`
+    /// is not in `(0, 1]`, and [`MdpError::EmptyModel`] for empty models.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<FiniteHorizonSolution, MdpError> {
+        if self.horizon == 0 {
+            return Err(MdpError::BadParameter {
+                what: "horizon",
+                valid: ">= 1",
+            });
+        }
+        if !self.gamma.is_finite() || self.gamma <= 0.0 || self.gamma > 1.0 {
+            return Err(MdpError::BadParameter {
+                what: "gamma",
+                valid: "(0, 1]",
+            });
+        }
+        if mdp.n_states() == 0 || mdp.n_actions() == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+
+        let n = mdp.n_states();
+        let mut buf = Vec::new();
+        // Terminal value is zero.
+        let mut next_values = vec![0.0; n];
+        let mut stage_values = vec![Vec::new(); self.horizon];
+        let mut stage_policies = Vec::with_capacity(self.horizon);
+
+        for stage in (0..self.horizon).rev() {
+            let mut values = vec![0.0; n];
+            let mut actions = vec![0; n];
+            for s in 0..n {
+                let mut best_q = f64::NEG_INFINITY;
+                let mut best_a = None;
+                for a in 0..mdp.n_actions() {
+                    if let Some(q) = q_value(mdp, s, a, &next_values, self.gamma, &mut buf) {
+                        if q > best_q {
+                            best_q = q;
+                            best_a = Some(a);
+                        }
+                    }
+                }
+                values[s] = best_q;
+                actions[s] = best_a.expect("state must have at least one valid action");
+            }
+            stage_values[stage] = values.clone();
+            stage_policies.push(TabularPolicy::new(actions));
+            next_values = values;
+        }
+        stage_policies.reverse();
+        Ok(FiniteHorizonSolution {
+            stage_values,
+            stage_policies,
+        })
+    }
+}
+
+/// Optimal non-stationary solution of a finite-horizon MDP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiniteHorizonSolution {
+    /// `stage_values[t][s]` = optimal expected reward-to-go from state `s`
+    /// with `horizon − t` decisions remaining.
+    pub stage_values: Vec<Vec<f64>>,
+    /// `stage_policies[t]` = optimal decision rule at stage `t`.
+    pub stage_policies: Vec<TabularPolicy>,
+}
+
+impl FiniteHorizonSolution {
+    /// The optimal first-stage decision rule (the one a receding-horizon
+    /// controller would apply).
+    pub fn first_policy(&self) -> &TabularPolicy {
+        &self.stage_policies[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::solver::ValueIteration;
+
+    #[test]
+    fn horizon_one_is_myopic() {
+        let (mdp, _) = reference::two_state();
+        let sol = BackwardInduction::new(1).solve(&mdp).unwrap();
+        assert_eq!(sol.stage_values[0], vec![0.0, 1.0]);
+        assert_eq!(sol.stage_policies.len(), 1);
+    }
+
+    #[test]
+    fn values_grow_with_horizon() {
+        let (mdp, _) = reference::two_state();
+        let short = BackwardInduction::new(2).solve(&mdp).unwrap();
+        let long = BackwardInduction::new(5).solve(&mdp).unwrap();
+        assert!(long.stage_values[0][1] > short.stage_values[0][1]);
+    }
+
+    #[test]
+    fn long_discounted_horizon_approaches_infinite_horizon() {
+        let (mdp, gamma) = reference::two_state();
+        let fh = BackwardInduction::new(500).gamma(gamma).solve(&mdp).unwrap();
+        let vi = ValueIteration::new(gamma).solve(&mdp).unwrap();
+        for (a, b) in fh.stage_values[0].iter().zip(&vi.values) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (mdp, _) = reference::two_state();
+        assert!(BackwardInduction::new(0).solve(&mdp).is_err());
+        assert!(BackwardInduction::new(3).gamma(0.0).solve(&mdp).is_err());
+        assert!(BackwardInduction::new(3).gamma(1.5).solve(&mdp).is_err());
+    }
+
+    #[test]
+    fn first_policy_accessor() {
+        let (mdp, _) = reference::two_state();
+        let sol = BackwardInduction::new(4).solve(&mdp).unwrap();
+        assert_eq!(sol.first_policy().action(0), 1);
+    }
+}

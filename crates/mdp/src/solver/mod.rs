@@ -1,0 +1,201 @@
+//! Solvers for finite MDPs.
+//!
+//! * [`ValueIteration`] — Bellman-optimality fixed point (the solver used for
+//!   the paper's cache-management stage),
+//! * [`PolicyIteration`] — Howard's algorithm,
+//! * [`BackwardInduction`] — exact finite-horizon dynamic programming,
+//! * [`RelativeValueIteration`] — average-reward (long-run gain) solving,
+//! * [`QLearning`] / [`Sarsa`] — model-free tabular learners,
+//! * [`evaluate_policy`] — iterative policy evaluation,
+//! * [`bellman_residual`] — solution-quality diagnostic,
+//! * [`stationary_distribution`] / [`policy_gain`] — induced-chain analysis.
+
+mod finite_horizon;
+mod policy_iteration;
+mod q_learning;
+mod relative_vi;
+mod sarsa;
+mod value_iteration;
+
+pub use finite_horizon::{BackwardInduction, FiniteHorizonSolution};
+pub use policy_iteration::{PolicyIteration, PolicyIterationOutcome};
+pub use q_learning::{ExplorationSchedule, LearningRate, QLearning};
+pub use relative_vi::{
+    policy_gain, stationary_distribution, AverageRewardOutcome, RelativeValueIteration,
+};
+pub use sarsa::Sarsa;
+pub use value_iteration::{ValueIteration, ValueIterationOutcome};
+
+use crate::model::{FiniteMdp, Transition};
+use crate::policy::TabularPolicy;
+use crate::MdpError;
+
+/// Checks that `gamma` is a usable discount factor in `[0, 1)`.
+pub(crate) fn validate_gamma(gamma: f64) -> Result<(), MdpError> {
+    if !gamma.is_finite() || !(0.0..1.0).contains(&gamma) {
+        return Err(MdpError::BadParameter {
+            what: "gamma",
+            valid: "[0, 1)",
+        });
+    }
+    Ok(())
+}
+
+/// One-step lookahead value `Q(s, a) = Σ_s' p (r + γ V(s'))`, or `None` for
+/// invalid actions (empty rows).
+pub(crate) fn q_value<M: FiniteMdp>(
+    mdp: &M,
+    state: usize,
+    action: usize,
+    values: &[f64],
+    gamma: f64,
+    buf: &mut Vec<Transition>,
+) -> Option<f64> {
+    mdp.transitions(state, action, buf);
+    if buf.is_empty() {
+        return None;
+    }
+    Some(
+        buf.iter()
+            .map(|t| t.probability * (t.reward + gamma * values[t.next]))
+            .sum(),
+    )
+}
+
+/// Greedy policy with respect to a state-value function.
+///
+/// For each state picks `argmax_a Q(s, a)` over valid actions (ties break to
+/// the lowest action index).
+///
+/// # Panics
+///
+/// Panics if `values.len() != mdp.n_states()` or a state has no valid action.
+pub fn greedy_policy<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> TabularPolicy {
+    assert_eq!(values.len(), mdp.n_states(), "value vector length mismatch");
+    let mut buf = Vec::new();
+    let actions = (0..mdp.n_states())
+        .map(|s| {
+            let mut best: Option<(usize, f64)> = None;
+            for a in 0..mdp.n_actions() {
+                if let Some(q) = q_value(mdp, s, a, values, gamma, &mut buf) {
+                    if best.is_none_or(|(_, bq)| q > bq) {
+                        best = Some((a, q));
+                    }
+                }
+            }
+            best.expect("state must have at least one valid action").0
+        })
+        .collect();
+    TabularPolicy::new(actions)
+}
+
+/// Sup-norm Bellman-optimality residual `‖T V − V‖_∞`: how far `values` is
+/// from being the optimal fixed point. Zero (up to tolerance) certifies an
+/// optimal value function.
+pub fn bellman_residual<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> f64 {
+    let mut buf = Vec::new();
+    let mut residual: f64 = 0.0;
+    for s in 0..mdp.n_states() {
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..mdp.n_actions() {
+            if let Some(q) = q_value(mdp, s, a, values, gamma, &mut buf) {
+                best = best.max(q);
+            }
+        }
+        residual = residual.max((best - values[s]).abs());
+    }
+    residual
+}
+
+/// Iterative policy evaluation: the value of following `policy` forever.
+///
+/// # Errors
+///
+/// Returns [`MdpError::BadParameter`] for an invalid `gamma` and
+/// [`MdpError::NotConverged`] if the sweep cap is hit first.
+pub fn evaluate_policy<M: FiniteMdp>(
+    mdp: &M,
+    policy: &TabularPolicy,
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+) -> Result<Vec<f64>, MdpError> {
+    validate_gamma(gamma)?;
+    assert_eq!(
+        policy.n_states(),
+        mdp.n_states(),
+        "policy/model state-count mismatch"
+    );
+    let mut values = vec![0.0; mdp.n_states()];
+    let mut buf = Vec::new();
+    for sweep in 0..max_sweeps {
+        let mut delta: f64 = 0.0;
+        for s in 0..mdp.n_states() {
+            let a = policy.action(s);
+            let q = q_value(mdp, s, a, &values, gamma, &mut buf)
+                .expect("policy must choose valid actions");
+            delta = delta.max((q - values[s]).abs());
+            values[s] = q;
+        }
+        if delta < tolerance {
+            return Ok(values);
+        }
+        let _ = sweep;
+    }
+    Err(MdpError::NotConverged {
+        iterations: max_sweeps,
+        residual: bellman_residual(mdp, &values, gamma),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn greedy_policy_on_two_state() {
+        let (mdp, gamma) = reference::two_state();
+        // Optimal values from the closed form.
+        let v1 = 1.0 / (1.0 - gamma);
+        let v0 = gamma * v1;
+        let policy = greedy_policy(&mdp, &[v0, v1], gamma);
+        assert_eq!(policy.action(0), 1, "state 0 should jump to state 1");
+    }
+
+    #[test]
+    fn bellman_residual_zero_at_fixed_point() {
+        let (mdp, gamma) = reference::two_state();
+        let v1 = 1.0 / (1.0 - gamma);
+        let v0 = gamma * v1;
+        assert!(bellman_residual(&mdp, &[v0, v1], gamma) < 1e-9);
+        assert!(bellman_residual(&mdp, &[0.0, 0.0], gamma) > 0.5);
+    }
+
+    #[test]
+    fn evaluate_policy_matches_closed_form() {
+        let (mdp, gamma) = reference::two_state();
+        // Policy: always action 1 (optimal).
+        let policy = TabularPolicy::new(vec![1, 0]);
+        let values = evaluate_policy(&mdp, &policy, gamma, 1e-12, 10_000).unwrap();
+        let v1 = 1.0 / (1.0 - gamma);
+        assert!((values[1] - v1).abs() < 1e-6, "v1 {} vs {}", values[1], v1);
+        assert!((values[0] - gamma * v1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_policy_rejects_bad_gamma() {
+        let (mdp, _) = reference::two_state();
+        let policy = TabularPolicy::new(vec![0, 0]);
+        assert!(evaluate_policy(&mdp, &policy, 1.0, 1e-6, 10).is_err());
+        assert!(evaluate_policy(&mdp, &policy, -0.1, 1e-6, 10).is_err());
+    }
+
+    #[test]
+    fn evaluate_policy_reports_non_convergence() {
+        let (mdp, gamma) = reference::two_state();
+        let policy = TabularPolicy::new(vec![1, 0]);
+        let err = evaluate_policy(&mdp, &policy, gamma, 1e-12, 1).unwrap_err();
+        assert!(matches!(err, MdpError::NotConverged { iterations: 1, .. }));
+    }
+}

@@ -1,0 +1,196 @@
+//! Howard policy iteration.
+
+use crate::model::FiniteMdp;
+use crate::policy::TabularPolicy;
+use crate::solver::{evaluate_policy, q_value, validate_gamma};
+use crate::MdpError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for policy iteration (policy evaluation + greedy
+/// improvement until the policy is stable).
+///
+/// ```
+/// use mdp::solver::PolicyIteration;
+/// use mdp::reference;
+///
+/// let (mdp, gamma) = reference::two_state();
+/// let outcome = PolicyIteration::new(gamma).solve(&mdp).unwrap();
+/// assert_eq!(outcome.policy.action(0), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyIteration {
+    /// Discount factor in `[0, 1)`.
+    pub gamma: f64,
+    /// Tolerance for the inner policy-evaluation sweeps.
+    pub eval_tolerance: f64,
+    /// Sweep cap for each inner policy evaluation.
+    pub max_eval_sweeps: usize,
+    /// Cap on improvement rounds.
+    pub max_improvements: usize,
+}
+
+impl PolicyIteration {
+    /// Creates a solver with defaults `eval_tolerance = 1e-10`,
+    /// `max_eval_sweeps = 10_000`, `max_improvements = 1_000`.
+    pub fn new(gamma: f64) -> Self {
+        PolicyIteration {
+            gamma,
+            eval_tolerance: 1e-10,
+            max_eval_sweeps: 10_000,
+            max_improvements: 1_000,
+        }
+    }
+
+    /// Sets the inner evaluation tolerance.
+    #[must_use]
+    pub fn eval_tolerance(mut self, tolerance: f64) -> Self {
+        self.eval_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the improvement-round cap.
+    #[must_use]
+    pub fn max_improvements(mut self, max_improvements: usize) -> Self {
+        self.max_improvements = max_improvements;
+        self
+    }
+
+    /// Runs policy iteration from the all-first-valid-action policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] for an invalid `gamma`,
+    /// [`MdpError::EmptyModel`] for an empty model, or
+    /// [`MdpError::NotConverged`] if an inner evaluation fails to converge.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<PolicyIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        if mdp.n_states() == 0 || mdp.n_actions() == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        // Initial policy: lowest valid action per state.
+        let mut actions = Vec::with_capacity(mdp.n_states());
+        for s in 0..mdp.n_states() {
+            let a = (0..mdp.n_actions())
+                .find(|&a| mdp.is_action_valid(s, a))
+                .ok_or(MdpError::BadDistribution {
+                    state: s,
+                    action: 0,
+                    mass: 0.0,
+                })?;
+            actions.push(a);
+        }
+        let mut policy = TabularPolicy::new(actions);
+        let mut buf = Vec::new();
+        let mut values = vec![0.0; mdp.n_states()];
+        let mut rounds = 0;
+
+        loop {
+            rounds += 1;
+            values = evaluate_policy(
+                mdp,
+                &policy,
+                self.gamma,
+                self.eval_tolerance,
+                self.max_eval_sweeps,
+            )?;
+
+            let mut stable = true;
+            let mut improved = Vec::with_capacity(mdp.n_states());
+            for s in 0..mdp.n_states() {
+                let current = policy.action(s);
+                let mut best_a = current;
+                let mut best_q = q_value(mdp, s, current, &values, self.gamma, &mut buf)
+                    .expect("current policy action must be valid");
+                for a in 0..mdp.n_actions() {
+                    if a == current {
+                        continue;
+                    }
+                    if let Some(q) = q_value(mdp, s, a, &values, self.gamma, &mut buf) {
+                        // Strict improvement margin avoids oscillating on ties.
+                        if q > best_q + 1e-12 {
+                            best_q = q;
+                            best_a = a;
+                        }
+                    }
+                }
+                if best_a != current {
+                    stable = false;
+                }
+                improved.push(best_a);
+            }
+            policy = TabularPolicy::new(improved);
+            if stable || rounds >= self.max_improvements {
+                return Ok(PolicyIterationOutcome {
+                    converged: stable,
+                    rounds,
+                    values,
+                    policy,
+                });
+            }
+        }
+    }
+}
+
+/// Result of a [`PolicyIteration`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyIterationOutcome {
+    /// Values of the final policy.
+    pub values: Vec<f64>,
+    /// The final (optimal if `converged`) policy.
+    pub policy: TabularPolicy,
+    /// Whether the policy became stable within the round cap.
+    pub converged: bool,
+    /// Improvement rounds performed.
+    pub rounds: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::solver::ValueIteration;
+
+    #[test]
+    fn agrees_with_value_iteration_on_two_state() {
+        let (mdp, gamma) = reference::two_state();
+        let pi = PolicyIteration::new(gamma).solve(&mdp).unwrap();
+        let vi = ValueIteration::new(gamma)
+            .tolerance(1e-12)
+            .solve(&mdp)
+            .unwrap();
+        assert!(pi.converged);
+        assert_eq!(pi.policy.actions(), vi.policy.actions());
+        for (a, b) in pi.values.iter().zip(&vi.values) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn agrees_with_value_iteration_on_gridworld() {
+        let (mdp, gamma) = reference::gridworld(4, 3, 0.15);
+        let pi = PolicyIteration::new(gamma).solve(&mdp).unwrap();
+        let vi = ValueIteration::new(gamma)
+            .tolerance(1e-12)
+            .solve(&mdp)
+            .unwrap();
+        assert!(pi.converged);
+        for (a, b) in pi.values.iter().zip(&vi.values) {
+            assert!((a - b).abs() < 1e-5, "value mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn converges_in_few_rounds_on_chain() {
+        let (mdp, gamma) = reference::chain(10, 0.9);
+        let out = PolicyIteration::new(gamma).solve(&mdp).unwrap();
+        assert!(out.converged);
+        // PI is famously fast: rounds should be far below the state count.
+        assert!(out.rounds <= 10, "rounds was {}", out.rounds);
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let (mdp, _) = reference::two_state();
+        assert!(PolicyIteration::new(2.0).solve(&mdp).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Tabular Q-learning (off-policy TD control).
+
+use crate::model::FiniteMdp;
+use crate::policy::QTable;
+use crate::solver::validate_gamma;
+use crate::MdpError;
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule for temporal-difference updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearningRate {
+    /// Fixed step size.
+    Constant(f64),
+    /// `scale / (scale + visits(s, a))` — satisfies the Robbins–Monro
+    /// conditions for tabular convergence.
+    Harmonic {
+        /// Numerator/offset scale; larger values decay more slowly.
+        scale: f64,
+    },
+}
+
+impl LearningRate {
+    pub(crate) fn value(&self, visits: u64) -> f64 {
+        match *self {
+            LearningRate::Constant(a) => a,
+            LearningRate::Harmonic { scale } => scale / (scale + visits as f64),
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), MdpError> {
+        let ok = match *self {
+            LearningRate::Constant(a) => a.is_finite() && 0.0 < a && a <= 1.0,
+            LearningRate::Harmonic { scale } => scale.is_finite() && scale > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MdpError::BadParameter {
+                what: "learning rate",
+                valid: "constant in (0, 1] or positive harmonic scale",
+            })
+        }
+    }
+}
+
+/// Exploration schedule for ε-greedy action selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExplorationSchedule {
+    /// Fixed exploration rate.
+    Constant(f64),
+    /// Linear decay from `start` to `end` over `steps` environment steps.
+    LinearDecay {
+        /// Initial ε.
+        start: f64,
+        /// Final ε.
+        end: f64,
+        /// Steps over which to interpolate.
+        steps: usize,
+    },
+}
+
+impl ExplorationSchedule {
+    pub(crate) fn value(&self, step: usize) -> f64 {
+        match *self {
+            ExplorationSchedule::Constant(e) => e,
+            ExplorationSchedule::LinearDecay { start, end, steps } => {
+                if steps == 0 || step >= steps {
+                    end
+                } else {
+                    start + (end - start) * (step as f64 / steps as f64)
+                }
+            }
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), MdpError> {
+        let ok = match *self {
+            ExplorationSchedule::Constant(e) => (0.0..=1.0).contains(&e),
+            ExplorationSchedule::LinearDecay { start, end, .. } => {
+                (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end)
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MdpError::BadParameter {
+                what: "exploration rate",
+                valid: "[0, 1]",
+            })
+        }
+    }
+}
+
+/// Picks an ε-greedy action among the *valid* actions of `state`.
+pub(crate) fn epsilon_greedy_valid<M: FiniteMdp>(
+    mdp: &M,
+    q: &QTable,
+    state: usize,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> usize {
+    let valid: Vec<usize> = (0..mdp.n_actions())
+        .filter(|&a| mdp.is_action_valid(state, a))
+        .collect();
+    assert!(!valid.is_empty(), "state {state} has no valid action");
+    if rng.gen::<f64>() < epsilon {
+        valid[rng.gen_range(0..valid.len())]
+    } else {
+        let mut best = valid[0];
+        let mut best_v = f64::NEG_INFINITY;
+        for &a in &valid {
+            let v = q.get(state, a);
+            if v > best_v {
+                best_v = v;
+                best = a;
+            }
+        }
+        best
+    }
+}
+
+/// Tabular Q-learning configuration.
+///
+/// The learner interacts with a generative model (any [`FiniteMdp`] can be
+/// sampled) for `steps` transitions, restarting from a uniformly random
+/// state every `episode_length` steps so that all states keep being visited.
+///
+/// ```
+/// use mdp::solver::{QLearning, ValueIteration};
+/// use mdp::reference;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let (mdp, gamma) = reference::two_state();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let q = QLearning::new(gamma).steps(30_000).learn(&mdp, &mut rng).unwrap();
+/// let vi = ValueIteration::new(gamma).solve(&mdp).unwrap();
+/// // State 0 has a unique optimal action; state 1's actions are tied.
+/// assert_eq!(q.greedy_action(0), vi.policy.action(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QLearning {
+    /// Discount factor in `[0, 1)`.
+    pub gamma: f64,
+    /// Step-size schedule.
+    pub alpha: LearningRate,
+    /// Exploration schedule.
+    pub epsilon: ExplorationSchedule,
+    /// Total environment steps.
+    pub steps: usize,
+    /// Steps between random restarts.
+    pub episode_length: usize,
+}
+
+impl QLearning {
+    /// Creates a learner with harmonic step sizes, ε decaying 1.0 → 0.05,
+    /// 100k steps, episodes of 100.
+    pub fn new(gamma: f64) -> Self {
+        QLearning {
+            gamma,
+            alpha: LearningRate::Harmonic { scale: 10.0 },
+            epsilon: ExplorationSchedule::LinearDecay {
+                start: 1.0,
+                end: 0.05,
+                steps: 50_000,
+            },
+            steps: 100_000,
+            episode_length: 100,
+        }
+    }
+
+    /// Sets the total environment steps (and scales the default ε decay to
+    /// half of it).
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        if let ExplorationSchedule::LinearDecay { start, end, .. } = self.epsilon {
+            self.epsilon = ExplorationSchedule::LinearDecay {
+                start,
+                end,
+                steps: steps / 2,
+            };
+        }
+        self
+    }
+
+    /// Sets the step-size schedule.
+    #[must_use]
+    pub fn alpha(mut self, alpha: LearningRate) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the exploration schedule.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: ExplorationSchedule) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the episode length between random restarts.
+    #[must_use]
+    pub fn episode_length(mut self, episode_length: usize) -> Self {
+        self.episode_length = episode_length.max(1);
+        self
+    }
+
+    /// Runs Q-learning and returns the learned Q-table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] for invalid `gamma`, step size or
+    /// exploration rate, and [`MdpError::EmptyModel`] for empty models.
+    pub fn learn<M: FiniteMdp>(&self, mdp: &M, rng: &mut dyn RngCore) -> Result<QTable, MdpError> {
+        validate_gamma(self.gamma)?;
+        self.alpha.validate()?;
+        self.epsilon.validate()?;
+        if mdp.n_states() == 0 || mdp.n_actions() == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+
+        let mut q = QTable::zeros(mdp.n_states(), mdp.n_actions());
+        let mut visits = vec![0u64; mdp.n_states() * mdp.n_actions()];
+        let mut state = rng.gen_range(0..mdp.n_states());
+
+        for step in 0..self.steps {
+            if step % self.episode_length == 0 {
+                state = rng.gen_range(0..mdp.n_states());
+            }
+            let eps = self.epsilon.value(step);
+            let action = epsilon_greedy_valid(mdp, &q, state, eps, rng);
+            let (next, reward) = mdp.sample(state, action, rng);
+
+            // Bootstrapped target over *valid* next actions.
+            let next_best = (0..mdp.n_actions())
+                .filter(|&a| mdp.is_action_valid(next, a))
+                .map(|a| q.get(next, a))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let target = reward + self.gamma * next_best;
+
+            let idx = state * mdp.n_actions() + action;
+            visits[idx] += 1;
+            let alpha = self.alpha.value(visits[idx]);
+            let old = q.get(state, action);
+            q.set(state, action, old + alpha * (target - old));
+            state = next;
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::solver::ValueIteration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_optimal_policy_on_two_state() {
+        let (mdp, gamma) = reference::two_state();
+        let mut rng = StdRng::seed_from_u64(42);
+        let q = QLearning::new(gamma)
+            .steps(30_000)
+            .learn(&mdp, &mut rng)
+            .unwrap();
+        assert_eq!(q.greedy_action(0), 1);
+        // Q-values should approximate the closed form.
+        let v1 = 1.0 / (1.0 - gamma);
+        assert!((q.max_value(1) - v1).abs() < 0.5, "{}", q.max_value(1));
+    }
+
+    #[test]
+    fn learns_chain_walk() {
+        let (mdp, gamma) = reference::chain(6, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = QLearning::new(gamma)
+            .steps(120_000)
+            .learn(&mdp, &mut rng)
+            .unwrap();
+        let vi = ValueIteration::new(gamma).solve(&mdp).unwrap();
+        // Interior states should all agree with the exact optimal policy.
+        for s in 0..5 {
+            assert_eq!(
+                q.greedy_action(s),
+                vi.policy.action(s),
+                "policy mismatch at state {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_validate() {
+        let (mdp, gamma) = reference::two_state();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(QLearning::new(gamma)
+            .alpha(LearningRate::Constant(0.0))
+            .learn(&mdp, &mut rng)
+            .is_err());
+        assert!(QLearning::new(gamma)
+            .epsilon(ExplorationSchedule::Constant(1.5))
+            .learn(&mdp, &mut rng)
+            .is_err());
+        assert!(QLearning::new(1.0).learn(&mdp, &mut rng).is_err());
+    }
+
+    #[test]
+    fn linear_decay_interpolates() {
+        let sched = ExplorationSchedule::LinearDecay {
+            start: 1.0,
+            end: 0.0,
+            steps: 100,
+        };
+        assert_eq!(sched.value(0), 1.0);
+        assert!((sched.value(50) - 0.5).abs() < 1e-12);
+        assert_eq!(sched.value(100), 0.0);
+        assert_eq!(sched.value(10_000), 0.0);
+    }
+
+    #[test]
+    fn harmonic_rate_decays() {
+        let lr = LearningRate::Harmonic { scale: 10.0 };
+        assert!(lr.value(0) > lr.value(10));
+        assert!(lr.value(1_000_000) < 1e-4);
+    }
+
+    #[test]
+    fn respects_action_validity() {
+        use crate::model::TabularMdp;
+        // Two states; in state 1 only action 0 is valid.
+        let mdp = TabularMdp::builder(2, 2)
+            .transition(0, 0, 0, 1.0, 0.0)
+            .transition(0, 1, 1, 1.0, 1.0)
+            .transition(1, 0, 0, 1.0, 2.0)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = QLearning::new(0.9)
+            .steps(20_000)
+            .learn(&mdp, &mut rng)
+            .unwrap();
+        // Greedy among valid actions in state 1 must be action 0.
+        assert!(mdp.is_action_valid(1, 0));
+        assert!(!mdp.is_action_valid(1, 1));
+        assert!(q.get(1, 1).abs() < 1e-12, "invalid action was updated");
+    }
+}

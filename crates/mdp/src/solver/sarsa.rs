@@ -1,0 +1,168 @@
+//! Tabular SARSA (on-policy TD control).
+
+use crate::model::FiniteMdp;
+use crate::policy::QTable;
+use crate::solver::q_learning::{epsilon_greedy_valid, ExplorationSchedule, LearningRate};
+use crate::solver::validate_gamma;
+use crate::MdpError;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Tabular SARSA configuration.
+///
+/// On-policy counterpart of [`QLearning`](crate::solver::QLearning): the TD
+/// target bootstraps from the action the ε-greedy behaviour policy actually
+/// takes next, rather than the greedy maximum.
+///
+/// ```
+/// use mdp::solver::Sarsa;
+/// use mdp::reference;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let (mdp, gamma) = reference::two_state();
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let q = Sarsa::new(gamma).steps(30_000).learn(&mdp, &mut rng).unwrap();
+/// assert_eq!(q.greedy_action(0), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sarsa {
+    /// Discount factor in `[0, 1)`.
+    pub gamma: f64,
+    /// Step-size schedule.
+    pub alpha: LearningRate,
+    /// Exploration schedule.
+    pub epsilon: ExplorationSchedule,
+    /// Total environment steps.
+    pub steps: usize,
+    /// Steps between random restarts.
+    pub episode_length: usize,
+}
+
+impl Sarsa {
+    /// Creates a learner with the same defaults as
+    /// [`QLearning::new`](crate::solver::QLearning::new).
+    pub fn new(gamma: f64) -> Self {
+        Sarsa {
+            gamma,
+            alpha: LearningRate::Harmonic { scale: 10.0 },
+            epsilon: ExplorationSchedule::LinearDecay {
+                start: 1.0,
+                end: 0.05,
+                steps: 50_000,
+            },
+            steps: 100_000,
+            episode_length: 100,
+        }
+    }
+
+    /// Sets the total environment steps (and scales the default ε decay).
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        if let ExplorationSchedule::LinearDecay { start, end, .. } = self.epsilon {
+            self.epsilon = ExplorationSchedule::LinearDecay {
+                start,
+                end,
+                steps: steps / 2,
+            };
+        }
+        self
+    }
+
+    /// Sets the step-size schedule.
+    #[must_use]
+    pub fn alpha(mut self, alpha: LearningRate) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the exploration schedule.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: ExplorationSchedule) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Runs SARSA and returns the learned Q-table.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QLearning::learn`](crate::solver::QLearning::learn).
+    pub fn learn<M: FiniteMdp>(&self, mdp: &M, rng: &mut dyn RngCore) -> Result<QTable, MdpError> {
+        validate_gamma(self.gamma)?;
+        self.alpha.validate()?;
+        self.epsilon.validate()?;
+        if mdp.n_states() == 0 || mdp.n_actions() == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+
+        let mut q = QTable::zeros(mdp.n_states(), mdp.n_actions());
+        let mut visits = vec![0u64; mdp.n_states() * mdp.n_actions()];
+        let mut state = rng.gen_range(0..mdp.n_states());
+        let mut action = epsilon_greedy_valid(mdp, &q, state, self.epsilon.value(0), rng);
+
+        for step in 0..self.steps {
+            if step > 0 && step % self.episode_length == 0 {
+                state = rng.gen_range(0..mdp.n_states());
+                action = epsilon_greedy_valid(mdp, &q, state, self.epsilon.value(step), rng);
+            }
+            let (next, reward) = mdp.sample(state, action, rng);
+            let next_action = epsilon_greedy_valid(mdp, &q, next, self.epsilon.value(step), rng);
+            let target = reward + self.gamma * q.get(next, next_action);
+
+            let idx = state * mdp.n_actions() + action;
+            visits[idx] += 1;
+            let alpha = self.alpha.value(visits[idx]);
+            let old = q.get(state, action);
+            q.set(state, action, old + alpha * (target - old));
+
+            state = next;
+            action = next_action;
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_two_state_optimum() {
+        let (mdp, gamma) = reference::two_state();
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = Sarsa::new(gamma)
+            .steps(40_000)
+            .learn(&mdp, &mut rng)
+            .unwrap();
+        assert_eq!(q.greedy_action(0), 1);
+    }
+
+    #[test]
+    fn learns_chain_direction() {
+        let (mdp, gamma) = reference::chain(5, 0.9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = Sarsa::new(gamma)
+            .steps(120_000)
+            .learn(&mdp, &mut rng)
+            .unwrap();
+        for s in 0..4 {
+            assert_eq!(q.greedy_action(s), reference::CHAIN_FORWARD, "state {s}");
+        }
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let (mdp, _) = reference::two_state();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Sarsa::new(1.0).learn(&mdp, &mut rng).is_err());
+        assert!(Sarsa::new(0.9)
+            .alpha(LearningRate::Constant(2.0))
+            .learn(&mdp, &mut rng)
+            .is_err());
+    }
+}

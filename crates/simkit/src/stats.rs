@@ -1,0 +1,505 @@
+//! Streaming statistics: Welford running moments, percentiles, histograms.
+
+use crate::SimkitError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+///
+/// ```
+/// use simkit::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// Non-finite samples are ignored (they would poison every derived
+    /// statistic); callers that care should validate beforehand.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 if no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (divides by `n`); 0 if fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n-1`); 0 if fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min().unwrap_or(f64::NAN),
+            max: self.max().unwrap_or(f64::NAN),
+            sum: self.sum,
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Immutable snapshot of a [`RunningStats`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample (NaN if empty).
+    pub min: f64,
+    /// Maximum sample (NaN if empty).
+    pub max: f64,
+    /// Sum of samples.
+    pub sum: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Linear-interpolation percentile of a sample set.
+///
+/// `p` is in percent, `0.0..=100.0`. The input does not need to be sorted.
+///
+/// # Errors
+///
+/// Returns [`SimkitError::Empty`] for an empty slice and
+/// [`SimkitError::OutOfRange`] if `p` is outside `0..=100` or non-finite.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(simkit::percentile(&xs, 50.0).unwrap(), 2.5);
+/// assert_eq!(simkit::percentile(&xs, 0.0).unwrap(), 1.0);
+/// assert_eq!(simkit::percentile(&xs, 100.0).unwrap(), 4.0);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Result<f64, SimkitError> {
+    if samples.is_empty() {
+        return Err(SimkitError::Empty { what: "samples" });
+    }
+    if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+        return Err(SimkitError::OutOfRange {
+            what: "percentile",
+            valid: "0.0..=100.0",
+        });
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Fixed-width-bin histogram over a closed range.
+///
+/// Samples below the range go to an underflow bucket, above to an overflow
+/// bucket, so the total count is always preserved.
+///
+/// ```
+/// use simkit::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [0.5, 1.5, 2.5, 9.9, 11.0] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(0), 2); // 0.5 and 1.5 both fall in [0,2)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `n_bins` equal bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo >= hi`, the bounds are non-finite, or
+    /// `n_bins == 0`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Result<Self, SimkitError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(SimkitError::NonFinite {
+                what: "histogram bounds",
+            });
+        }
+        if lo >= hi {
+            return Err(SimkitError::OutOfRange {
+                what: "histogram bounds",
+                valid: "lo < hi",
+            });
+        }
+        if n_bins == 0 {
+            return Err(SimkitError::OutOfRange {
+                what: "n_bins",
+                valid: ">= 1",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds a sample (NaN samples are counted as overflow so nothing is
+    /// silently lost).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_bins`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// `[low, high)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_bins`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound (plus NaNs).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples pushed, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Iterates `(bin_low_edge, bin_high_edge, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| {
+            let (lo, hi) = self.bin_edges(i);
+            (lo, hi, self.bins[i])
+        })
+    }
+
+    /// Empirical CDF evaluated at each bin's upper edge, in-range samples
+    /// only. Returns an empty vector when no in-range samples were recorded.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        self.iter()
+            .map(|(_, hi, c)| {
+                acc += c;
+                (hi, acc as f64 / in_range as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64 * 0.37).collect();
+        let s: RunningStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.population_variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), Some(0.37));
+        assert_eq!(s.max(), Some(37.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut s = RunningStats::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let ys: Vec<f64> = (0..70).map(|i| (i as f64).cos() * 5.0).collect();
+        let mut a: RunningStats = xs.iter().copied().collect();
+        let b: RunningStats = ys.iter().copied().collect();
+        a.merge(&b);
+        let all: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let xs: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut empty = RunningStats::new();
+        empty.merge(&xs);
+        assert_eq!(empty.count(), 3);
+        let mut full = xs;
+        full.merge(&RunningStats::new());
+        assert_eq!(full.count(), 3);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 5.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&[1.0], -1.0).is_err());
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(10.0); // upper edge is exclusive -> overflow
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_cdf_monotone_and_complete() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.1, 0.3, 0.6, 0.9] {
+            h.push(x);
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 4);
+        let mut prev = 0.0;
+        for (_, p) in &cdf {
+            assert!(*p >= prev);
+            prev = *p;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_cdf() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.0000"));
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+}

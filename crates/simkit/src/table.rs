@@ -1,0 +1,188 @@
+//! Result tables: aligned terminal rendering and CSV export.
+//!
+//! Every experiment binary in the benchmark harness prints its rows both as
+//! an aligned table (for reading) and as CSV (for plotting elsewhere).
+
+use std::fmt::Write as _;
+
+/// A simple rows-and-columns result table.
+///
+/// ```
+/// use simkit::table::Table;
+/// let mut t = Table::new(["policy", "mean aoi", "cost"]);
+/// t.row(["vi", "1.9", "0.30"]);
+/// t.row(["random", "3.4", "0.25"]);
+/// let text = t.render();
+/// assert!(text.contains("policy"));
+/// assert!(t.to_csv().starts_with("policy,mean aoi,cost\n"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an aligned, pipe-separated table.
+    pub fn render(&self) -> String {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain(std::iter::once(h.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "|");
+        };
+        render_row(&self.headers, &mut out);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i == widths.len() - 1 {
+                let _ = writeln!(out, "|");
+            }
+        }
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float for table cells: fixed 4 significant decimals, trimming
+/// negative zero.
+pub fn fmt_f64(v: f64) -> String {
+    let s = format!("{v:.4}");
+    if s == "-0.0000" {
+        "0.0000".to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["xxxxxxxx", "1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // all lines equal width
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["x"]);
+        t.row(["a,b"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let mut t = Table::new(["v"]);
+        t.row([fmt_f64(1.0)]);
+        assert_eq!(t.to_csv(), "v\n1.0000\n");
+    }
+
+    #[test]
+    fn fmt_f64_negative_zero() {
+        assert_eq!(fmt_f64(-0.00001), "0.0000");
+        assert_eq!(fmt_f64(2.5), "2.5000");
+    }
+
+    #[test]
+    fn n_rows_counts() {
+        let mut t = Table::new(["a"]);
+        assert_eq!(t.n_rows(), 0);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Discrete slotted time.
+//!
+//! All simulations in this workspace advance in unit **slots**; [`TimeSlot`]
+//! is a newtype index of the current slot and [`SlotClock`] is the mutable
+//! counter a simulation owns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Index of a discrete simulation slot (0-based).
+///
+/// `TimeSlot` is a transparent `u64` newtype so that slot indices cannot be
+/// confused with other integer quantities (ages, counts, ids).
+///
+/// ```
+/// use simkit::TimeSlot;
+/// let t = TimeSlot::ZERO + 3;
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t - TimeSlot::new(1), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TimeSlot(u64);
+
+impl TimeSlot {
+    /// The first slot.
+    pub const ZERO: TimeSlot = TimeSlot(0);
+
+    /// Creates a slot with the given 0-based index.
+    pub const fn new(index: u64) -> Self {
+        TimeSlot(index)
+    }
+
+    /// Returns the 0-based slot index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next slot.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        TimeSlot(self.0 + 1)
+    }
+
+    /// Returns the number of whole slots since `earlier`, saturating at zero
+    /// if `earlier` is in the future.
+    pub const fn saturating_since(self, earlier: TimeSlot) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for TimeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl From<u64> for TimeSlot {
+    fn from(index: u64) -> Self {
+        TimeSlot(index)
+    }
+}
+
+impl From<TimeSlot> for u64 {
+    fn from(slot: TimeSlot) -> Self {
+        slot.0
+    }
+}
+
+impl Add<u64> for TimeSlot {
+    type Output = TimeSlot;
+    fn add(self, rhs: u64) -> TimeSlot {
+        TimeSlot(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for TimeSlot {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<TimeSlot> for TimeSlot {
+    type Output = u64;
+    /// Number of slots between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (underflow).
+    fn sub(self, rhs: TimeSlot) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A monotonically advancing slot counter owned by a simulation loop.
+///
+/// ```
+/// use simkit::{SlotClock, TimeSlot};
+/// let mut clock = SlotClock::new();
+/// assert_eq!(clock.now(), TimeSlot::ZERO);
+/// clock.tick();
+/// clock.tick();
+/// assert_eq!(clock.now().index(), 2);
+/// assert_eq!(clock.elapsed(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SlotClock {
+    now: TimeSlot,
+}
+
+impl SlotClock {
+    /// Creates a clock at slot 0.
+    pub fn new() -> Self {
+        SlotClock::default()
+    }
+
+    /// Creates a clock starting at an arbitrary slot (useful for resuming).
+    pub fn starting_at(slot: TimeSlot) -> Self {
+        SlotClock { now: slot }
+    }
+
+    /// The current slot.
+    pub fn now(&self) -> TimeSlot {
+        self.now
+    }
+
+    /// Advances the clock by one slot and returns the new current slot.
+    pub fn tick(&mut self) -> TimeSlot {
+        self.now = self.now.next();
+        self.now
+    }
+
+    /// Number of slots elapsed since slot 0.
+    pub fn elapsed(&self) -> u64 {
+        self.now.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeslot_ordering_and_arithmetic() {
+        let a = TimeSlot::new(5);
+        let b = TimeSlot::new(8);
+        assert!(a < b);
+        assert_eq!(b - a, 3);
+        assert_eq!(a + 3, b);
+        assert_eq!(a.next(), TimeSlot::new(6));
+        assert_eq!(a.saturating_since(b), 0);
+        assert_eq!(b.saturating_since(a), 3);
+    }
+
+    #[test]
+    fn timeslot_display() {
+        assert_eq!(TimeSlot::new(7).to_string(), "t=7");
+    }
+
+    #[test]
+    fn timeslot_conversions() {
+        let t: TimeSlot = 9u64.into();
+        assert_eq!(u64::from(t), 9);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SlotClock::new();
+        let mut prev = c.now();
+        for _ in 0..10 {
+            let next = c.tick();
+            assert!(next > prev);
+            prev = next;
+        }
+        assert_eq!(c.elapsed(), 10);
+    }
+
+    #[test]
+    fn clock_resume() {
+        let c = SlotClock::starting_at(TimeSlot::new(100));
+        assert_eq!(c.now().index(), 100);
+    }
+
+    #[test]
+    fn add_assign_works() {
+        let mut t = TimeSlot::ZERO;
+        t += 4;
+        assert_eq!(t.index(), 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Communication-cost models for MBS→RSU cache pushes.
+//!
+//! The paper's `C^k_h(x^k_h(t))` (Eq. 3) is the network cost of pushing one
+//! content update to an RSU. The constants are not specified in the paper,
+//! so the model is pluggable; all variants preserve the property that cost
+//! is charged only when an update actually happens.
+
+use crate::road::Road;
+use crate::rsu::{RsuId, RsuLayout};
+use crate::VanetError;
+use serde::{Deserialize, Serialize};
+
+/// Pluggable MBS→RSU update-cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Every update costs the same.
+    Constant {
+        /// Cost per update.
+        cost: f64,
+    },
+    /// Cost grows linearly with the MBS→RSU distance (the MBS sits at the
+    /// road center): `base + per_km · distance_km`.
+    Distance {
+        /// Fixed per-update cost.
+        base: f64,
+        /// Additional cost per kilometer of MBS→RSU distance.
+        per_km: f64,
+    },
+    /// Congestion pricing: pushing `m` updates in the same slot costs
+    /// `base · (1 + surge · (m − 1))` *per update* — simultaneous pushes
+    /// contend for backhaul bandwidth.
+    Congestion {
+        /// Cost of a lone update.
+        base: f64,
+        /// Relative surcharge per concurrent update.
+        surge: f64,
+    },
+}
+
+impl Default for CostModel {
+    /// Constant unit cost.
+    fn default() -> Self {
+        CostModel::Constant { cost: 1.0 }
+    }
+}
+
+impl CostModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VanetError::BadParameter`] for negative or non-finite
+    /// parameters.
+    pub fn validate(&self) -> Result<(), VanetError> {
+        let ok = match *self {
+            CostModel::Constant { cost } => cost.is_finite() && cost >= 0.0,
+            CostModel::Distance { base, per_km } => {
+                base.is_finite() && base >= 0.0 && per_km.is_finite() && per_km >= 0.0
+            }
+            CostModel::Congestion { base, surge } => {
+                base.is_finite() && base >= 0.0 && surge.is_finite() && surge >= 0.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(VanetError::BadParameter {
+                what: "cost model parameters",
+                valid: ">= 0 and finite",
+            })
+        }
+    }
+
+    /// Cost of pushing one update to `rsu` while `concurrent_updates`
+    /// updates (including this one) are pushed in the same slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrent_updates == 0` (the update being priced counts).
+    pub fn update_cost(
+        &self,
+        road: &Road,
+        layout: &RsuLayout,
+        rsu: RsuId,
+        concurrent_updates: usize,
+    ) -> f64 {
+        assert!(
+            concurrent_updates >= 1,
+            "the priced update itself counts as concurrent"
+        );
+        match *self {
+            CostModel::Constant { cost } => cost,
+            CostModel::Distance { base, per_km } => {
+                let d_m = (layout.position_on(road, rsu) - road.center()).abs();
+                base + per_km * d_m / 1000.0
+            }
+            CostModel::Congestion { base, surge } => {
+                base * (1.0 + surge * (concurrent_updates as f64 - 1.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Road, RsuLayout) {
+        (
+            Road::new(1000.0, 10).unwrap(),
+            RsuLayout::new(10, 5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn constant_cost_ignores_everything() {
+        let (road, layout) = setup();
+        let m = CostModel::Constant { cost: 2.5 };
+        assert_eq!(m.update_cost(&road, &layout, RsuId(0), 1), 2.5);
+        assert_eq!(m.update_cost(&road, &layout, RsuId(4), 7), 2.5);
+    }
+
+    #[test]
+    fn distance_cost_grows_from_center() {
+        let (road, layout) = setup();
+        let m = CostModel::Distance {
+            base: 1.0,
+            per_km: 10.0,
+        };
+        // RSU 2 is centered on the road => cheapest; RSU 0/4 are far.
+        let c_center = m.update_cost(&road, &layout, RsuId(2), 1);
+        let c_edge = m.update_cost(&road, &layout, RsuId(0), 1);
+        assert!(c_edge > c_center);
+        // Symmetry of the two edge RSUs.
+        let c_other_edge = m.update_cost(&road, &layout, RsuId(4), 1);
+        assert!((c_edge - c_other_edge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_cost_scales_with_concurrency() {
+        let (road, layout) = setup();
+        let m = CostModel::Congestion {
+            base: 1.0,
+            surge: 0.5,
+        };
+        assert_eq!(m.update_cost(&road, &layout, RsuId(0), 1), 1.0);
+        assert_eq!(m.update_cost(&road, &layout, RsuId(0), 3), 2.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CostModel::Constant { cost: -1.0 }.validate().is_err());
+        assert!(CostModel::Distance {
+            base: 1.0,
+            per_km: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel::Congestion {
+            base: 1.0,
+            surge: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent")]
+    fn zero_concurrency_panics() {
+        let (road, layout) = setup();
+        let _ = CostModel::default().update_cost(&road, &layout, RsuId(0), 0);
+    }
+}

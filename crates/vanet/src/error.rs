@@ -1,0 +1,55 @@
+//! Error type for vehicular-network model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or stepping the network model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VanetError {
+    /// A parameter was outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable valid range.
+        valid: &'static str,
+    },
+    /// The requested layout is impossible (e.g. more RSUs than regions).
+    BadLayout {
+        /// Number of regions requested.
+        n_regions: usize,
+        /// Number of RSUs requested.
+        n_rsus: usize,
+    },
+}
+
+impl fmt::Display for VanetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VanetError::BadParameter { what, valid } => {
+                write!(f, "{what} out of range (expected {valid})")
+            }
+            VanetError::BadLayout { n_regions, n_rsus } => write!(
+                f,
+                "cannot cover {n_regions} regions with {n_rsus} RSUs (need 1 <= RSUs <= regions)"
+            ),
+        }
+    }
+}
+
+impl Error for VanetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = VanetError::BadLayout {
+            n_regions: 3,
+            n_rsus: 9,
+        };
+        assert!(e.to_string().contains("3 regions"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VanetError>();
+    }
+}

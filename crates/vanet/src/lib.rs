@@ -1,0 +1,59 @@
+//! # vanet — synthetic connected-vehicle network substrate
+//!
+//! The road/vehicle environment of *AoI-Aware Markov Decision Policies for
+//! Caching* (ICDCS 2022), built from scratch: the paper evaluates on
+//! randomized road traffic, so this crate provides a deterministic,
+//! seed-reproducible synthetic equivalent exposing the same knobs
+//! (§II-A of the paper):
+//!
+//! * [`Road`] — a straight one-way road divided into `L` regions, one
+//!   content per region,
+//! * [`RsuLayout`] — `N_R` road-side units covering contiguous blocks of
+//!   `L′` regions each (an exact partition),
+//! * [`Traffic`] / [`MobilityConfig`] — Bernoulli vehicle entries, constant
+//!   per-vehicle speeds, one-way motion, despawn at the road end,
+//! * [`RequestGenerator`] / [`Zipf`] — per-vehicle content requests,
+//!   Zipf-popular over the covering RSU's cached regions,
+//! * [`PopularityEstimator`] — the `p^k_h(t)` content-population term of
+//!   the paper's MDP state, estimated with exponential forgetting,
+//! * [`CostModel`] — constant / distance / congestion pricing for MBS→RSU
+//!   pushes (the paper's `C^k_h`),
+//! * [`Network`] — everything assembled behind one `step()` per slot.
+//!
+//! ## Example
+//!
+//! ```
+//! use vanet::{Network, NetworkConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut network = Network::new(NetworkConfig::default())?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! network.warm_up(50, &mut rng);
+//! let slot = network.step(&mut rng);
+//! println!("{} vehicles, {} requests", network.traffic().n_vehicles(), slot.requests.len());
+//! # Ok::<(), vanet::VanetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod network;
+mod popularity;
+mod request;
+mod road;
+mod rsu;
+mod trace;
+mod vehicle;
+
+pub use cost::CostModel;
+pub use error::VanetError;
+pub use network::{Network, NetworkConfig, NetworkSlot};
+pub use popularity::PopularityEstimator;
+pub use request::{Request, RequestGenerator, Zipf};
+pub use road::{RegionId, Road};
+pub use rsu::{RsuId, RsuLayout};
+pub use trace::RequestTrace;
+pub use vehicle::{MobilityConfig, MobilitySlot, Traffic, Vehicle, VehicleId};

@@ -1,0 +1,294 @@
+//! The assembled connected-vehicle network.
+
+use crate::cost::CostModel;
+use crate::popularity::PopularityEstimator;
+use crate::request::{Request, RequestGenerator};
+use crate::road::Road;
+use crate::rsu::{RsuId, RsuLayout};
+use crate::vehicle::{MobilityConfig, MobilitySlot, Traffic};
+use crate::VanetError;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full network scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Road length in meters.
+    pub road_length_m: f64,
+    /// Number of regions `L` (= number of contents).
+    pub n_regions: usize,
+    /// Number of RSUs `N_R`.
+    pub n_rsus: usize,
+    /// Vehicle entry/speed process.
+    pub mobility: MobilityConfig,
+    /// Per-vehicle per-slot request probability.
+    pub request_probability: f64,
+    /// Zipf exponent of the request popularity.
+    pub zipf_exponent: f64,
+    /// Popularity-estimator forgetting factor per slot.
+    pub popularity_decay: f64,
+    /// MBS→RSU update-cost model.
+    pub cost_model: CostModel,
+}
+
+impl Default for NetworkConfig {
+    /// The paper's Fig. 1a scale: 4 RSUs × 5 regions = 20 contents.
+    fn default() -> Self {
+        NetworkConfig {
+            road_length_m: 4000.0,
+            n_regions: 20,
+            n_rsus: 4,
+            mobility: MobilityConfig::default(),
+            request_probability: 0.4,
+            zipf_exponent: 0.9,
+            popularity_decay: 0.98,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Everything that happened in one network slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSlot {
+    /// Vehicle entries/exits.
+    pub mobility: MobilitySlot,
+    /// Content requests issued this slot.
+    pub requests: Vec<Request>,
+}
+
+/// The live network: road + RSU layout + traffic + request stream +
+/// per-RSU popularity estimates.
+///
+/// ```
+/// use vanet::{Network, NetworkConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut network = Network::new(NetworkConfig::default())?;
+/// let mut rng = StdRng::seed_from_u64(42);
+/// network.warm_up(30, &mut rng);
+/// let slot = network.step(&mut rng);
+/// // All requests target the RSU covering the requesting vehicle.
+/// for r in &slot.requests {
+///     assert!(network.layout().covers(r.rsu, r.region));
+/// }
+/// # Ok::<(), vanet::VanetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    config: NetworkConfig,
+    road: Road,
+    layout: RsuLayout,
+    traffic: Traffic,
+    generator: RequestGenerator,
+    popularity: Vec<PopularityEstimator>,
+}
+
+impl Network {
+    /// Builds the network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VanetError`] from validating the road, layout,
+    /// mobility, request generator or cost model.
+    pub fn new(config: NetworkConfig) -> Result<Self, VanetError> {
+        let road = Road::new(config.road_length_m, config.n_regions)?;
+        let layout = RsuLayout::new(config.n_regions, config.n_rsus)?;
+        let traffic = Traffic::new(road, config.mobility)?;
+        let generator = RequestGenerator::new(config.request_probability, config.zipf_exponent)?;
+        config.cost_model.validate()?;
+        let popularity = layout
+            .rsus()
+            .map(|k| {
+                let range = layout.coverage(k);
+                PopularityEstimator::new(
+                    range.end - range.start,
+                    range.start,
+                    config.popularity_decay,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Network {
+            config,
+            road,
+            layout,
+            traffic,
+            generator,
+            popularity,
+        })
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The road.
+    pub fn road(&self) -> &Road {
+        &self.road
+    }
+
+    /// The RSU coverage layout.
+    pub fn layout(&self) -> &RsuLayout {
+        &self.layout
+    }
+
+    /// The live traffic.
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// Current popularity estimate `p^k_h(t)` of RSU `k` over its coverage
+    /// block (local indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsu` is out of range.
+    pub fn popularity(&self, rsu: RsuId) -> Vec<f64> {
+        self.popularity[rsu.0].popularity()
+    }
+
+    /// Cost of pushing one update to `rsu` with `concurrent` simultaneous
+    /// pushes in the slot.
+    pub fn update_cost(&self, rsu: RsuId, concurrent: usize) -> f64 {
+        self.config
+            .cost_model
+            .update_cost(&self.road, &self.layout, rsu, concurrent)
+    }
+
+    /// Runs `slots` mobility-only slots to populate the road before an
+    /// experiment starts.
+    pub fn warm_up(&mut self, slots: usize, rng: &mut dyn RngCore) {
+        for _ in 0..slots {
+            self.traffic.step(rng);
+        }
+    }
+
+    /// Advances one slot: mobility, request generation, popularity update.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> NetworkSlot {
+        let mobility = self.traffic.step(rng);
+        let requests = self
+            .generator
+            .generate(self.traffic.vehicles(), &self.road, &self.layout, rng);
+        for r in &requests {
+            self.popularity[r.rsu.0].record(r.region);
+        }
+        for est in &mut self.popularity {
+            est.end_slot();
+        }
+        NetworkSlot { mobility, requests }
+    }
+
+    /// Per-RSU request counts of a slot report (indexed by RSU id).
+    pub fn requests_per_rsu(&self, slot: &NetworkSlot) -> Vec<usize> {
+        let mut counts = vec![0; self.layout.n_rsus()];
+        for r in &slot.requests {
+            counts[r.rsu.0] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network() -> Network {
+        Network::new(NetworkConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn default_config_matches_paper_scale() {
+        let n = network();
+        assert_eq!(n.layout().n_rsus(), 4);
+        assert_eq!(n.layout().n_regions(), 20);
+        assert_eq!(n.layout().regions_per_rsu(), 5);
+    }
+
+    #[test]
+    fn step_produces_consistent_requests() {
+        let mut n = network();
+        let mut rng = StdRng::seed_from_u64(1);
+        n.warm_up(50, &mut rng);
+        let mut total_requests = 0;
+        for _ in 0..100 {
+            let slot = n.step(&mut rng);
+            total_requests += slot.requests.len();
+            for r in &slot.requests {
+                assert!(n.layout().covers(r.rsu, r.region));
+            }
+            let counts = n.requests_per_rsu(&slot);
+            assert_eq!(counts.iter().sum::<usize>(), slot.requests.len());
+        }
+        assert!(total_requests > 0, "warm traffic must generate requests");
+    }
+
+    #[test]
+    fn popularity_stays_normalized() {
+        let mut n = network();
+        let mut rng = StdRng::seed_from_u64(2);
+        n.warm_up(50, &mut rng);
+        for _ in 0..50 {
+            n.step(&mut rng);
+        }
+        for k in n.layout().rsus() {
+            let p = n.popularity(k);
+            assert_eq!(p.len(), n.layout().coverage_len(k));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn update_cost_delegates_to_model() {
+        let cfg = NetworkConfig {
+            cost_model: CostModel::Congestion {
+                base: 2.0,
+                surge: 1.0,
+            },
+            ..NetworkConfig::default()
+        };
+        let n = Network::new(cfg).unwrap();
+        assert_eq!(n.update_cost(RsuId(0), 1), 2.0);
+        assert_eq!(n.update_cost(RsuId(0), 2), 4.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let cfg = NetworkConfig {
+            n_rsus: 0,
+            ..NetworkConfig::default()
+        };
+        assert!(Network::new(cfg).is_err());
+
+        let cfg = NetworkConfig {
+            request_probability: 2.0,
+            ..NetworkConfig::default()
+        };
+        assert!(Network::new(cfg).is_err());
+
+        let cfg = NetworkConfig {
+            cost_model: CostModel::Constant { cost: -3.0 },
+            ..NetworkConfig::default()
+        };
+        assert!(Network::new(cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut n = network();
+            let mut rng = StdRng::seed_from_u64(seed);
+            n.warm_up(20, &mut rng);
+            let mut log = Vec::new();
+            for _ in 0..30 {
+                let slot = n.step(&mut rng);
+                log.push(slot.requests.len());
+            }
+            log
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

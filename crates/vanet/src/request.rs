@@ -1,0 +1,329 @@
+//! Content request generation: Zipf popularity over an RSU's cached
+//! contents.
+
+use crate::road::RegionId;
+use crate::rsu::{RsuId, RsuLayout};
+use crate::vehicle::{Vehicle, VehicleId};
+use crate::VanetError;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// A Zipf distribution over `n` ranks with exponent `s`
+/// (`P(rank i) ∝ 1/(i+1)^s`).
+///
+/// Content popularity in edge-caching evaluations is conventionally
+/// Zipf-distributed; `s = 0` degenerates to uniform.
+///
+/// ```
+/// use vanet::Zipf;
+/// let z = Zipf::new(4, 1.0).unwrap();
+/// let pmf = z.pmf();
+/// assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(pmf[0] > pmf[3]); // rank 0 is the most popular
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    exponent: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n ≥ 1` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VanetError::BadParameter`] if `n == 0` or the exponent is
+    /// negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, VanetError> {
+        if n == 0 {
+            return Err(VanetError::BadParameter {
+                what: "n",
+                valid: ">= 1",
+            });
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(VanetError::BadParameter {
+                what: "exponent",
+                valid: ">= 0 and finite",
+            });
+        }
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Zipf { exponent, cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The probability mass function over ranks.
+    pub fn pmf(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cdf
+            .iter()
+            .map(|c| {
+                let p = c - prev;
+                prev = *c;
+                p
+            })
+            .collect()
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// One content request issued by a vehicle to the RSU covering it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Requesting vehicle.
+    pub vehicle: VehicleId,
+    /// RSU receiving the request (the one covering the vehicle's position).
+    pub rsu: RsuId,
+    /// Requested content's region.
+    pub region: RegionId,
+}
+
+/// Generates requests from the vehicles on the road.
+///
+/// Each slot, every vehicle requests a content with probability
+/// `request_probability`; the content is drawn Zipf-distributed over the
+/// covering RSU's cached regions, with ranks ordered by distance ahead of
+/// the vehicle (the region just ahead is the most popular — vehicles care
+/// about upcoming road conditions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestGenerator {
+    request_probability: f64,
+    zipf_exponent: f64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VanetError::BadParameter`] for a request probability
+    /// outside `[0, 1]` or a bad Zipf exponent.
+    pub fn new(request_probability: f64, zipf_exponent: f64) -> Result<Self, VanetError> {
+        if !(0.0..=1.0).contains(&request_probability) {
+            return Err(VanetError::BadParameter {
+                what: "request_probability",
+                valid: "[0, 1]",
+            });
+        }
+        if !zipf_exponent.is_finite() || zipf_exponent < 0.0 {
+            return Err(VanetError::BadParameter {
+                what: "zipf_exponent",
+                valid: ">= 0 and finite",
+            });
+        }
+        Ok(RequestGenerator {
+            request_probability,
+            zipf_exponent,
+        })
+    }
+
+    /// Per-vehicle per-slot request probability.
+    pub fn request_probability(&self) -> f64 {
+        self.request_probability
+    }
+
+    /// Generates this slot's requests for the given vehicles.
+    ///
+    /// Vehicles that are off the road (should not happen when driven by
+    /// [`Traffic`](crate::Traffic)) are skipped.
+    pub fn generate(
+        &self,
+        vehicles: &[Vehicle],
+        road: &crate::road::Road,
+        layout: &RsuLayout,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Request> {
+        let mut requests = Vec::new();
+        for v in vehicles {
+            if rng.gen::<f64>() >= self.request_probability {
+                continue;
+            }
+            let Some(region) = road.region_at(v.position_m) else {
+                continue;
+            };
+            let rsu = layout.covering_rsu(region);
+            let coverage = layout.coverage(rsu);
+            let n = coverage.end - coverage.start;
+            // Rank regions by distance ahead of the vehicle (wrapping within
+            // the coverage block): rank 0 = own region, rank 1 = next, ...
+            let zipf = Zipf::new(n, self.zipf_exponent).expect("validated at construction");
+            let rank = zipf.sample(rng);
+            let offset = region.0 - coverage.start;
+            let target = coverage.start + (offset + rank) % n;
+            requests.push(Request {
+                vehicle: v.id,
+                rsu,
+                region: RegionId(target),
+            });
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::Road;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        for s in [0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(6, s).unwrap();
+            let pmf = z.pmf();
+            assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            for w in pmf.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "pmf must be non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for p in z.pmf() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(5, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let pmf = z.pmf();
+        for (i, c) in counts.iter().enumerate() {
+            let freq = *c as f64 / n as f64;
+            assert!(
+                (freq - pmf[i]).abs() < 0.01,
+                "rank {i}: freq {freq} vs pmf {}",
+                pmf[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_validation() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(3, -1.0).is_err());
+        assert!(Zipf::new(3, f64::NAN).is_err());
+        let z = Zipf::new(3, 1.0).unwrap();
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        assert_eq!(z.exponent(), 1.0);
+    }
+
+    #[test]
+    fn requests_target_covering_rsu_and_covered_region() {
+        let road = Road::new(1000.0, 20).unwrap();
+        let layout = RsuLayout::new(20, 4).unwrap();
+        let generator = RequestGenerator::new(1.0, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let vehicles: Vec<Vehicle> = (0..50)
+            .map(|i| Vehicle {
+                id: VehicleId(i),
+                position_m: (i as f64) * 19.9,
+                speed_mps: 10.0,
+            })
+            .collect();
+        let requests = generator.generate(&vehicles, &road, &layout, &mut rng);
+        assert_eq!(requests.len(), 50);
+        for r in &requests {
+            assert!(layout.covers(r.rsu, r.region), "{r:?}");
+            // The RSU must be the one covering the vehicle's position.
+            let v = &vehicles[r.vehicle.0 as usize];
+            let vehicle_region = road.region_at(v.position_m).unwrap();
+            assert_eq!(layout.covering_rsu(vehicle_region), r.rsu);
+        }
+    }
+
+    #[test]
+    fn zero_probability_generates_nothing() {
+        let road = Road::new(100.0, 4).unwrap();
+        let layout = RsuLayout::new(4, 2).unwrap();
+        let generator = RequestGenerator::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let vehicles = [Vehicle {
+            id: VehicleId(0),
+            position_m: 10.0,
+            speed_mps: 5.0,
+        }];
+        assert!(generator
+            .generate(&vehicles, &road, &layout, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn own_region_is_most_requested() {
+        let road = Road::new(1000.0, 10).unwrap();
+        let layout = RsuLayout::new(10, 2).unwrap();
+        let generator = RequestGenerator::new(1.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // A single vehicle parked in region 2 (covered by RSU 0: 0..5).
+        let vehicles = [Vehicle {
+            id: VehicleId(0),
+            position_m: 250.0,
+            speed_mps: 0.0,
+        }];
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            for r in generator.generate(&vehicles, &road, &layout, &mut rng) {
+                *counts.entry(r.region.0).or_insert(0usize) += 1;
+            }
+        }
+        let own = counts.get(&2).copied().unwrap_or(0);
+        for (region, c) in &counts {
+            if *region != 2 {
+                assert!(own >= *c, "own region must dominate: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_validation() {
+        assert!(RequestGenerator::new(1.5, 1.0).is_err());
+        assert!(RequestGenerator::new(0.5, -0.5).is_err());
+        let g = RequestGenerator::new(0.5, 1.0).unwrap();
+        assert_eq!(g.request_probability(), 0.5);
+    }
+}

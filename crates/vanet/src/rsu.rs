@@ -1,0 +1,218 @@
+//! Road-side units and their coverage layout.
+
+use crate::road::{RegionId, Road};
+use crate::VanetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Index of a road-side unit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct RsuId(pub usize);
+
+impl fmt::Display for RsuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rsu#{}", self.0)
+    }
+}
+
+/// Assignment of contiguous region blocks to RSUs.
+///
+/// The paper deploys RSUs "at specific distance intervals", each covering
+/// `L′` regions; every region is covered by exactly one RSU and each RSU
+/// caches exactly the contents of its covered regions.
+///
+/// When `n_regions` is not divisible by `n_rsus`, the first
+/// `n_regions mod n_rsus` RSUs cover one extra region, so the layout is
+/// always an exact partition.
+///
+/// ```
+/// use vanet::{RsuLayout, RegionId, RsuId};
+/// let layout = RsuLayout::new(20, 4).unwrap();
+/// assert_eq!(layout.regions_per_rsu(), 5);
+/// assert_eq!(layout.covering_rsu(RegionId(7)), RsuId(1));
+/// assert_eq!(layout.coverage(RsuId(1)), 5..10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RsuLayout {
+    n_regions: usize,
+    n_rsus: usize,
+    /// `starts[k]..starts[k+1]` is RSU k's coverage.
+    starts: Vec<usize>,
+}
+
+impl RsuLayout {
+    /// Partitions `n_regions` among `n_rsus` contiguous blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VanetError::BadLayout`] unless `1 ≤ n_rsus ≤ n_regions`.
+    pub fn new(n_regions: usize, n_rsus: usize) -> Result<Self, VanetError> {
+        if n_rsus == 0 || n_rsus > n_regions {
+            return Err(VanetError::BadLayout { n_regions, n_rsus });
+        }
+        let base = n_regions / n_rsus;
+        let extra = n_regions % n_rsus;
+        let mut starts = Vec::with_capacity(n_rsus + 1);
+        let mut pos = 0;
+        for k in 0..n_rsus {
+            starts.push(pos);
+            pos += base + usize::from(k < extra);
+        }
+        starts.push(pos);
+        debug_assert_eq!(pos, n_regions);
+        Ok(RsuLayout {
+            n_regions,
+            n_rsus,
+            starts,
+        })
+    }
+
+    /// Number of regions `L`.
+    pub fn n_regions(&self) -> usize {
+        self.n_regions
+    }
+
+    /// Number of RSUs `N_R`.
+    pub fn n_rsus(&self) -> usize {
+        self.n_rsus
+    }
+
+    /// Nominal regions per RSU (`L′`, the base block size).
+    pub fn regions_per_rsu(&self) -> usize {
+        self.n_regions / self.n_rsus
+    }
+
+    /// The contiguous region range RSU `k` covers (and caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsu` is out of range.
+    pub fn coverage(&self, rsu: RsuId) -> Range<usize> {
+        assert!(rsu.0 < self.n_rsus, "rsu out of range");
+        self.starts[rsu.0]..self.starts[rsu.0 + 1]
+    }
+
+    /// Number of regions RSU `k` covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsu` is out of range.
+    pub fn coverage_len(&self, rsu: RsuId) -> usize {
+        let r = self.coverage(rsu);
+        r.end - r.start
+    }
+
+    /// The RSU covering a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn covering_rsu(&self, region: RegionId) -> RsuId {
+        assert!(region.0 < self.n_regions, "region out of range");
+        // starts is sorted; find the last start <= region.
+        let k = match self.starts.binary_search(&region.0) {
+            Ok(k) => k.min(self.n_rsus - 1),
+            Err(k) => k - 1,
+        };
+        RsuId(k)
+    }
+
+    /// Whether RSU `k` covers (and therefore caches) the content of
+    /// `region`.
+    pub fn covers(&self, rsu: RsuId, region: RegionId) -> bool {
+        rsu.0 < self.n_rsus && self.coverage(rsu).contains(&region.0)
+    }
+
+    /// Iterates all RSU ids.
+    pub fn rsus(&self) -> impl Iterator<Item = RsuId> {
+        (0..self.n_rsus).map(RsuId)
+    }
+
+    /// Physical position of RSU `k` on a road: the center of its coverage
+    /// block (used by distance-based cost models).
+    pub fn position_on(&self, road: &Road, rsu: RsuId) -> f64 {
+        let range = self.coverage(rsu);
+        let (lo, _) = road.region_bounds(RegionId(range.start));
+        let (_, hi) = road.region_bounds(RegionId(range.end - 1));
+        (lo + hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let layout = RsuLayout::new(20, 5).unwrap();
+        assert_eq!(layout.regions_per_rsu(), 4);
+        for k in layout.rsus() {
+            assert_eq!(layout.coverage_len(k), 4);
+        }
+    }
+
+    #[test]
+    fn uneven_partition_is_exact() {
+        let layout = RsuLayout::new(10, 3).unwrap();
+        let total: usize = layout.rsus().map(|k| layout.coverage_len(k)).sum();
+        assert_eq!(total, 10);
+        // First RSU takes the remainder.
+        assert_eq!(layout.coverage(RsuId(0)), 0..4);
+        assert_eq!(layout.coverage(RsuId(1)), 4..7);
+        assert_eq!(layout.coverage(RsuId(2)), 7..10);
+    }
+
+    #[test]
+    fn covering_rsu_is_inverse_of_coverage() {
+        let layout = RsuLayout::new(17, 4).unwrap();
+        for k in layout.rsus() {
+            for r in layout.coverage(k) {
+                assert_eq!(layout.covering_rsu(RegionId(r)), k);
+                assert!(layout.covers(k, RegionId(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn covers_is_exclusive() {
+        let layout = RsuLayout::new(8, 2).unwrap();
+        assert!(layout.covers(RsuId(0), RegionId(3)));
+        assert!(!layout.covers(RsuId(1), RegionId(3)));
+    }
+
+    #[test]
+    fn rejects_bad_layouts() {
+        assert!(RsuLayout::new(4, 0).is_err());
+        assert!(RsuLayout::new(4, 5).is_err());
+        assert!(RsuLayout::new(4, 4).is_ok());
+    }
+
+    #[test]
+    fn positions_are_within_road() {
+        let road = Road::new(1000.0, 10).unwrap();
+        let layout = RsuLayout::new(10, 3).unwrap();
+        for k in layout.rsus() {
+            let p = layout.position_on(&road, k);
+            assert!(p > 0.0 && p < 1000.0);
+        }
+        // RSU positions must be increasing along the road.
+        let ps: Vec<f64> = layout.rsus().map(|k| layout.position_on(&road, k)).collect();
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RsuId(2).to_string(), "rsu#2");
+    }
+
+    #[test]
+    #[should_panic(expected = "rsu out of range")]
+    fn coverage_out_of_range_panics() {
+        let layout = RsuLayout::new(4, 2).unwrap();
+        let _ = layout.coverage(RsuId(2));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the vehicular-network substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vanet::{
+    MobilityConfig, Network, NetworkConfig, RegionId, Road, RsuLayout, Traffic, Zipf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rsu_layout_is_exact_partition(n_regions in 1usize..200, n_rsus in 1usize..50) {
+        prop_assume!(n_rsus <= n_regions);
+        let layout = RsuLayout::new(n_regions, n_rsus).unwrap();
+        // Every region covered by exactly one RSU.
+        let mut covered = vec![0usize; n_regions];
+        for k in layout.rsus() {
+            for r in layout.coverage(k) {
+                covered[r] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "double/no coverage: {covered:?}");
+        // covering_rsu is consistent with coverage.
+        for r in 0..n_regions {
+            let k = layout.covering_rsu(RegionId(r));
+            prop_assert!(layout.coverage(k).contains(&r));
+        }
+        // Block sizes differ by at most one.
+        let sizes: Vec<usize> = layout.rsus().map(|k| layout.coverage_len(k)).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced layout: {sizes:?}");
+    }
+
+    #[test]
+    fn region_lookup_matches_bounds(length in 10.0f64..10_000.0, n in 1usize..100, frac in 0.0f64..1.0) {
+        let road = Road::new(length, n).unwrap();
+        let pos = frac * length * 0.999_999;
+        let region = road.region_at(pos).unwrap();
+        let (lo, hi) = road.region_bounds(region);
+        prop_assert!(pos >= lo - 1e-9 && pos < hi + 1e-9, "{pos} not in [{lo}, {hi})");
+    }
+
+    #[test]
+    fn traffic_invariants_hold(seed in 0u64..500, entry_p in 0.0f64..1.0, slots in 1usize..300) {
+        let road = Road::new(800.0, 8).unwrap();
+        let cfg = MobilityConfig { entry_probability: entry_p, speed_min: 5.0, speed_max: 25.0 };
+        let mut traffic = Traffic::new(road, cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..slots {
+            traffic.step(&mut rng);
+            for v in traffic.vehicles() {
+                prop_assert!(v.position_m >= 0.0 && v.position_m < 800.0);
+                prop_assert!(v.speed_mps >= 5.0 && v.speed_mps <= 25.0);
+            }
+        }
+        prop_assert_eq!(
+            traffic.total_entered(),
+            traffic.total_exited() + traffic.n_vehicles() as u64
+        );
+    }
+
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..64, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let pmf = z.pmf();
+        prop_assert_eq!(pmf.len(), n);
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for w in pmf.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..32, s in 0.0f64..2.5, seed in 0u64..100) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn network_requests_always_hit_covering_rsu(seed in 0u64..200) {
+        let mut network = Network::new(NetworkConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        network.warm_up(40, &mut rng);
+        for _ in 0..40 {
+            let slot = network.step(&mut rng);
+            for r in &slot.requests {
+                prop_assert!(network.layout().covers(r.rsu, r.region));
+            }
+        }
+        for k in network.layout().rsus() {
+            let p = network.popularity(k);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|v| *v > 0.0));
+        }
+    }
+}

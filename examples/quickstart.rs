@@ -1,0 +1,73 @@
+//! Quickstart: solve one RSU's cache-management MDP, inspect the policy,
+//! and run both stages of the paper's scheme on small instances.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aoi_mdp_caching::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. One RSU, three contents: build and solve the exact MDP.
+    // ------------------------------------------------------------------
+    let spec = RsuSpec {
+        max_ages: vec![
+            Age::new(4).expect("non-zero"),
+            Age::new(5).expect("non-zero"),
+            Age::new(6).expect("non-zero"),
+        ],
+        popularity: vec![0.5, 0.3, 0.2],
+        age_cap: Age::new(8).expect("non-zero"),
+        weight: 1.0,
+        update_cost: 0.3,
+    };
+    let mdp = spec.mdp()?;
+    let outcome = ValueIteration::new(0.95).solve(&mdp)?;
+    println!(
+        "solved the per-RSU cache MDP: {} states, converged in {} sweeps",
+        mdp.n_states(),
+        outcome.sweeps
+    );
+
+    // What does the optimal policy do when everything is maximally stale?
+    let stale = AgeVector::from_ages(vec![Age::new(8).expect("non-zero"); 3], spec.age_cap)?;
+    let action = outcome.policy.action(mdp.encode_state(&stale, 0));
+    match mdp.decode_action(action) {
+        Some(h) => println!("all stale -> refresh local content {h} first"),
+        None => println!("all stale -> no update (cost too high)"),
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Stage 1 end to end: a small Fig. 1a-style experiment.
+    // ------------------------------------------------------------------
+    let scenario = CacheScenario {
+        n_rsus: 2,
+        regions_per_rsu: 3,
+        age_cap: 6,
+        max_age_min: 3,
+        max_age_max: 5,
+        horizon: 500,
+        ..CacheScenario::default()
+    };
+    let sim = CacheSimulation::new(scenario)?;
+    let report = sim.run(CachePolicyKind::ValueIteration { gamma: 0.95 })?;
+    println!(
+        "stage 1 [{}]: cumulative reward {:.1}, {:.2} updates/slot, violation rate {:.3}",
+        report.policy,
+        report.final_cumulative_reward(),
+        report.updates_per_slot(),
+        report.violation_rate()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Stage 2 end to end: the Fig. 1b service comparison.
+    // ------------------------------------------------------------------
+    for r in compare_service(&fig1b_scenario(), &fig1b_policies())? {
+        println!(
+            "stage 2 [{:>12}]: mean queue {:>7.2}, mean cost {:.3}, stability {:?}",
+            r.policy, r.mean_queue, r.mean_cost, r.stability
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Service control deep-dive: how the Lyapunov tradeoff coefficient `V`
+//! moves an RSU along the cost/latency curve (the `O(1/V)` cost gap vs the
+//! `O(V)` queue growth), and what the paper's Eq. 5 rule does slot by slot.
+//!
+//! ```sh
+//! cargo run --release --example service_control
+//! ```
+
+use aoi_mdp_caching::prelude::*;
+use lyapunov::analysis::{has_v_tradeoff_signature, TradeoffPoint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = fig1b_scenario();
+    scenario.horizon = 4000;
+
+    // ------------------------------------------------------------------
+    // Sweep V and trace the tradeoff curve.
+    // ------------------------------------------------------------------
+    println!("{:>8} {:>12} {:>12}", "V", "mean cost", "mean queue");
+    let mut points = Vec::new();
+    for v in [1.0, 4.0, 16.0, 64.0, 256.0] {
+        let report = run_service(&scenario, ServicePolicyKind::Lyapunov { v })?;
+        println!("{v:>8.0} {:>12.4} {:>12.2}", report.mean_cost, report.mean_queue);
+        points.push(TradeoffPoint {
+            v,
+            mean_cost: report.mean_cost,
+            mean_backlog: report.mean_queue,
+        });
+    }
+    println!(
+        "O(1/V) cost / O(V) queue signature holds: {}",
+        has_v_tradeoff_signature(&points, 0.05)
+    );
+
+    // ------------------------------------------------------------------
+    // Slot-by-slot: watch the threshold behaviour of Eq. 5.
+    // ------------------------------------------------------------------
+    let dpp = DriftPlusPenalty::new(20.0)?;
+    let menu = [
+        DecisionOption::new(0.0, 0.0), // idle
+        DecisionOption::new(0.5, 1.0), // low rate
+        DecisionOption::new(2.0, 3.0), // high rate
+    ];
+    println!("\nEq. 5 decisions as the backlog grows (V = 20):");
+    for q in [0.0, 5.0, 10.0, 15.0, 25.0, 60.0] {
+        let chosen = dpp.decide(q, &menu)?;
+        println!(
+            "  Q = {q:>5.1} -> level {chosen} (cost {:.1}, serves {:.1})",
+            menu[chosen].cost, menu[chosen].service
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The Fig. 1b comparison as a terminal plot.
+    // ------------------------------------------------------------------
+    let mut fig = fig1b_scenario();
+    fig.horizon = 1000;
+    let reports = compare_service(&fig, &fig1b_policies())?;
+    let mut plot = simkit::plot::AsciiPlot::new("UV latency Q[t] (Fig. 1b)", 72, 14)
+        .y_label("queue length");
+    for r in &reports {
+        let named = rename(r.queue.downsample(72), &r.policy);
+        plot = plot.series(&named);
+    }
+    println!("\n{}", plot.render());
+    Ok(())
+}
+
+/// Rebuilds a series under a new name (TimeSeries names are immutable).
+fn rename(series: TimeSeries, name: &str) -> TimeSeries {
+    let mut out = TimeSeries::with_capacity(name, series.len());
+    for p in series.iter() {
+        out.push(p.slot, p.value);
+    }
+    out
+}

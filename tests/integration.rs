@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the public API exercised end to end the
+//! way a downstream user would.
+
+use aoi_mdp_caching::prelude::*;
+
+fn small_cache_scenario(seed: u64) -> CacheScenario {
+    CacheScenario {
+        n_rsus: 2,
+        regions_per_rsu: 3,
+        age_cap: 6,
+        max_age_min: 3,
+        max_age_max: 5,
+        horizon: 400,
+        seed,
+        ..CacheScenario::default()
+    }
+}
+
+#[test]
+fn full_stage1_pipeline_via_prelude() {
+    let sim = CacheSimulation::new(small_cache_scenario(1)).expect("valid scenario");
+    let report = sim
+        .run(CachePolicyKind::ValueIteration { gamma: 0.95 })
+        .expect("solver runs");
+    assert_eq!(report.reward.len(), 400);
+    assert!(report.final_cumulative_reward() > 0.0);
+    assert!(report.updates > 0);
+}
+
+#[test]
+fn stage1_policies_share_the_same_world() {
+    // Identical catalog and initial ages across runs: the never policy's
+    // first-slot AoI must match any other policy's pre-update AoI.
+    let sim = CacheSimulation::new(small_cache_scenario(2)).expect("valid scenario");
+    let never = sim.run(CachePolicyKind::Never).expect("runs");
+    let myopic = sim.run(CachePolicyKind::Myopic).expect("runs");
+    // Catalog/popularity identical => same specs; reward curves differ.
+    assert_ne!(
+        never.final_cumulative_reward(),
+        myopic.final_cumulative_reward()
+    );
+    assert_eq!(never.content_slots, myopic.content_slots);
+}
+
+#[test]
+fn exact_solvers_agree_through_the_public_api() {
+    let sim = CacheSimulation::new(small_cache_scenario(3)).expect("valid scenario");
+    let vi = sim
+        .run(CachePolicyKind::ValueIteration { gamma: 0.9 })
+        .expect("runs");
+    let pi = sim
+        .run(CachePolicyKind::PolicyIteration { gamma: 0.9 })
+        .expect("runs");
+    assert!((vi.final_cumulative_reward() - pi.final_cumulative_reward()).abs() < 1e-9);
+    assert_eq!(vi.updates, pi.updates);
+}
+
+#[test]
+fn q_learning_approaches_exact_solution() {
+    let sim = CacheSimulation::new(small_cache_scenario(4)).expect("valid scenario");
+    let vi = sim
+        .run(CachePolicyKind::ValueIteration { gamma: 0.9 })
+        .expect("runs");
+    let ql = sim
+        .run(CachePolicyKind::QLearning {
+            gamma: 0.9,
+            steps: 150_000,
+        })
+        .expect("runs");
+    let gap = (vi.final_cumulative_reward() - ql.final_cumulative_reward()).abs();
+    assert!(
+        gap / vi.final_cumulative_reward() < 0.1,
+        "QL within 10% of VI (gap {gap})"
+    );
+}
+
+#[test]
+fn stage2_pipeline_and_determinism() {
+    let scenario = fig1b_scenario();
+    let a = run_service(&scenario, ServicePolicyKind::Lyapunov { v: 20.0 }).expect("runs");
+    let b = run_service(&scenario, ServicePolicyKind::Lyapunov { v: 20.0 }).expect("runs");
+    assert_eq!(a.queue, b.queue);
+    assert_eq!(a.mean_cost, b.mean_cost);
+}
+
+#[test]
+fn joint_pipeline_runs_on_network_substrate() {
+    let mut scenario = joint_scenario();
+    scenario.network.n_regions = 8;
+    scenario.network.n_rsus = 2;
+    scenario.network.road_length_m = 1600.0;
+    scenario.horizon = 300;
+    let report = run_joint(&scenario).expect("runs");
+    assert_eq!(report.queues.len(), 2);
+    assert!(report.total_requests > 0);
+    assert!(report.freshness_rate() > 0.0);
+}
+
+#[test]
+fn presets_match_paper_setup() {
+    let fig1a = fig1a_scenario();
+    assert_eq!(fig1a.n_contents(), 20, "paper: 20 contents");
+    assert_eq!(fig1a.horizon, 1000, "paper: 1000 iterations");
+    let fig1b = fig1b_scenario();
+    assert_eq!(fig1b.horizon, 1000);
+    assert_eq!(fig1b_policies().len(), 3, "paper: proposed + two baselines");
+}
+
+#[test]
+fn custom_policy_through_trait_object() {
+    // A downstream user can plug a hand-written policy into the simulator.
+    struct AlwaysFirst;
+    impl CacheUpdatePolicy for AlwaysFirst {
+        fn name(&self) -> &str {
+            "always-first"
+        }
+        fn decide(
+            &mut self,
+            _ctx: &aoi_mdp_caching::core::CacheDecisionContext<'_>,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Option<usize> {
+            Some(0)
+        }
+    }
+    let sim = CacheSimulation::new(small_cache_scenario(5)).expect("valid scenario");
+    let policies: Vec<Box<dyn CacheUpdatePolicy>> =
+        vec![Box::new(AlwaysFirst), Box::new(AlwaysFirst)];
+    let report = sim
+        .run_with(policies, "always-first".to_string())
+        .expect("runs");
+    assert_eq!(report.updates, 2 * 400);
+    // Content 0 of every RSU is pinned fresh.
+    for k in 0..2 {
+        assert!(report.aoi_trace(k, 0).max().unwrap() <= 6.0);
+        assert_eq!(report.aoi_trace(k, 0).values().skip(1).fold(f64::MIN, f64::max), 1.0);
+    }
+}
+
+#[test]
+fn recorded_vanet_trace_drives_stage2() {
+    // Record a request trace on the road substrate, then feed one RSU's
+    // arrival stream into the stage-2 queue simulator — the glue a user
+    // needs to study service control under realistic (bursty, mobility-
+    // driven) arrivals instead of Poisson.
+    use rand::SeedableRng;
+    let mut network = Network::new(NetworkConfig::default()).expect("valid config");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    network.warm_up(40, &mut rng);
+    let trace = vanet::RequestTrace::record(&mut network, 600, &mut rng);
+    let arrivals = trace.arrivals_for(vanet::RsuId(0));
+    let mean_arrival = arrivals.iter().sum::<f64>() / arrivals.len() as f64;
+    assert!(mean_arrival > 0.5, "warm road must generate load");
+
+    let scenario = ServiceScenario {
+        external_arrivals: Some(arrivals),
+        horizon: 600,
+        // Scale the menu to the trace's load so stability is feasible.
+        levels: vec![
+            ServiceLevel::new(0.0, 0.0),
+            ServiceLevel::new(1.0, mean_arrival.ceil() * 2.0),
+        ],
+        ..ServiceScenario::default()
+    };
+    let lyap = run_service(&scenario, ServicePolicyKind::Lyapunov { v: 10.0 }).expect("runs");
+    let greedy = run_service(&scenario, ServicePolicyKind::CostGreedy).expect("runs");
+    assert!(lyap.mean_queue < greedy.mean_queue);
+    assert_eq!(lyap.queue.len(), 600);
+}
+
+#[test]
+fn eq4_constraint_controller_via_public_api() {
+    use aoi_mdp_caching::core::{run_freshness_service, FreshnessScenario, SourcingMode};
+    let scenario = FreshnessScenario {
+        horizon: 3000,
+        ..FreshnessScenario::default()
+    };
+    let adaptive = run_freshness_service(&scenario, SourcingMode::Adaptive).expect("runs");
+    let oblivious = run_freshness_service(&scenario, SourcingMode::CacheOnly).expect("runs");
+    assert!(adaptive.constraint_met);
+    assert!(!oblivious.constraint_met);
+    assert!(adaptive.mean_served_age < oblivious.mean_served_age);
+}
+
+#[test]
+fn seeds_fan_out_consistently_across_crates() {
+    // simkit's SeedSequence drives vanet + core reproducibly.
+    let mut s1 = SeedSequence::new(99);
+    let mut s2 = SeedSequence::new(99);
+    let mut n1 = Network::new(NetworkConfig::default()).expect("valid config");
+    let mut n2 = Network::new(NetworkConfig::default()).expect("valid config");
+    let mut r1 = s1.rng("net");
+    let mut r2 = s2.rng("net");
+    for _ in 0..50 {
+        let a = n1.step(&mut r1);
+        let b = n2.step(&mut r2);
+        assert_eq!(a.requests.len(), b.requests.len());
+    }
+}
