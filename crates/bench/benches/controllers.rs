@@ -40,5 +40,10 @@ fn bench_queue_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dpp_decide, bench_controller_step, bench_queue_step);
+criterion_group!(
+    benches,
+    bench_dpp_decide,
+    bench_controller_step,
+    bench_queue_step
+);
 criterion_main!(benches);

@@ -48,7 +48,9 @@ fn bench_fig1b(c: &mut Criterion) {
     };
     group.throughput(Throughput::Elements(3 * scenario.horizon as u64));
     group.bench_function("three_policies_1000_slots", |b| {
-        b.iter(|| std::hint::black_box(compare_service(&scenario, &fig1b_policies()).expect("runs")))
+        b.iter(|| {
+            std::hint::black_box(compare_service(&scenario, &fig1b_policies()).expect("runs"))
+        })
     });
     group.finish();
 }

@@ -1,16 +1,16 @@
-//! Criterion benches: MDP solver scaling on the per-RSU cache MDP.
+//! Criterion benches: MDP solver scaling on the per-RSU cache MDP, and the
+//! compiled-CSR-kernel vs trait-callback comparison tracked by the BENCH
+//! trajectory.
 
 use aoi_cache::{Age, RsuSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdp::solver::{QLearning, ValueIteration};
-use mdp::{FiniteMdp, ProductSpace};
+use mdp::solver::{PolicyIteration, QLearning, ValueIteration};
+use mdp::{CompiledMdp, FiniteMdp, ProductSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn spec(n_contents: usize, cap: u32) -> RsuSpec {
-    let popularity: Vec<f64> = (0..n_contents)
-        .map(|i| 1.0 / (i + 1) as f64)
-        .collect();
+    let popularity: Vec<f64> = (0..n_contents).map(|i| 1.0 / (i + 1) as f64).collect();
     let total: f64 = popularity.iter().sum();
     RsuSpec {
         max_ages: (0..n_contents)
@@ -41,6 +41,59 @@ fn bench_value_iteration(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+}
+
+/// The headline comparison: value iteration through the trait callback
+/// (re-deriving every transition row per sweep) against the compiled CSR
+/// kernel, at a small and a large per-RSU state space. `compile+solve`
+/// includes the one-off compilation; `solve_compiled` measures pure sweep
+/// throughput on a prebuilt kernel (the steady state for simulators, which
+/// compile each RSU once).
+fn bench_compiled_vs_callback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled_vs_callback");
+    group.sample_size(10);
+    // (label, contents, age cap): 216 states vs 4096 states.
+    for (label, n, cap) in [("small_216", 3usize, 6u32), ("large_4096", 4, 8)] {
+        let s = spec(n, cap);
+        let mdp = s.mdp().expect("valid spec");
+        let kernel = mdp.compile().expect("compiles");
+        let vi = ValueIteration::new(0.95).tolerance(1e-9);
+        group.bench_with_input(BenchmarkId::new("callback", label), &mdp, |b, mdp| {
+            b.iter(|| vi.solve_callback(mdp).expect("solves"))
+        });
+        group.bench_with_input(BenchmarkId::new("compile+solve", label), &mdp, |b, mdp| {
+            b.iter(|| vi.solve(mdp).expect("solves"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("solve_compiled", label),
+            &kernel,
+            |b, kernel| b.iter(|| vi.solve_compiled(kernel).expect("solves")),
+        );
+        let pi = PolicyIteration::new(0.95);
+        group.bench_with_input(BenchmarkId::new("pi_callback", label), &mdp, |b, mdp| {
+            b.iter(|| pi.solve_callback(mdp).expect("solves"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pi_solve_compiled", label),
+            &kernel,
+            |b, kernel| b.iter(|| pi.solve_compiled(kernel).expect("solves")),
+        );
+    }
+    group.finish();
+}
+
+/// One-off cost of compiling a model into the CSR kernel (the price paid to
+/// unlock the fast sweeps above).
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_mdp");
+    group.sample_size(10);
+    for (label, n, cap) in [("small_216", 3usize, 6u32), ("large_4096", 4, 8)] {
+        let mdp = spec(n, cap).mdp().expect("valid spec");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mdp, |b, mdp| {
+            b.iter(|| CompiledMdp::compile(mdp).expect("compiles"))
+        });
     }
     group.finish();
 }
@@ -92,6 +145,8 @@ fn bench_transition_row(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_value_iteration,
+    bench_compiled_vs_callback,
+    bench_compile,
     bench_q_learning,
     bench_state_encoding,
     bench_transition_row

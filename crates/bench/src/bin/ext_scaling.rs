@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt_f64(elapsed),
                 fmt_f64(report.final_cumulative_reward()),
             ]);
-            eprintln!("{per_rsu} contents, {states} states, {}: {elapsed:.2}s", report.policy);
+            eprintln!(
+                "{per_rsu} contents, {states} states, {}: {elapsed:.2}s",
+                report.policy
+            );
         }
     }
     println!("{}", table.render());

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("content {c2} (Amax={})", spec.max_ages[c2].get()),
     );
     let plot = AsciiPlot::new(
-        format!("Fig. 1a (top): AoI of two contents of RSU 1, slots {warmup}..{}", warmup + window),
+        format!(
+            "Fig. 1a (top): AoI of two contents of RSU 1, slots {warmup}..{}",
+            warmup + window
+        ),
         72,
         12,
     )
@@ -78,10 +81,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut summary = Table::new(["metric", "value"]);
     summary
         .row(["policy", report.policy.as_str()])
-        .row(["final cumulative reward", &fmt_f64(report.final_cumulative_reward())])
+        .row([
+            "final cumulative reward",
+            &fmt_f64(report.final_cumulative_reward()),
+        ])
         .row(["updates per slot", &fmt_f64(report.updates_per_slot())])
         .row(["mean AoI / Amax", &fmt_f64(report.mean_aoi_ratio)])
-        .row(["violation rate (all 20 contents)", &fmt_f64(report.violation_rate())])
+        .row([
+            "violation rate (all 20 contents)",
+            &fmt_f64(report.violation_rate()),
+        ])
         .row([
             "selected contents max AoI",
             &fmt_f64(
@@ -98,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("csv: slot,aoi_content_{c1},aoi_content_{c2},cumulative_reward");
     let t1 = report.aoi_trace(rsu, c1);
     let t2 = report.aoi_trace(rsu, c2);
-    for ((p1, p2), pr) in t1.iter().zip(t2.iter()).zip(report.cumulative_reward.iter()) {
+    for ((p1, p2), pr) in t1
+        .iter()
+        .zip(t2.iter())
+        .zip(report.cumulative_reward.iter())
+    {
         if p1.slot.index() % 25 == 0 {
             println!(
                 "csv: {},{},{},{:.2}",

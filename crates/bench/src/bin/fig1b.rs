@@ -8,8 +8,8 @@
 //!
 //! All three policies face the identical Poisson arrival trace.
 
-use aoi_cache::presets::{fig1b_policies, fig1b_scenario};
 use aoi_cache::compare_service;
+use aoi_cache::presets::{fig1b_policies, fig1b_scenario};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let reports = compare_service(&scenario, &fig1b_policies())?;
 
-    let mut plot =
-        AsciiPlot::new("Fig. 1b: UV latency Q[t]", 72, 14).y_label("queue length");
+    let mut plot = AsciiPlot::new("Fig. 1b: UV latency Q[t]", 72, 14).y_label("queue length");
     for r in &reports {
         let named = rename(r.queue.downsample(72), r.policy.clone());
         plot = plot.series(&named);
@@ -53,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", table.render());
 
-    println!("csv: slot,{}", reports.iter().map(|r| r.policy.clone()).collect::<Vec<_>>().join(","));
+    println!(
+        "csv: slot,{}",
+        reports
+            .iter()
+            .map(|r| r.policy.clone())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for i in (0..scenario.horizon).step_by(25) {
         let row: Vec<String> = reports
             .iter()

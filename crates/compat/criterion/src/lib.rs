@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset of the criterion API used by this workspace's
+//! benches: `Criterion::benchmark_group` / `bench_function`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop (median-free mean over
+//! an adaptive iteration count) — adequate for the relative comparisons the
+//! BENCH trajectory tracks, with none of criterion's statistics. Passing
+//! `--test` (as `cargo bench -- --test` does) runs every benchmark body
+//! exactly once, which keeps CI smoke runs fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (`--test` selects
+    /// run-once smoke mode; all other harness flags are ignored).
+    pub fn configure_from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            ..Criterion::default()
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
+        let report = run_benchmark(self.test_mode, self.sample_size, &mut f);
+        print_report(&name.to_string(), &report, None);
+    }
+
+    /// Prints the closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion-compat: all benchmarks executed once (--test mode)");
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares work-per-iteration so rates can be reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_benchmark(self.criterion.test_mode, samples, &mut f);
+        print_report(
+            &format!("{}/{}", self.name, id),
+            &report,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a bare parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f` (or runs it once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.mean = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: grow the batch until one batch costs >= 2 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: `samples` batches, report the mean per iteration.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+struct Report {
+    mean: Duration,
+    iters: u64,
+    test_mode: bool,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(test_mode: bool, samples: usize, f: &mut F) -> Report {
+    let mut bencher = Bencher {
+        test_mode,
+        samples,
+        mean: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    Report {
+        mean: bencher.mean,
+        iters: bencher.iters,
+        test_mode,
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<&Throughput>) {
+    if report.test_mode {
+        println!("test {name} ... ok (ran once)");
+        return;
+    }
+    let ns = report.mean.as_nanos();
+    let time = if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            format!("  ({:.0} elem/s)", *n as f64 / report.mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            format!("  ({:.0} B/s)", *n as f64 / report.mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<48} time: {time:>12}/iter over {} iters{rate}",
+        report.iters
+    );
+}
+
+/// Groups benchmark functions under one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0;
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 5,
+        };
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_chain_and_finish() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 5,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn measurement_mode_reports_nonzero_time() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 2,
+        };
+        let mut group = c.benchmark_group("m");
+        group.sample_size(2).bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads implemented
+//! over `std::thread::scope`, exposing crossbeam's closure signature (the
+//! spawned closure receives the scope, enabling nested spawns).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle for spawning threads tied to the enclosing [`scope`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread; the closure receives the scope for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawned threads join before
+    /// return. Always `Ok` here: `std::thread::scope` resumes unwinding on
+    /// child panics instead of collecting them, matching crossbeam's
+    /// behaviour closely enough for `.expect(..)`-style call sites.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let total = &total;
+                scope.spawn(move |_| {
+                    *total.lock().unwrap() += x;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            let hit = &hit;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| hit.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(hit.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize};`
+//! plus derive-position usage to compile: the derive macros (re-exported from
+//! the sibling no-op `serde_derive`) and empty marker traits of the same
+//! names. Nothing in this workspace serializes at runtime; the annotations
+//! keep the types ready for the real serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented or required
+/// by this stand-in; the derive expands to nothing).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented or
+/// required by this stand-in; the derive expands to nothing).
+pub trait Deserialize<'de> {}

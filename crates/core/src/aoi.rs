@@ -20,9 +20,7 @@ use std::num::NonZeroU32;
 /// assert!(Age::new(0).is_none());
 /// assert!(age.exceeds(Age::new(2).unwrap()));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Age(NonZeroU32);
 

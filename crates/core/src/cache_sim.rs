@@ -7,7 +7,9 @@
 
 use crate::aoi::{Age, AgeVector};
 use crate::catalog::Catalog;
-use crate::policy::{CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, RsuSpec};
+use crate::policy::{
+    CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp, RsuSpec,
+};
 use crate::reward::RewardModel;
 use crate::AoiCacheError;
 use rand::Rng;
@@ -107,11 +109,18 @@ impl CacheScenario {
 /// A fully instantiated stage-1 experiment: catalog, per-RSU specs and
 /// initial ages, all derived deterministically from the scenario seed so
 /// that every policy faces the identical problem.
+///
+/// Each RSU's exact MDP is compiled into its CSR solver kernel at most
+/// once — lazily, on the first run of an MDP-based policy kind — and then
+/// shared by every subsequent [`run`](CacheSimulation::run): comparing five
+/// MDP policy kinds against one simulation enumerates each model a single
+/// time, while baseline-only experiments never build the models at all.
 #[derive(Debug, Clone)]
 pub struct CacheSimulation {
     scenario: CacheScenario,
     catalog: Catalog,
     specs: Vec<RsuSpec>,
+    compiled: std::sync::OnceLock<Vec<CompiledRsuMdp>>,
     initial_ages: Vec<AgeVector>,
 }
 
@@ -170,6 +179,7 @@ impl CacheSimulation {
             scenario,
             catalog,
             specs,
+            compiled: std::sync::OnceLock::new(),
             initial_ages,
         })
     }
@@ -189,20 +199,48 @@ impl CacheSimulation {
         &self.specs
     }
 
-    /// Builds one policy of the given kind per RSU and runs the experiment.
+    /// The per-RSU compiled MDPs shared by every run of this experiment,
+    /// built (and cached) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and compilation errors.
+    pub fn compiled(&self) -> Result<&[CompiledRsuMdp], AoiCacheError> {
+        if self.compiled.get().is_none() {
+            let built = self
+                .specs
+                .iter()
+                .map(CompiledRsuMdp::from_spec)
+                .collect::<Result<Vec<_>, _>>()?;
+            // A concurrent caller may have won the race; either value is
+            // identical (deterministic construction), so the loser is
+            // simply dropped.
+            let _ = self.compiled.set(built);
+        }
+        Ok(self.compiled.get().expect("just initialized"))
+    }
+
+    /// Builds one policy of the given kind per RSU (solving on the shared,
+    /// lazily compiled kernels for the MDP-based kinds) and runs the
+    /// experiment.
     ///
     /// # Errors
     ///
     /// Propagates policy-construction errors.
     pub fn run(&self, kind: CachePolicyKind) -> Result<CacheRunReport, AoiCacheError> {
+        let compiled = if kind.uses_mdp() {
+            Some(self.compiled()?)
+        } else {
+            None
+        };
         let mut seeds = SeedSequence::new(self.scenario.seed);
         let _ = seeds.rng("catalog");
         let _ = seeds.rng("popularity");
         let _ = seeds.rng("init-ages");
         let mut build_rng = seeds.rng("policy-build");
         let mut policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(self.specs.len());
-        for spec in &self.specs {
-            policies.push(kind.build(spec, &mut build_rng)?);
+        for (k, spec) in self.specs.iter().enumerate() {
+            policies.push(kind.build_with(spec, compiled.map(|c| &c[k]), &mut build_rng)?);
         }
         self.run_with(policies, kind.label().to_string())
     }
@@ -240,9 +278,8 @@ impl CacheSimulation {
 
         let mut aoi_traces: Vec<TimeSeries> = (0..n_rsus)
             .flat_map(|k| {
-                (0..per_rsu).map(move |h| {
-                    TimeSeries::with_capacity(format!("rsu{k}/content{h}"), horizon)
-                })
+                (0..per_rsu)
+                    .map(move |h| TimeSeries::with_capacity(format!("rsu{k}/content{h}"), horizon))
             })
             .collect();
         let mut reward_series = TimeSeries::with_capacity("reward", horizon);
@@ -469,7 +506,9 @@ mod tests {
         // most popular content of every RSU must stay within its freshness
         // limit, tracing the sawtooth the paper shows.
         let sim = CacheSimulation::new(tiny()).unwrap();
-        let report = sim.run(CachePolicyKind::ValueIteration { gamma: 0.9 }).unwrap();
+        let report = sim
+            .run(CachePolicyKind::ValueIteration { gamma: 0.9 })
+            .unwrap();
         assert!(report.updates > 0);
         let warmup = 50;
         for (k, spec) in sim.specs().iter().enumerate() {
@@ -498,7 +537,9 @@ mod tests {
     #[test]
     fn vi_beats_baselines_on_reward() {
         let sim = CacheSimulation::new(tiny()).unwrap();
-        let vi = sim.run(CachePolicyKind::ValueIteration { gamma: 0.9 }).unwrap();
+        let vi = sim
+            .run(CachePolicyKind::ValueIteration { gamma: 0.9 })
+            .unwrap();
         let never = sim.run(CachePolicyKind::Never).unwrap();
         let random = sim
             .run(CachePolicyKind::Random { probability: 0.5 })
@@ -608,6 +649,21 @@ mod tests {
         for spec in sim.specs() {
             assert!((spec.popularity.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn baseline_runs_do_not_compile_mdps() {
+        let sim = CacheSimulation::new(tiny()).unwrap();
+        let _ = sim.run(CachePolicyKind::Never).unwrap();
+        let _ = sim.run(CachePolicyKind::Myopic).unwrap();
+        assert!(
+            sim.compiled.get().is_none(),
+            "baselines must not trigger MDP compilation"
+        );
+        let _ = sim
+            .run(CachePolicyKind::ValueIteration { gamma: 0.9 })
+            .unwrap();
+        assert!(sim.compiled.get().is_some(), "MDP kinds compile lazily");
     }
 
     #[test]

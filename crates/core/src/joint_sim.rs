@@ -13,7 +13,9 @@
 
 use crate::aoi::{Age, AgeVector};
 use crate::catalog::Catalog;
-use crate::policy::{CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, RsuSpec};
+use crate::policy::{
+    CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp, RsuSpec,
+};
 use crate::reward::RewardModel;
 use crate::service::{ServiceDecisionContext, ServiceLevel, ServicePolicy, ServicePolicyKind};
 use crate::AoiCacheError;
@@ -199,7 +201,18 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
             weight: scenario.weight,
             update_cost: network.update_cost(RsuId(k), 1),
         };
-        cache_policies.push(scenario.cache_policy.build(&spec, &mut build_rng)?);
+        // Compile the RSU's MDP once (when the policy kind solves one) so
+        // the solver sweeps the CSR kernel rather than the trait callback.
+        let compiled = if scenario.cache_policy.uses_mdp() {
+            Some(CompiledRsuMdp::from_spec(&spec)?)
+        } else {
+            None
+        };
+        cache_policies.push(scenario.cache_policy.build_with(
+            &spec,
+            compiled.as_ref(),
+            &mut build_rng,
+        )?);
         service_policies.push(scenario.service_policy.build()?);
         rewards.push(spec.reward_model()?);
         specs.push(spec);

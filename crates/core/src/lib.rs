@@ -72,8 +72,8 @@ pub use freshness_service::{
 pub use joint_sim::{run_joint, JointReport, JointScenario};
 pub use mdp_model::{PopularityModel, RsuCacheMdp};
 pub use policy::{
-    AgeThresholdPolicy, CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, IndexPolicy,
-    MyopicPolicy, NeverPolicy, PeriodicPolicy, RandomPolicy, RsuSpec, SolvedMdpPolicy,
+    AgeThresholdPolicy, CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp,
+    IndexPolicy, MyopicPolicy, NeverPolicy, PeriodicPolicy, RandomPolicy, RsuSpec, SolvedMdpPolicy,
 };
 pub use reward::RewardModel;
 pub use service::{

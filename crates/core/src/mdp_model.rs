@@ -20,7 +20,7 @@
 use crate::aoi::{Age, AgeVector};
 use crate::reward::RewardModel;
 use crate::AoiCacheError;
-use mdp::{FiniteMdp, ProductSpace, Transition};
+use mdp::{CompiledMdp, FiniteMdp, ProductSpace, Transition};
 use serde::{Deserialize, Serialize};
 
 /// Content-popularity dynamics of one RSU.
@@ -158,16 +158,31 @@ impl RsuCacheMdp {
                 why: "age cap must be at least the largest max age",
             });
         }
-        let age_space =
-            ProductSpace::new(vec![age_cap.get() as usize; n]).ok_or(AoiCacheError::BadScenario {
+        let age_space = ProductSpace::new(vec![age_cap.get() as usize; n]).ok_or(
+            AoiCacheError::BadScenario {
                 why: "state space too large",
-            })?;
+            },
+        )?;
         Ok(RsuCacheMdp {
             reward,
             age_cap,
             popularity,
             age_space,
         })
+    }
+
+    /// Compiles the model into the flat CSR solver kernel.
+    ///
+    /// Solvers sweep the compiled form without re-deriving the
+    /// age/popularity arithmetic per `(state, action)` row, so anything
+    /// solving this MDP more than once (different solver families, horizon
+    /// steps, policy kinds) should compile once and share the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledMdp::compile`] validation errors.
+    pub fn compile(&self) -> Result<CompiledMdp, AoiCacheError> {
+        Ok(CompiledMdp::compile(self)?)
     }
 
     /// The reward model.
@@ -245,11 +260,7 @@ impl RsuCacheMdp {
         let popularity = self.popularity.popularity(phase);
         let w = self.reward.weight();
         let mut utility = 0.0;
-        for ((c, m), p) in coords
-            .iter()
-            .zip(self.reward.max_ages())
-            .zip(popularity)
-        {
+        for ((c, m), p) in coords.iter().zip(self.reward.max_ages()).zip(popularity) {
             let age = (*c + 1) as f64;
             utility += f64::from(m.get()) / age * p;
         }
@@ -312,12 +323,7 @@ mod tests {
 
     fn small_mdp(weight: f64, cost: f64) -> RsuCacheMdp {
         let reward = RewardModel::new(weight, cost, vec![age(3), age(4)]).unwrap();
-        RsuCacheMdp::new(
-            reward,
-            age(5),
-            PopularityModel::Static(vec![0.6, 0.4]),
-        )
-        .unwrap()
+        RsuCacheMdp::new(reward, age(5), PopularityModel::Static(vec![0.6, 0.4])).unwrap()
     }
 
     #[test]
@@ -422,12 +428,7 @@ mod tests {
     #[test]
     fn popular_content_is_updated_first() {
         let reward = RewardModel::new(1.0, 0.4, vec![age(4), age(4)]).unwrap();
-        let m = RsuCacheMdp::new(
-            reward,
-            age(6),
-            PopularityModel::Static(vec![0.9, 0.1]),
-        )
-        .unwrap();
+        let m = RsuCacheMdp::new(reward, age(6), PopularityModel::Static(vec![0.9, 0.1])).unwrap();
         let out = ValueIteration::new(0.95).solve(&m).unwrap();
         // Both contents equally stale: the popular one gets the update.
         let stale = AgeVector::from_ages(vec![age(4), age(4)], age(6)).unwrap();
@@ -462,12 +463,9 @@ mod tests {
     fn validation() {
         let reward = RewardModel::new(1.0, 0.5, vec![age(6)]).unwrap();
         // Cap below the max age.
-        assert!(RsuCacheMdp::new(
-            reward.clone(),
-            age(5),
-            PopularityModel::Static(vec![1.0])
-        )
-        .is_err());
+        assert!(
+            RsuCacheMdp::new(reward.clone(), age(5), PopularityModel::Static(vec![1.0])).is_err()
+        );
         // Bad popularity length.
         assert!(RsuCacheMdp::new(
             reward.clone(),
@@ -476,12 +474,9 @@ mod tests {
         )
         .is_err());
         // Popularity not summing to one.
-        assert!(RsuCacheMdp::new(
-            reward.clone(),
-            age(6),
-            PopularityModel::Static(vec![0.4])
-        )
-        .is_err());
+        assert!(
+            RsuCacheMdp::new(reward.clone(), age(6), PopularityModel::Static(vec![0.4])).is_err()
+        );
         // Bad switch probability.
         assert!(RsuCacheMdp::new(
             reward,

@@ -8,7 +8,7 @@ use crate::AoiCacheError;
 use mdp::solver::{
     BackwardInduction, PolicyIteration, QLearning, RelativeValueIteration, Sarsa, ValueIteration,
 };
-use mdp::TabularPolicy;
+use mdp::{CompiledMdp, TabularPolicy};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use simkit::TimeSlot;
@@ -88,6 +88,33 @@ impl RsuSpec {
     }
 }
 
+/// A per-RSU cache MDP paired with its compiled CSR solver kernel.
+///
+/// Simulators build one of these per RSU up front and hand it to every
+/// policy construction ([`CachePolicyKind::build_with`]), so the model is
+/// enumerated exactly once no matter how many solver families, discounts or
+/// horizon steps run against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRsuMdp {
+    /// The exact per-RSU model (state encoding/decoding lives here).
+    pub model: RsuCacheMdp,
+    /// The flat CSR kernel the solvers sweep on.
+    pub kernel: CompiledMdp,
+}
+
+impl CompiledRsuMdp {
+    /// Builds and compiles the spec's MDP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and compilation errors.
+    pub fn from_spec(spec: &RsuSpec) -> Result<Self, AoiCacheError> {
+        let model = spec.mdp()?;
+        let kernel = model.compile()?;
+        Ok(CompiledRsuMdp { model, kernel })
+    }
+}
+
 /// A policy solved offline on the exact per-RSU MDP (value iteration,
 /// policy iteration or Q-learning) and executed by table lookup.
 #[derive(Debug, Clone)]
@@ -104,11 +131,22 @@ impl SolvedMdpPolicy {
     ///
     /// Propagates model/solver errors.
     pub fn value_iteration(spec: &RsuSpec, gamma: f64) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
-        let outcome = ValueIteration::new(gamma).solve(&mdp)?;
+        Self::value_iteration_on(&CompiledRsuMdp::from_spec(spec)?, gamma)
+    }
+
+    /// Value iteration on an already-compiled per-RSU MDP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn value_iteration_on(
+        compiled: &CompiledRsuMdp,
+        gamma: f64,
+    ) -> Result<Self, AoiCacheError> {
+        let outcome = ValueIteration::new(gamma).solve_compiled(&compiled.kernel)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-vi".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: outcome.policy,
         })
     }
@@ -119,11 +157,22 @@ impl SolvedMdpPolicy {
     ///
     /// Propagates model/solver errors.
     pub fn policy_iteration(spec: &RsuSpec, gamma: f64) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
-        let outcome = PolicyIteration::new(gamma).solve(&mdp)?;
+        Self::policy_iteration_on(&CompiledRsuMdp::from_spec(spec)?, gamma)
+    }
+
+    /// Policy iteration on an already-compiled per-RSU MDP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn policy_iteration_on(
+        compiled: &CompiledRsuMdp,
+        gamma: f64,
+    ) -> Result<Self, AoiCacheError> {
+        let outcome = PolicyIteration::new(gamma).solve_compiled(&compiled.kernel)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-pi".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: outcome.policy,
         })
     }
@@ -139,11 +188,27 @@ impl SolvedMdpPolicy {
         steps: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
-        let q = QLearning::new(gamma).steps(steps).learn(&mdp, rng)?;
+        Self::q_learning_on(&CompiledRsuMdp::from_spec(spec)?, gamma, steps, rng)
+    }
+
+    /// Q-learning on an already-compiled per-RSU MDP (the learner samples
+    /// allocation-free from the kernel's CSR rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates learner errors.
+    pub fn q_learning_on(
+        compiled: &CompiledRsuMdp,
+        gamma: f64,
+        steps: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, AoiCacheError> {
+        let q = QLearning::new(gamma)
+            .steps(steps)
+            .learn(&compiled.kernel, rng)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-ql".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: q.greedy_policy(),
         })
     }
@@ -159,11 +224,27 @@ impl SolvedMdpPolicy {
         steps: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
-        let q = Sarsa::new(gamma).steps(steps).learn(&mdp, rng)?;
+        Self::sarsa_on(&CompiledRsuMdp::from_spec(spec)?, gamma, steps, rng)
+    }
+
+    /// SARSA on an already-compiled per-RSU MDP (allocation-free sampling
+    /// from the kernel's CSR rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates learner errors.
+    pub fn sarsa_on(
+        compiled: &CompiledRsuMdp,
+        gamma: f64,
+        steps: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, AoiCacheError> {
+        let q = Sarsa::new(gamma)
+            .steps(steps)
+            .learn(&compiled.kernel, rng)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-sarsa".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: q.greedy_policy(),
         })
     }
@@ -176,13 +257,21 @@ impl SolvedMdpPolicy {
     ///
     /// Propagates model/solver errors.
     pub fn average_reward(spec: &RsuSpec) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
+        Self::average_reward_on(&CompiledRsuMdp::from_spec(spec)?)
+    }
+
+    /// Relative value iteration on an already-compiled per-RSU MDP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn average_reward_on(compiled: &CompiledRsuMdp) -> Result<Self, AoiCacheError> {
         let outcome = RelativeValueIteration::new()
             .tolerance(1e-10)
-            .solve(&mdp)?;
+            .solve_compiled(&compiled.kernel)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-avg".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: outcome.policy,
         })
     }
@@ -195,11 +284,22 @@ impl SolvedMdpPolicy {
     ///
     /// Propagates model/solver errors.
     pub fn receding_horizon(spec: &RsuSpec, horizon: usize) -> Result<Self, AoiCacheError> {
-        let mdp = spec.mdp()?;
-        let solution = BackwardInduction::new(horizon).solve(&mdp)?;
+        Self::receding_horizon_on(&CompiledRsuMdp::from_spec(spec)?, horizon)
+    }
+
+    /// Backward induction on an already-compiled per-RSU MDP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn receding_horizon_on(
+        compiled: &CompiledRsuMdp,
+        horizon: usize,
+    ) -> Result<Self, AoiCacheError> {
+        let solution = BackwardInduction::new(horizon).solve_compiled(&compiled.kernel)?;
         Ok(SolvedMdpPolicy {
             name: "mdp-rh".to_string(),
-            mdp,
+            mdp: compiled.model.clone(),
             policy: solution.first_policy().clone(),
         })
     }
@@ -463,7 +563,24 @@ impl CachePolicyKind {
         }
     }
 
-    /// Builds a policy instance for one RSU.
+    /// Whether this kind solves the per-RSU MDP (and therefore benefits
+    /// from a pre-compiled kernel).
+    pub fn uses_mdp(&self) -> bool {
+        matches!(
+            self,
+            CachePolicyKind::ValueIteration { .. }
+                | CachePolicyKind::PolicyIteration { .. }
+                | CachePolicyKind::QLearning { .. }
+                | CachePolicyKind::Sarsa { .. }
+                | CachePolicyKind::AverageReward
+                | CachePolicyKind::RecedingHorizon { .. }
+        )
+    }
+
+    /// Builds a policy instance for one RSU, compiling the spec's MDP when
+    /// the kind needs it. Callers holding several policy kinds (or running
+    /// repeatedly) should compile once with [`CompiledRsuMdp::from_spec`]
+    /// and use [`build_with`](CachePolicyKind::build_with).
     ///
     /// # Errors
     ///
@@ -474,22 +591,55 @@ impl CachePolicyKind {
         spec: &RsuSpec,
         rng: &mut dyn RngCore,
     ) -> Result<Box<dyn CacheUpdatePolicy>, AoiCacheError> {
+        let compiled = if self.uses_mdp() {
+            Some(CompiledRsuMdp::from_spec(spec)?)
+        } else {
+            None
+        };
+        self.build_with(spec, compiled.as_ref(), rng)
+    }
+
+    /// Builds a policy instance for one RSU against a pre-compiled kernel.
+    ///
+    /// The MDP-based kinds solve on `compiled` (which therefore must be
+    /// `Some` for them); the baselines ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors, and returns
+    /// [`AoiCacheError::BadParameter`] when an MDP-based kind is built
+    /// without a compiled model.
+    pub fn build_with(
+        &self,
+        spec: &RsuSpec,
+        compiled: Option<&CompiledRsuMdp>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn CacheUpdatePolicy>, AoiCacheError> {
+        let _ = spec;
+        let need = || {
+            compiled.ok_or(AoiCacheError::BadParameter {
+                what: "compiled",
+                valid: "Some(..) for MDP-based policy kinds",
+            })
+        };
         Ok(match *self {
             CachePolicyKind::ValueIteration { gamma } => {
-                Box::new(SolvedMdpPolicy::value_iteration(spec, gamma)?)
+                Box::new(SolvedMdpPolicy::value_iteration_on(need()?, gamma)?)
             }
             CachePolicyKind::PolicyIteration { gamma } => {
-                Box::new(SolvedMdpPolicy::policy_iteration(spec, gamma)?)
+                Box::new(SolvedMdpPolicy::policy_iteration_on(need()?, gamma)?)
             }
             CachePolicyKind::QLearning { gamma, steps } => {
-                Box::new(SolvedMdpPolicy::q_learning(spec, gamma, steps, rng)?)
+                Box::new(SolvedMdpPolicy::q_learning_on(need()?, gamma, steps, rng)?)
             }
             CachePolicyKind::Sarsa { gamma, steps } => {
-                Box::new(SolvedMdpPolicy::sarsa(spec, gamma, steps, rng)?)
+                Box::new(SolvedMdpPolicy::sarsa_on(need()?, gamma, steps, rng)?)
             }
-            CachePolicyKind::AverageReward => Box::new(SolvedMdpPolicy::average_reward(spec)?),
+            CachePolicyKind::AverageReward => {
+                Box::new(SolvedMdpPolicy::average_reward_on(need()?)?)
+            }
             CachePolicyKind::RecedingHorizon { horizon } => {
-                Box::new(SolvedMdpPolicy::receding_horizon(spec, horizon)?)
+                Box::new(SolvedMdpPolicy::receding_horizon_on(need()?, horizon)?)
             }
             CachePolicyKind::Myopic => Box::new(MyopicPolicy),
             CachePolicyKind::Index { threshold } => Box::new(IndexPolicy { threshold }),
@@ -521,11 +671,7 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(
-        slot: u64,
-        ages: &'a AgeVector,
-        spec: &'a RsuSpec,
-    ) -> CacheDecisionContext<'a> {
+    fn ctx<'a>(slot: u64, ages: &'a AgeVector, spec: &'a RsuSpec) -> CacheDecisionContext<'a> {
         CacheDecisionContext {
             slot: TimeSlot::new(slot),
             ages,

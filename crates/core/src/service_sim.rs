@@ -336,7 +336,10 @@ mod tests {
         s.horizon = 10_000;
         let report = run_service(&s, ServicePolicyKind::AlwaysServe).unwrap();
         assert_eq!(report.queue.len(), 100);
-        assert!((report.mean_cost - 2.0).abs() < 1e-9, "normalized by the trace length");
+        assert!(
+            (report.mean_cost - 2.0).abs() < 1e-9,
+            "normalized by the trace length"
+        );
     }
 
     #[test]

@@ -9,27 +9,29 @@ use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = FreshnessScenario> {
     (
-        0.2f64..1.2,   // arrival rate
-        2u32..12,      // cache refresh period
-        1.5f64..6.0,   // age target
-        0.2f64..2.0,   // mbs surcharge
-        1.0f64..60.0,  // V
-        0u64..500,     // seed
+        0.2f64..1.2,  // arrival rate
+        2u32..12,     // cache refresh period
+        1.5f64..6.0,  // age target
+        0.2f64..2.0,  // mbs surcharge
+        1.0f64..60.0, // V
+        0u64..500,    // seed
     )
-        .prop_map(|(arrival, period, target, surcharge, v, seed)| FreshnessScenario {
-            arrival_rate: arrival,
-            levels: vec![
-                ServiceLevel::new(0.0, 0.0),
-                ServiceLevel::new(0.5, 1.0),
-                ServiceLevel::new(2.0, 3.0),
-            ],
-            mbs_surcharge: surcharge,
-            age_target: target,
-            cache_refresh_period: period,
-            v,
-            horizon: 4000,
-            seed,
-        })
+        .prop_map(
+            |(arrival, period, target, surcharge, v, seed)| FreshnessScenario {
+                arrival_rate: arrival,
+                levels: vec![
+                    ServiceLevel::new(0.0, 0.0),
+                    ServiceLevel::new(0.5, 1.0),
+                    ServiceLevel::new(2.0, 3.0),
+                ],
+                mbs_surcharge: surcharge,
+                age_target: target,
+                cache_refresh_period: period,
+                v,
+                horizon: 4000,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -8,7 +8,12 @@ use mdp::FiniteMdp;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = RsuSpec> {
-    (2usize..4, 2u32..5, 0u32..3, proptest::collection::vec(0.05f64..1.0, 4))
+    (
+        2usize..4,
+        2u32..5,
+        0u32..3,
+        proptest::collection::vec(0.05f64..1.0, 4),
+    )
         .prop_map(|(n, base_max, extra, weights)| {
             let max_ages: Vec<Age> = (0..n)
                 .map(|i| Age::new(base_max + (i as u32 % (extra + 1))).unwrap())

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn bounded_oscillation_is_stable() {
-        let xs: Vec<f64> = (0..500).map(|t| ((t as f64) * 0.7).sin().abs() * 10.0).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|t| ((t as f64) * 0.7).sin().abs() * 10.0)
+            .collect();
         assert_eq!(check_stability(&xs, 0.05), StabilityVerdict::Stable);
     }
 

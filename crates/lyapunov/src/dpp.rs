@@ -140,11 +140,7 @@ impl DriftPlusPenalty {
                     valid: "one service term per queue",
                 });
             }
-            let drift: f64 = queues
-                .iter()
-                .zip(&opt.services)
-                .map(|(q, s)| q * s)
-                .sum();
+            let drift: f64 = queues.iter().zip(&opt.services).map(|(q, s)| q * s).sum();
             let obj = self.v * opt.cost - drift;
             if obj < best_obj {
                 best_obj = obj;
@@ -202,7 +198,10 @@ mod tests {
     fn v_zero_is_pure_drift_minimization() {
         let dpp = DriftPlusPenalty::new(0.0).unwrap();
         // Any positive backlog immediately serves, regardless of cost.
-        let opts = [DecisionOption::new(0.0, 0.0), DecisionOption::new(99.0, 0.5)];
+        let opts = [
+            DecisionOption::new(0.0, 0.0),
+            DecisionOption::new(99.0, 0.5),
+        ];
         assert_eq!(dpp.decide(1.0, &opts).unwrap(), 1);
     }
 

@@ -1,0 +1,848 @@
+//! Compile-once CSR kernel for finite MDPs.
+//!
+//! Trait-backed models ([`FiniteMdp`]) describe their dynamics through the
+//! `transitions` callback, which is convenient to write but expensive to
+//! solve against: every Bellman sweep re-derives every `(state, action)` row
+//! (for the cache MDP that means redoing the age/popularity arithmetic
+//! thousands of times per solve). [`CompiledMdp`] enumerates the model once
+//! into flat compressed-sparse-row arrays:
+//!
+//! * `row_ptr[state * n_actions + action] .. row_ptr[row + 1]` indexes the
+//!   row's transitions inside the flat `next` / `probability` / `reward`
+//!   arrays,
+//! * per-row expected immediate rewards are precomputed,
+//! * a validity bitmap marks rows of invalid actions.
+//!
+//! Solvers then run on the compiled form with **zero heap allocation per
+//! sweep**, and the per-state Bellman backup is embarrassingly parallel:
+//! under the `parallel` feature (default) sweeps fan out across a pool of
+//! scoped worker threads. Sweeps are Jacobi-style (each state's backup reads
+//! only the previous iterate), so serial and parallel runs are bit-for-bit
+//! identical.
+//!
+//! ```
+//! use mdp::{reference, CompiledMdp, FiniteMdp};
+//! use mdp::solver::ValueIteration;
+//!
+//! let (model, gamma) = reference::two_state();
+//! let compiled = CompiledMdp::compile(&model)?;
+//! assert_eq!(compiled.n_states(), model.n_states());
+//!
+//! // Compile once, solve many times without touching the callback again.
+//! let out = ValueIteration::new(gamma).solve_compiled(&compiled)?;
+//! assert!(out.converged);
+//! assert_eq!(out.policy.action(0), 1);
+//! # Ok::<(), mdp::MdpError>(())
+//! ```
+
+use crate::model::{FiniteMdp, Transition};
+use crate::policy::TabularPolicy;
+use crate::MdpError;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A finite MDP compiled into compressed-sparse-row arrays.
+///
+/// Implements [`FiniteMdp`] itself (with allocation-free `sample` /
+/// `expected_reward`), so a compiled model can be handed to any consumer of
+/// the trait — including the tabular learners, which gain allocation-free
+/// generative sampling from the CSR rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledMdp {
+    n_states: usize,
+    n_actions: usize,
+    /// `row_ptr[row] .. row_ptr[row + 1]` bounds row `state * n_actions +
+    /// action` in the flat arrays; length `n_states · n_actions + 1`.
+    row_ptr: Vec<usize>,
+    /// Flat destination states.
+    next: Vec<usize>,
+    /// Flat transition probabilities.
+    probability: Vec<f64>,
+    /// Flat immediate rewards.
+    reward: Vec<f64>,
+    /// Precomputed `Σ p · r` per row (0 for invalid rows).
+    expected: Vec<f64>,
+    /// Validity bitmap: bit `row % 64` of word `row / 64` marks a non-empty
+    /// row.
+    valid: Vec<u64>,
+}
+
+impl CompiledMdp {
+    /// Enumerates every `(state, action)` row of `mdp` into CSR form.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdpError::EmptyModel`] for zero states or actions,
+    /// * [`MdpError::NonFiniteEntry`] for NaN/infinite rewards or negative
+    ///   or non-finite probabilities,
+    /// * [`MdpError::StateOutOfRange`] for out-of-range destinations,
+    /// * [`MdpError::BadDistribution`] when a state has no valid action
+    ///   (solvers need at least one).
+    pub fn compile<M: FiniteMdp + ?Sized>(mdp: &M) -> Result<CompiledMdp, MdpError> {
+        let n_states = mdp.n_states();
+        let n_actions = mdp.n_actions();
+        if n_states == 0 || n_actions == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        let n_rows = n_states
+            .checked_mul(n_actions)
+            .ok_or(MdpError::BadParameter {
+                what: "state-action space",
+                valid: "n_states * n_actions must fit in usize",
+            })?;
+
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        row_ptr.push(0);
+        let mut next = Vec::new();
+        let mut probability = Vec::new();
+        let mut reward = Vec::new();
+        let mut expected = Vec::with_capacity(n_rows);
+        let mut valid = vec![0u64; n_rows.div_ceil(64)];
+
+        let mut buf = Vec::new();
+        for s in 0..n_states {
+            let mut any_valid = false;
+            for a in 0..n_actions {
+                mdp.transitions(s, a, &mut buf);
+                let mut row_expected = 0.0;
+                for t in &buf {
+                    if !t.probability.is_finite() || !t.reward.is_finite() || t.probability < 0.0 {
+                        return Err(MdpError::NonFiniteEntry {
+                            state: s,
+                            action: a,
+                        });
+                    }
+                    if t.next >= n_states {
+                        return Err(MdpError::StateOutOfRange {
+                            state: t.next,
+                            n_states,
+                        });
+                    }
+                    next.push(t.next);
+                    probability.push(t.probability);
+                    reward.push(t.reward);
+                    row_expected += t.probability * t.reward;
+                }
+                if !buf.is_empty() {
+                    let row = s * n_actions + a;
+                    valid[row / 64] |= 1 << (row % 64);
+                    any_valid = true;
+                }
+                expected.push(row_expected);
+                row_ptr.push(next.len());
+            }
+            if !any_valid {
+                return Err(MdpError::BadDistribution {
+                    state: s,
+                    action: 0,
+                    mass: 0.0,
+                });
+            }
+        }
+        Ok(CompiledMdp {
+            n_states,
+            n_actions,
+            row_ptr,
+            next,
+            probability,
+            reward,
+            expected,
+            valid,
+        })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Total transitions stored across all rows.
+    pub fn n_transitions(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Whether the `(state, action)` row is non-empty.
+    #[inline]
+    pub fn is_valid(&self, state: usize, action: usize) -> bool {
+        let row = state * self.n_actions + action;
+        self.valid[row / 64] & (1 << (row % 64)) != 0
+    }
+
+    /// The CSR row of `(state, action)` as `(next, probability, reward)`
+    /// slices (all empty for invalid actions).
+    #[inline]
+    pub fn row(&self, state: usize, action: usize) -> (&[usize], &[f64], &[f64]) {
+        let row = state * self.n_actions + action;
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        (
+            &self.next[span.clone()],
+            &self.probability[span.clone()],
+            &self.reward[span],
+        )
+    }
+
+    /// Precomputed expected immediate reward `Σ p · r` of `(state, action)`.
+    #[inline]
+    pub fn expected_reward(&self, state: usize, action: usize) -> f64 {
+        self.expected[state * self.n_actions + action]
+    }
+
+    /// One-step lookahead `Q(s, a) = E[r] + γ Σ p · V(s')`, or `None` for an
+    /// invalid action.
+    #[inline]
+    pub fn q_value(&self, state: usize, action: usize, values: &[f64], gamma: f64) -> Option<f64> {
+        if !self.is_valid(state, action) {
+            return None;
+        }
+        let row = state * self.n_actions + action;
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        let mut future = 0.0;
+        for (p, nx) in self.probability[span.clone()].iter().zip(&self.next[span]) {
+            future += p * values[*nx];
+        }
+        Some(self.expected[row] + gamma * future)
+    }
+
+    /// Bellman-optimality backup of one state: `max_a Q(s, a)` over valid
+    /// actions.
+    #[inline]
+    pub(crate) fn backup_state(&self, state: usize, values: &[f64], gamma: f64) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..self.n_actions {
+            if let Some(q) = self.q_value(state, a, values, gamma) {
+                if q > best {
+                    best = q;
+                }
+            }
+        }
+        best
+    }
+
+    /// Backup of one state with its argmax action (ties break to the lowest
+    /// action index).
+    #[inline]
+    pub(crate) fn backup_state_with_action(
+        &self,
+        state: usize,
+        values: &[f64],
+        gamma: f64,
+    ) -> (f64, usize) {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_a = 0;
+        for a in 0..self.n_actions {
+            if let Some(q) = self.q_value(state, a, values, gamma) {
+                if q > best {
+                    best = q;
+                    best_a = a;
+                }
+            }
+        }
+        (best, best_a)
+    }
+
+    /// Greedy policy with respect to `values` (CSR counterpart of
+    /// [`solver::greedy_policy`](crate::solver::greedy_policy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_states()`.
+    pub fn greedy_policy(&self, values: &[f64], gamma: f64) -> TabularPolicy {
+        assert_eq!(values.len(), self.n_states, "value vector length mismatch");
+        let actions = (0..self.n_states)
+            .map(|s| self.backup_state_with_action(s, values, gamma).1)
+            .collect();
+        TabularPolicy::new(actions)
+    }
+
+    /// Sup-norm Bellman-optimality residual `‖T V − V‖_∞` on the compiled
+    /// form (CSR counterpart of
+    /// [`solver::bellman_residual`](crate::solver::bellman_residual)).
+    pub fn bellman_residual(&self, values: &[f64], gamma: f64) -> f64 {
+        let mut residual: f64 = 0.0;
+        for s in 0..self.n_states {
+            residual = residual.max((self.backup_state(s, values, gamma) - values[s]).abs());
+        }
+        residual
+    }
+
+    /// Fills one backward-induction stage: `values[s], actions[s] =
+    /// max/argmax_a Q(s, a)` against `next_values`, parallelized across
+    /// states when `parallel` holds and the model is large enough.
+    ///
+    /// Unlike [`run_sweeps`], which keeps one worker pool alive across all
+    /// sweeps, this spawns scoped workers per call (one call per stage), so
+    /// the fan-out threshold is set much higher — spawn overhead must be
+    /// negligible against a single stage backup before parallelism pays.
+    pub(crate) fn fill_stage(
+        &self,
+        next_values: &[f64],
+        gamma: f64,
+        values: &mut [f64],
+        actions: &mut [usize],
+        parallel: bool,
+    ) {
+        #[cfg(feature = "parallel")]
+        {
+            let n = values.len();
+            let workers = worker_count_with(n, parallel, MIN_STATES_PER_SPAWNED_WORKER);
+            if workers >= 2 {
+                return self.fill_stage_parallel(next_values, gamma, values, actions, workers);
+            }
+        }
+        let _ = parallel;
+        for (s, (v, a)) in values.iter_mut().zip(actions.iter_mut()).enumerate() {
+            let (bv, ba) = self.backup_state_with_action(s, next_values, gamma);
+            *v = bv;
+            *a = ba;
+        }
+    }
+
+    /// Chunked fan-out of one stage backup across `workers` scoped threads
+    /// (factored out so tests can force a worker count regardless of the
+    /// host's CPU count).
+    #[cfg(feature = "parallel")]
+    fn fill_stage_parallel(
+        &self,
+        next_values: &[f64],
+        gamma: f64,
+        values: &mut [f64],
+        actions: &mut [usize],
+        workers: usize,
+    ) {
+        let chunk = values.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (i, (vals, acts)) in values
+                .chunks_mut(chunk)
+                .zip(actions.chunks_mut(chunk))
+                .enumerate()
+            {
+                let lo = i * chunk;
+                scope.spawn(move || {
+                    for (j, (v, a)) in vals.iter_mut().zip(acts.iter_mut()).enumerate() {
+                        let (bv, ba) = self.backup_state_with_action(lo + j, next_values, gamma);
+                        *v = bv;
+                        *a = ba;
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl FiniteMdp for CompiledMdp {
+    fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    fn transitions(&self, state: usize, action: usize, out: &mut Vec<Transition>) {
+        out.clear();
+        let (next, probability, reward) = self.row(state, action);
+        out.reserve(next.len());
+        for i in 0..next.len() {
+            out.push(Transition::new(next[i], probability[i], reward[i]));
+        }
+    }
+
+    fn is_action_valid(&self, state: usize, action: usize) -> bool {
+        self.is_valid(state, action)
+    }
+
+    fn expected_reward(&self, state: usize, action: usize) -> f64 {
+        CompiledMdp::expected_reward(self, state, action)
+    }
+
+    /// Samples from the CSR row directly — no allocation, unlike the trait's
+    /// default buffer-based implementation.
+    fn sample(&self, state: usize, action: usize, rng: &mut dyn RngCore) -> (usize, f64) {
+        let (next, probability, reward) = self.row(state, action);
+        assert!(
+            !next.is_empty(),
+            "cannot sample from an empty transition row"
+        );
+        let u: f64 = rand::Rng::gen::<f64>(rng);
+        let mut acc = 0.0;
+        for i in 0..next.len() {
+            acc += probability[i];
+            if u < acc {
+                return (next[i], reward[i]);
+            }
+        }
+        (next[next.len() - 1], reward[reward.len() - 1])
+    }
+}
+
+/// Per-sweep change statistics shared by all sweep-based solvers: the
+/// sup-norm change and the signed span (used by relative value iteration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SweepStats {
+    /// `max_s |new(s) − old(s)|`.
+    pub max_abs: f64,
+    /// `min_s (new(s) − old(s))`.
+    pub lo: f64,
+    /// `max_s (new(s) − old(s))`.
+    pub hi: f64,
+}
+
+impl SweepStats {
+    fn new() -> Self {
+        SweepStats {
+            max_abs: 0.0,
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, delta: f64) {
+        self.max_abs = self.max_abs.max(delta.abs());
+        self.lo = self.lo.min(delta);
+        self.hi = self.hi.max(delta);
+    }
+
+    fn merge(&mut self, other: &SweepStats) {
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+    }
+}
+
+/// Result of a [`run_sweeps`] fixed-point loop.
+pub(crate) struct SweepOutcome {
+    /// Final iterate.
+    pub values: Vec<f64>,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Stats of the final sweep (max_abs is `INFINITY` when no sweep ran).
+    pub last: SweepStats,
+    /// Whether the epilogue signalled convergence.
+    pub converged: bool,
+}
+
+/// Shared Jacobi sweep loop: repeatedly computes `new[s] = backup(s, old)`
+/// for every state, lets `epilogue` post-process the fresh iterate (e.g.
+/// normalize it) and decide convergence, and stops at `max_sweeps`.
+///
+/// All buffers are allocated once up front — the loop itself performs no
+/// heap allocation per sweep. With the `parallel` feature and a large enough
+/// model, states are partitioned across a persistent pool of scoped worker
+/// threads; because every backup reads only the previous iterate, the
+/// parallel schedule is bit-for-bit identical to the serial one.
+pub(crate) fn run_sweeps(
+    values: Vec<f64>,
+    parallel: bool,
+    max_sweeps: usize,
+    backup: impl Fn(usize, &[f64]) -> f64 + Sync,
+    epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+) -> SweepOutcome {
+    #[cfg(feature = "parallel")]
+    {
+        let workers = worker_count(values.len(), parallel);
+        if workers >= 2 {
+            return run_sweeps_parallel(values, workers, max_sweeps, backup, epilogue);
+        }
+    }
+    let _ = parallel;
+    run_sweeps_serial(values, max_sweeps, backup, epilogue)
+}
+
+fn run_sweeps_serial(
+    mut values: Vec<f64>,
+    max_sweeps: usize,
+    backup: impl Fn(usize, &[f64]) -> f64,
+    mut epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+) -> SweepOutcome {
+    let n = values.len();
+    let mut scratch = vec![0.0; n];
+    let mut sweeps = 0;
+    let mut last = SweepStats {
+        max_abs: f64::INFINITY,
+        ..SweepStats::new()
+    };
+    let mut converged = false;
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        let mut stats = SweepStats::new();
+        for (s, slot) in scratch.iter_mut().enumerate() {
+            let backed = backup(s, &values);
+            stats.record(backed - values[s]);
+            *slot = backed;
+        }
+        let stop = epilogue(&mut scratch, &stats, sweeps);
+        std::mem::swap(&mut values, &mut scratch);
+        last = stats;
+        if stop {
+            converged = true;
+            break;
+        }
+    }
+    SweepOutcome {
+        values,
+        sweeps,
+        last,
+        converged,
+    }
+}
+
+/// Minimum states per worker before the persistent sweep pool fans out
+/// (below this the synchronization overhead dominates the backup work).
+#[cfg(feature = "parallel")]
+const MIN_STATES_PER_WORKER: usize = 1024;
+
+/// Minimum states per worker for one-shot spawns ([`CompiledMdp::fill_stage`]),
+/// where thread creation is paid on every call rather than amortized over a
+/// whole solve.
+#[cfg(feature = "parallel")]
+const MIN_STATES_PER_SPAWNED_WORKER: usize = 8192;
+
+/// Upper bound on sweep workers; backups are memory-bound, so very wide
+/// fan-out stops paying for itself.
+#[cfg(feature = "parallel")]
+const MAX_WORKERS: usize = 16;
+
+#[cfg(feature = "parallel")]
+fn worker_count(n_states: usize, parallel: bool) -> usize {
+    worker_count_with(n_states, parallel, MIN_STATES_PER_WORKER)
+}
+
+#[cfg(feature = "parallel")]
+fn worker_count_with(n_states: usize, parallel: bool, min_per_worker: usize) -> usize {
+    if !parallel {
+        return 1;
+    }
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hardware.min(n_states / min_per_worker).min(MAX_WORKERS)
+}
+
+/// Parallel variant of [`run_sweeps_serial`]: a persistent pool of scoped
+/// workers, each owning a contiguous chunk of states, synchronized with the
+/// coordinating thread through a reusable barrier. Per sweep the workers
+/// (1) read the shared iterate and back up their chunk into a worker-local
+/// buffer, (2) publish the chunk, and then the coordinator (3) runs the
+/// epilogue and decides termination — three barrier phases, no per-sweep
+/// allocation anywhere.
+///
+/// A panic inside `backup` must not leave the coordinator blocked on a
+/// barrier the dead worker will never reach: workers catch panics, mark the
+/// pool poisoned, and keep honouring the barrier protocol; the coordinator
+/// then shuts the pool down and re-raises the panic on its own thread.
+#[cfg(feature = "parallel")]
+fn run_sweeps_parallel(
+    values: Vec<f64>,
+    workers: usize,
+    max_sweeps: usize,
+    backup: impl Fn(usize, &[f64]) -> f64 + Sync,
+    mut epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+) -> SweepOutcome {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Barrier, Mutex, RwLock};
+
+    let n = values.len();
+    let chunk = n.div_ceil(workers);
+    let shared = RwLock::new(values);
+    let barrier = Barrier::new(workers + 1);
+    let done = AtomicBool::new(false);
+    let poisoned = AtomicBool::new(false);
+    let sweep_stats = Mutex::new(SweepStats::new());
+
+    let mut sweeps = 0;
+    let mut last = SweepStats {
+        max_abs: f64::INFINITY,
+        ..SweepStats::new()
+    };
+    let mut converged = false;
+    let mut worker_panicked = false;
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let lo = worker * chunk;
+            let hi = ((worker + 1) * chunk).min(n);
+            let shared = &shared;
+            let barrier = &barrier;
+            let done = &done;
+            let poisoned = &poisoned;
+            let sweep_stats = &sweep_stats;
+            let backup = &backup;
+            scope.spawn(move || {
+                let mut out = vec![0.0f64; hi - lo];
+                loop {
+                    barrier.wait(); // phase 1: released into a sweep
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut local = SweepStats::new();
+                        let old = shared.read().expect("sweep lock");
+                        for (slot, s) in out.iter_mut().zip(lo..hi) {
+                            let backed = backup(s, &old);
+                            local.record(backed - old[s]);
+                            *slot = backed;
+                        }
+                        local
+                    }));
+                    match compute {
+                        Ok(local) => sweep_stats.lock().expect("stats lock").merge(&local),
+                        Err(_) => poisoned.store(true, Ordering::SeqCst),
+                    }
+                    barrier.wait(); // phase 2: all chunks computed
+                    shared.write().expect("sweep lock")[lo..hi].copy_from_slice(&out);
+                    barrier.wait(); // phase 3: iterate published
+                }
+            });
+        }
+
+        // Coordinator (this thread).
+        loop {
+            if sweeps == max_sweeps {
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
+            }
+            barrier.wait(); // phase 1
+            barrier.wait(); // phase 2
+            barrier.wait(); // phase 3
+            if poisoned.load(Ordering::SeqCst) {
+                worker_panicked = true;
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
+            }
+            sweeps += 1;
+            let stats = {
+                let mut guard = sweep_stats.lock().expect("stats lock");
+                let stats = *guard;
+                *guard = SweepStats::new();
+                stats
+            };
+            let stop = {
+                let mut iterate = shared.write().expect("sweep lock");
+                epilogue(&mut iterate, &stats, sweeps)
+            };
+            last = stats;
+            if stop {
+                converged = true;
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
+            }
+        }
+    });
+
+    // All workers have exited cleanly; now it is safe to re-raise.
+    assert!(
+        !worker_panicked,
+        "a parallel sweep worker panicked (backup closure)"
+    );
+
+    SweepOutcome {
+        values: shared.into_inner().expect("sweep lock"),
+        sweeps,
+        last,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compile_preserves_shape_and_rows() {
+        let (model, _) = reference::gridworld(4, 4, 0.2);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        assert_eq!(compiled.n_states(), model.n_states());
+        assert_eq!(compiled.n_actions(), model.n_actions());
+        assert!(compiled.n_transitions() > 0);
+
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for s in 0..model.n_states() {
+            for a in 0..model.n_actions() {
+                model.transitions(s, a, &mut want);
+                compiled.transitions(s, a, &mut got);
+                assert_eq!(want, got, "row ({s}, {a})");
+                assert_eq!(model.is_action_valid(s, a), compiled.is_valid(s, a));
+                assert!(
+                    (model.expected_reward(s, a) - CompiledMdp::expected_reward(&compiled, s, a))
+                        .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_values_match_callback_path() {
+        let (model, gamma) = reference::chain(6, 0.7);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let values: Vec<f64> = (0..6).map(|s| s as f64 * 0.3 - 1.0).collect();
+        let mut buf = Vec::new();
+        for s in 0..6 {
+            for a in 0..2 {
+                let reference_q = crate::solver::q_value(&model, s, a, &values, gamma, &mut buf);
+                let compiled_q = compiled.q_value(s, a, &values, gamma);
+                match (reference_q, compiled_q) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12, "({s},{a}): {x} vs {y}"),
+                    other => panic!("validity mismatch at ({s},{a}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_bad_models() {
+        use crate::model::FnMdp;
+        // No states.
+        let empty = FnMdp::new(0, 1, |_, _, _| {});
+        assert!(matches!(
+            CompiledMdp::compile(&empty),
+            Err(MdpError::EmptyModel)
+        ));
+        // A state with no valid action.
+        let stuck = FnMdp::new(2, 1, |s, _, out| {
+            if s == 0 {
+                out.push(Transition::new(0, 1.0, 0.0));
+            }
+        });
+        assert!(matches!(
+            CompiledMdp::compile(&stuck),
+            Err(MdpError::BadDistribution { state: 1, .. })
+        ));
+        // Out-of-range destination.
+        let escapee = FnMdp::new(1, 1, |_, _, out| out.push(Transition::new(7, 1.0, 0.0)));
+        assert!(matches!(
+            CompiledMdp::compile(&escapee),
+            Err(MdpError::StateOutOfRange { state: 7, .. })
+        ));
+        // Non-finite probability.
+        let nan = FnMdp::new(1, 1, |_, _, out| {
+            out.push(Transition::new(0, f64::NAN, 0.0))
+        });
+        assert!(matches!(
+            CompiledMdp::compile(&nan),
+            Err(MdpError::NonFiniteEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn sampling_is_distribution_faithful() {
+        let (model, _) = reference::chain(5, 0.6);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut forward = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let (next, _) = compiled.sample(1, reference::CHAIN_FORWARD, &mut rng);
+            if next == 2 {
+                forward += 1;
+            }
+        }
+        let frac = forward as f64 / n as f64;
+        assert!((frac - 0.6).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn greedy_and_residual_match_callback_versions() {
+        let (model, gamma) = reference::gridworld(3, 4, 0.15);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let values: Vec<f64> = (0..model.n_states())
+            .map(|s| (s as f64 * 0.37).sin())
+            .collect();
+        let reference_policy = crate::solver::greedy_policy(&model, &values, gamma);
+        let compiled_policy = compiled.greedy_policy(&values, gamma);
+        assert_eq!(reference_policy.actions(), compiled_policy.actions());
+        let r1 = crate::solver::bellman_residual(&model, &values, gamma);
+        let r2 = compiled.bellman_residual(&values, gamma);
+        assert!((r1 - r2).abs() < 1e-10, "{r1} vs {r2}");
+    }
+
+    /// Drives the worker pool directly with forced worker counts so the
+    /// parallel code path is exercised even on single-CPU hosts (where
+    /// `worker_count` correctly refuses to fan out).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn run_sweeps_serial_and_parallel_agree_bitwise() {
+        let (model, gamma) = reference::gridworld(64, 64, 0.1);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let backup = |s: usize, v: &[f64]| compiled.backup_state(s, v, gamma);
+        let serial =
+            run_sweeps_serial(vec![0.0; compiled.n_states()], 60, backup, |_, stats, _| {
+                stats.max_abs < 1e-9
+            });
+        for workers in [2, 3, 7] {
+            let parallel = run_sweeps_parallel(
+                vec![0.0; compiled.n_states()],
+                workers,
+                60,
+                backup,
+                |_, stats, _| stats.max_abs < 1e-9,
+            );
+            assert_eq!(serial.sweeps, parallel.sweeps, "{workers} workers");
+            assert_eq!(serial.converged, parallel.converged);
+            assert_eq!(
+                serial.values, parallel.values,
+                "iterates must be identical with {workers} workers"
+            );
+        }
+    }
+
+    /// A panic inside a pool worker must surface as a panic on the calling
+    /// thread, not leave the coordinator deadlocked on the barrier.
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let _ = run_sweeps_parallel(
+            vec![0.0; 4096],
+            3,
+            5,
+            |s, _| {
+                if s == 1234 {
+                    panic!("boom");
+                }
+                0.0
+            },
+            |_, _, _| false,
+        );
+    }
+
+    #[test]
+    fn fill_stage_matches_serial_backup() {
+        let (model, gamma) = reference::gridworld(48, 48, 0.2);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let n = compiled.n_states();
+        let next_values: Vec<f64> = (0..n).map(|s| (s % 17) as f64 * 0.1).collect();
+        let mut v_serial = vec![0.0; n];
+        let mut a_serial = vec![0usize; n];
+        compiled.fill_stage(&next_values, gamma, &mut v_serial, &mut a_serial, false);
+        // Forced fan-out: exercises the chunked path on any host.
+        #[cfg(feature = "parallel")]
+        {
+            let mut v_par = vec![0.0; n];
+            let mut a_par = vec![0usize; n];
+            compiled.fill_stage_parallel(&next_values, gamma, &mut v_par, &mut a_par, 5);
+            assert_eq!(v_serial, v_par);
+            assert_eq!(a_serial, a_par);
+        }
+        // And through the public entry point (serial on small hosts).
+        let mut v_auto = vec![0.0; n];
+        let mut a_auto = vec![0usize; n];
+        compiled.fill_stage(&next_values, gamma, &mut v_auto, &mut a_auto, true);
+        assert_eq!(v_serial, v_auto);
+        assert_eq!(a_serial, a_auto);
+    }
+}

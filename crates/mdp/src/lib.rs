@@ -14,6 +14,38 @@
 //! * transition rows are explicit probability distributions,
 //! * empty rows mark invalid `(state, action)` pairs.
 //!
+//! ## Compile-then-solve
+//!
+//! Models describe their dynamics through the [`FiniteMdp::transitions`]
+//! callback, but the sweep-based solvers never iterate against that
+//! callback: every `solve` entry point first compiles the model into a
+//! [`CompiledMdp`] — flat compressed-sparse-row transition arrays with
+//! precomputed per-row expected rewards and a validity bitmap — and then
+//! runs its fixed point on the flat arrays with zero heap allocation per
+//! sweep. With the `parallel` feature (default) the per-state Bellman
+//! backup fans out across a pool of scoped worker threads; sweeps are
+//! Jacobi-style, so serial and parallel runs return bit-for-bit identical
+//! values and policies.
+//!
+//! Solving the same model repeatedly (different discounts, horizons or
+//! solver families) should compile once and call the `solve_compiled`
+//! methods:
+//!
+//! ```
+//! use mdp::{reference, CompiledMdp};
+//! use mdp::solver::{BackwardInduction, ValueIteration};
+//!
+//! let (model, gamma) = reference::two_state();
+//! let kernel = CompiledMdp::compile(&model)?;
+//! let infinite = ValueIteration::new(gamma).solve_compiled(&kernel)?;
+//! let finite = BackwardInduction::new(50).solve_compiled(&kernel)?;
+//! assert_eq!(infinite.policy.action(0), finite.first_policy().action(0));
+//! # Ok::<(), mdp::MdpError>(())
+//! ```
+//!
+//! The original trait-callback implementations remain available as
+//! `solve_callback` reference paths for differential tests and benchmarks.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod error;
 mod model;
 mod policy;
@@ -46,6 +79,7 @@ mod rollout;
 pub mod solver;
 mod space;
 
+pub use compiled::CompiledMdp;
 pub use error::MdpError;
 pub use model::{FiniteMdp, FnMdp, TabularMdp, TabularMdpBuilder, Transition};
 pub use policy::{EpsilonGreedy, Policy, QTable, TabularPolicy, UniformRandomPolicy};

@@ -56,22 +56,50 @@ pub trait FiniteMdp {
     }
 
     /// Expected immediate reward of `(state, action)`.
+    ///
+    /// The default routes through a thread-local row buffer so learner and
+    /// rollout loops calling it per step do not allocate; implementors with
+    /// materialized rows ([`TabularMdp`], [`CompiledMdp`](crate::CompiledMdp))
+    /// override it to read their storage directly.
     fn expected_reward(&self, state: usize, action: usize) -> f64 {
-        let mut buf = Vec::new();
-        self.transitions(state, action, &mut buf);
-        buf.iter().map(|t| t.probability * t.reward).sum()
+        with_row_buf(|buf| {
+            self.transitions(state, action, buf);
+            buf.iter().map(|t| t.probability * t.reward).sum()
+        })
     }
 
     /// Samples `(next_state, reward)` from the transition distribution.
+    ///
+    /// The default routes through a thread-local row buffer (no per-call
+    /// allocation); [`CompiledMdp`](crate::CompiledMdp) samples straight
+    /// from its CSR rows.
     ///
     /// # Panics
     ///
     /// Panics if the `(state, action)` row is empty (invalid action).
     fn sample(&self, state: usize, action: usize, rng: &mut dyn RngCore) -> (usize, f64) {
-        let mut buf = Vec::new();
-        self.transitions(state, action, &mut buf);
-        sample_from(&buf, rng)
+        with_row_buf(|buf| {
+            self.transitions(state, action, buf);
+            sample_from(buf, rng)
+        })
     }
+}
+
+thread_local! {
+    /// Reusable transition-row buffer backing the default `expected_reward`
+    /// and `sample` implementations.
+    static ROW_BUF: std::cell::RefCell<Vec<Transition>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread-local row buffer, falling back to a fresh
+/// buffer on re-entrant use (a `transitions` implementation calling back
+/// into a default trait method).
+fn with_row_buf<R>(f: impl FnOnce(&mut Vec<Transition>) -> R) -> R {
+    ROW_BUF.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => f(&mut buf),
+        Err(_) => f(&mut Vec::new()),
+    })
 }
 
 /// Samples a transition from an explicit distribution row.
@@ -80,7 +108,10 @@ pub trait FiniteMdp {
 ///
 /// Panics if `row` is empty.
 pub(crate) fn sample_from(row: &[Transition], rng: &mut dyn RngCore) -> (usize, f64) {
-    assert!(!row.is_empty(), "cannot sample from an empty transition row");
+    assert!(
+        !row.is_empty(),
+        "cannot sample from an empty transition row"
+    );
     let u: f64 = rand::Rng::gen::<f64>(rng);
     let mut acc = 0.0;
     for t in row {
@@ -151,6 +182,17 @@ impl FiniteMdp for TabularMdp {
 
     fn is_action_valid(&self, state: usize, action: usize) -> bool {
         !self.row(state, action).is_empty()
+    }
+
+    fn expected_reward(&self, state: usize, action: usize) -> f64 {
+        self.row(state, action)
+            .iter()
+            .map(|t| t.probability * t.reward)
+            .sum()
+    }
+
+    fn sample(&self, state: usize, action: usize, rng: &mut dyn RngCore) -> (usize, f64) {
+        sample_from(self.row(state, action), rng)
     }
 }
 
@@ -365,7 +407,9 @@ mod tests {
             .transition(0, 0, 0, 0.5, 0.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, MdpError::BadDistribution { mass, .. } if (mass - 0.5).abs() < 1e-12));
+        assert!(
+            matches!(err, MdpError::BadDistribution { mass, .. } if (mass - 0.5).abs() < 1e-12)
+        );
     }
 
     #[test]

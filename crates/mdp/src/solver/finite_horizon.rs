@@ -1,8 +1,9 @@
 //! Exact finite-horizon dynamic programming (backward induction).
 
+use crate::compiled::CompiledMdp;
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
-use crate::solver::q_value;
+use crate::solver::{q_value, DEFAULT_PARALLEL};
 use crate::MdpError;
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +12,8 @@ use serde::{Deserialize, Serialize};
 /// Produces the non-stationary optimal policy `π_0, …, π_{T-1}` and the
 /// optimal value-to-go at each stage. Undiscounted by default (`gamma = 1`
 /// is allowed here because the horizon is finite).
+/// [`solve`](BackwardInduction::solve) compiles the model into a
+/// [`CompiledMdp`] once and runs every stage backup on the flat CSR arrays.
 ///
 /// ```
 /// use mdp::solver::BackwardInduction;
@@ -29,6 +32,9 @@ pub struct BackwardInduction {
     pub horizon: usize,
     /// Per-stage discount (may be 1.0 for finite horizons).
     pub gamma: f64,
+    /// Whether stage backups may fan out across worker threads (identical
+    /// results either way; defaults to the `parallel` feature).
+    pub parallel: bool,
 }
 
 impl BackwardInduction {
@@ -37,6 +43,7 @@ impl BackwardInduction {
         BackwardInduction {
             horizon,
             gamma: 1.0,
+            parallel: DEFAULT_PARALLEL,
         }
     }
 
@@ -47,13 +54,14 @@ impl BackwardInduction {
         self
     }
 
-    /// Solves the finite-horizon control problem.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MdpError::BadParameter`] if the horizon is zero or `gamma`
-    /// is not in `(0, 1]`, and [`MdpError::EmptyModel`] for empty models.
-    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<FiniteHorizonSolution, MdpError> {
+    /// Enables or disables parallel stage backups.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    fn validate(&self) -> Result<(), MdpError> {
         if self.horizon == 0 {
             return Err(MdpError::BadParameter {
                 what: "horizon",
@@ -66,6 +74,64 @@ impl BackwardInduction {
                 valid: "(0, 1]",
             });
         }
+        Ok(())
+    }
+
+    /// Solves the finite-horizon control problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if the horizon is zero or `gamma`
+    /// is not in `(0, 1]`, and a compilation error
+    /// ([`MdpError::EmptyModel`] and friends) for malformed models.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<FiniteHorizonSolution, MdpError> {
+        self.validate()?;
+        let compiled = CompiledMdp::compile(mdp)?;
+        self.solve_compiled(&compiled)
+    }
+
+    /// Solves the finite-horizon control problem on a pre-compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if the horizon is zero or `gamma`
+    /// is not in `(0, 1]`.
+    pub fn solve_compiled(&self, mdp: &CompiledMdp) -> Result<FiniteHorizonSolution, MdpError> {
+        self.validate()?;
+        let n = mdp.n_states();
+        let mut next_values = vec![0.0; n];
+        let mut stage_values = vec![Vec::new(); self.horizon];
+        let mut stage_policies = Vec::with_capacity(self.horizon);
+
+        for stage in (0..self.horizon).rev() {
+            let mut values = vec![0.0; n];
+            let mut actions = vec![0usize; n];
+            mdp.fill_stage(
+                &next_values,
+                self.gamma,
+                &mut values,
+                &mut actions,
+                self.parallel,
+            );
+            next_values.copy_from_slice(&values);
+            stage_values[stage] = values;
+            stage_policies.push(TabularPolicy::new(actions));
+        }
+        stage_policies.reverse();
+        Ok(FiniteHorizonSolution {
+            stage_values,
+            stage_policies,
+        })
+    }
+
+    /// Trait-callback reference implementation, kept for differential
+    /// testing against the compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](BackwardInduction::solve).
+    pub fn solve_callback<M: FiniteMdp>(&self, mdp: &M) -> Result<FiniteHorizonSolution, MdpError> {
+        self.validate()?;
         if mdp.n_states() == 0 || mdp.n_actions() == 0 {
             return Err(MdpError::EmptyModel);
         }
@@ -149,7 +215,10 @@ mod tests {
     #[test]
     fn long_discounted_horizon_approaches_infinite_horizon() {
         let (mdp, gamma) = reference::two_state();
-        let fh = BackwardInduction::new(500).gamma(gamma).solve(&mdp).unwrap();
+        let fh = BackwardInduction::new(500)
+            .gamma(gamma)
+            .solve(&mdp)
+            .unwrap();
         let vi = ValueIteration::new(gamma).solve(&mdp).unwrap();
         for (a, b) in fh.stage_values[0].iter().zip(&vi.values) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");

@@ -9,6 +9,19 @@
 //! * [`evaluate_policy`] — iterative policy evaluation,
 //! * [`bellman_residual`] — solution-quality diagnostic,
 //! * [`stationary_distribution`] / [`policy_gain`] — induced-chain analysis.
+//!
+//! ## Compile-then-solve
+//!
+//! Every sweep-based solver runs its fixed-point iteration on a
+//! [`CompiledMdp`](crate::CompiledMdp) CSR kernel: the generic
+//! `solve(&impl FiniteMdp)` entry points compile the model once and forward
+//! to the corresponding `solve_compiled(&CompiledMdp)` method, which
+//! performs zero heap allocation per sweep and (with the `parallel`
+//! feature) fans the per-state Bellman backup out across worker threads.
+//! Callers who solve the same model repeatedly should compile it themselves
+//! and call `solve_compiled` directly. The `solve_callback` methods retain
+//! the original trait-callback implementations as a slow reference path for
+//! differential tests and benchmarks.
 
 mod finite_horizon;
 mod policy_iteration;
@@ -26,9 +39,15 @@ pub use relative_vi::{
 pub use sarsa::Sarsa;
 pub use value_iteration::{ValueIteration, ValueIterationOutcome};
 
+use crate::compiled::{run_sweeps, CompiledMdp};
 use crate::model::{FiniteMdp, Transition};
 use crate::policy::TabularPolicy;
 use crate::MdpError;
+
+/// Default parallelism of the sweep kernels: on when the `parallel` feature
+/// is enabled (serial and parallel sweeps are bit-for-bit identical, so this
+/// only affects speed).
+pub(crate) const DEFAULT_PARALLEL: bool = cfg!(feature = "parallel");
 
 /// Checks that `gamma` is a usable discount factor in `[0, 1)`.
 pub(crate) fn validate_gamma(gamma: f64) -> Result<(), MdpError> {
@@ -67,6 +86,9 @@ pub(crate) fn q_value<M: FiniteMdp>(
 /// For each state picks `argmax_a Q(s, a)` over valid actions (ties break to
 /// the lowest action index).
 ///
+/// This is the trait-callback reference implementation; solver kernels use
+/// the equivalent [`CompiledMdp::greedy_policy`] on the compiled form.
+///
 /// # Panics
 ///
 /// Panics if `values.len() != mdp.n_states()` or a state has no valid action.
@@ -92,6 +114,9 @@ pub fn greedy_policy<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> Tabul
 /// Sup-norm Bellman-optimality residual `‖T V − V‖_∞`: how far `values` is
 /// from being the optimal fixed point. Zero (up to tolerance) certifies an
 /// optimal value function.
+///
+/// This is the trait-callback reference implementation; use
+/// [`CompiledMdp::bellman_residual`] when a compiled kernel is at hand.
 pub fn bellman_residual<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> f64 {
     let mut buf = Vec::new();
     let mut residual: f64 = 0.0;
@@ -109,11 +134,112 @@ pub fn bellman_residual<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> f6
 
 /// Iterative policy evaluation: the value of following `policy` forever.
 ///
+/// Compiles the model once and runs the allocation-free sweep kernel; when
+/// a [`CompiledMdp`] is already at hand, call [`evaluate_policy_compiled`]
+/// to skip the compilation.
+///
 /// # Errors
 ///
 /// Returns [`MdpError::BadParameter`] for an invalid `gamma` and
 /// [`MdpError::NotConverged`] if the sweep cap is hit first.
 pub fn evaluate_policy<M: FiniteMdp>(
+    mdp: &M,
+    policy: &TabularPolicy,
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+) -> Result<Vec<f64>, MdpError> {
+    validate_gamma(gamma)?;
+    let compiled = CompiledMdp::compile(mdp)?;
+    evaluate_policy_compiled(
+        &compiled,
+        policy,
+        gamma,
+        tolerance,
+        max_sweeps,
+        DEFAULT_PARALLEL,
+    )
+}
+
+/// [`evaluate_policy`] on a pre-compiled kernel: zero heap allocation per
+/// sweep, parallel across states when `parallel` holds and the model is
+/// large enough.
+///
+/// # Errors
+///
+/// Returns [`MdpError::BadParameter`] for an invalid `gamma` and
+/// [`MdpError::NotConverged`] if the sweep cap is hit first.
+///
+/// # Panics
+///
+/// Panics if the policy's state count differs from the model's or it picks
+/// an invalid action.
+pub fn evaluate_policy_compiled(
+    mdp: &CompiledMdp,
+    policy: &TabularPolicy,
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+    parallel: bool,
+) -> Result<Vec<f64>, MdpError> {
+    validate_gamma(gamma)?;
+    assert_eq!(
+        policy.n_states(),
+        mdp.n_states(),
+        "policy/model state-count mismatch"
+    );
+    evaluate_actions_compiled(
+        mdp,
+        policy.actions(),
+        gamma,
+        tolerance,
+        max_sweeps,
+        parallel,
+    )
+}
+
+/// Sweep kernel shared by [`evaluate_policy_compiled`] and policy
+/// iteration, operating on a bare action table.
+pub(crate) fn evaluate_actions_compiled(
+    mdp: &CompiledMdp,
+    actions: &[usize],
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+    parallel: bool,
+) -> Result<Vec<f64>, MdpError> {
+    // Validate up front (on this thread, with a precise message) so the
+    // sweep backup closure below cannot panic inside a pool worker.
+    for (s, &a) in actions.iter().enumerate() {
+        assert!(
+            a < mdp.n_actions() && mdp.is_valid(s, a),
+            "policy picks invalid action {a} in state {s}"
+        );
+    }
+    let outcome = run_sweeps(
+        vec![0.0; mdp.n_states()],
+        parallel,
+        max_sweeps,
+        |s, values| {
+            mdp.q_value(s, actions[s], values, gamma)
+                .expect("policy must choose valid actions")
+        },
+        |_, stats, _| stats.max_abs < tolerance,
+    );
+    if outcome.converged {
+        Ok(outcome.values)
+    } else {
+        Err(MdpError::NotConverged {
+            iterations: max_sweeps,
+            residual: mdp.bellman_residual(&outcome.values, gamma),
+        })
+    }
+}
+
+/// Trait-callback reference implementation of policy evaluation
+/// (Gauss–Seidel, in-place), kept for differential testing against the
+/// compiled kernel.
+pub(crate) fn evaluate_policy_callback<M: FiniteMdp>(
     mdp: &M,
     policy: &TabularPolicy,
     gamma: f64,

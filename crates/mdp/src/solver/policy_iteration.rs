@@ -1,13 +1,20 @@
 //! Howard policy iteration.
 
+use crate::compiled::CompiledMdp;
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
-use crate::solver::{evaluate_policy, q_value, validate_gamma};
+use crate::solver::{
+    evaluate_actions_compiled, evaluate_policy_callback, q_value, validate_gamma, DEFAULT_PARALLEL,
+};
 use crate::MdpError;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for policy iteration (policy evaluation + greedy
 /// improvement until the policy is stable).
+///
+/// [`solve`](PolicyIteration::solve) compiles the model into a
+/// [`CompiledMdp`] once; every inner evaluation sweep and improvement pass
+/// then runs on the flat CSR arrays.
 ///
 /// ```
 /// use mdp::solver::PolicyIteration;
@@ -27,6 +34,9 @@ pub struct PolicyIteration {
     pub max_eval_sweeps: usize,
     /// Cap on improvement rounds.
     pub max_improvements: usize,
+    /// Whether evaluation sweeps may fan out across worker threads
+    /// (identical results either way; defaults to the `parallel` feature).
+    pub parallel: bool,
 }
 
 impl PolicyIteration {
@@ -38,6 +48,7 @@ impl PolicyIteration {
             eval_tolerance: 1e-10,
             max_eval_sweeps: 10_000,
             max_improvements: 1_000,
+            parallel: DEFAULT_PARALLEL,
         }
     }
 
@@ -55,14 +66,105 @@ impl PolicyIteration {
         self
     }
 
+    /// Enables or disables parallel evaluation sweeps.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Runs policy iteration from the all-first-valid-action policy.
     ///
     /// # Errors
     ///
-    /// Returns [`MdpError::BadParameter`] for an invalid `gamma`,
-    /// [`MdpError::EmptyModel`] for an empty model, or
-    /// [`MdpError::NotConverged`] if an inner evaluation fails to converge.
+    /// Returns [`MdpError::BadParameter`] for an invalid `gamma`, a
+    /// compilation error ([`MdpError::EmptyModel`] and friends) for
+    /// malformed models, or [`MdpError::NotConverged`] if an inner
+    /// evaluation fails to converge.
     pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<PolicyIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        let compiled = CompiledMdp::compile(mdp)?;
+        self.solve_compiled(&compiled)
+    }
+
+    /// Runs policy iteration on a pre-compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] for an invalid `gamma` or
+    /// [`MdpError::NotConverged`] if an inner evaluation fails to converge.
+    pub fn solve_compiled(&self, mdp: &CompiledMdp) -> Result<PolicyIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        let n = mdp.n_states();
+        // Initial policy: lowest valid action per state (compilation
+        // guarantees one exists).
+        let mut actions: Vec<usize> = (0..n)
+            .map(|s| {
+                (0..mdp.n_actions())
+                    .find(|&a| mdp.is_valid(s, a))
+                    .expect("compiled models have a valid action per state")
+            })
+            .collect();
+        let mut improved = vec![0usize; n];
+        let mut rounds = 0;
+
+        loop {
+            rounds += 1;
+            let values = evaluate_actions_compiled(
+                mdp,
+                &actions,
+                self.gamma,
+                self.eval_tolerance,
+                self.max_eval_sweeps,
+                self.parallel,
+            )?;
+
+            let mut stable = true;
+            for s in 0..n {
+                let current = actions[s];
+                let mut best_a = current;
+                let mut best_q = mdp
+                    .q_value(s, current, &values, self.gamma)
+                    .expect("current policy action must be valid");
+                for a in 0..mdp.n_actions() {
+                    if a == current {
+                        continue;
+                    }
+                    if let Some(q) = mdp.q_value(s, a, &values, self.gamma) {
+                        // Strict improvement margin avoids oscillating on ties.
+                        if q > best_q + 1e-12 {
+                            best_q = q;
+                            best_a = a;
+                        }
+                    }
+                }
+                if best_a != current {
+                    stable = false;
+                }
+                improved[s] = best_a;
+            }
+            std::mem::swap(&mut actions, &mut improved);
+            if stable || rounds >= self.max_improvements {
+                return Ok(PolicyIterationOutcome {
+                    converged: stable,
+                    rounds,
+                    values,
+                    policy: TabularPolicy::new(actions),
+                });
+            }
+        }
+    }
+
+    /// Trait-callback reference implementation, kept for differential
+    /// testing and benchmarking against the compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](PolicyIteration::solve).
+    pub fn solve_callback<M: FiniteMdp>(
+        &self,
+        mdp: &M,
+    ) -> Result<PolicyIterationOutcome, MdpError> {
         validate_gamma(self.gamma)?;
         if mdp.n_states() == 0 || mdp.n_actions() == 0 {
             return Err(MdpError::EmptyModel);
@@ -86,7 +188,7 @@ impl PolicyIteration {
 
         loop {
             rounds += 1;
-            values = evaluate_policy(
+            values = evaluate_policy_callback(
                 mdp,
                 &policy,
                 self.gamma,

@@ -94,6 +94,10 @@ impl ExplorationSchedule {
 }
 
 /// Picks an ε-greedy action among the *valid* actions of `state`.
+///
+/// Allocation-free: this runs once per environment step inside the learner
+/// loops, so validity is scanned in place instead of collecting the valid
+/// set into a temporary vector.
 pub(crate) fn epsilon_greedy_valid<M: FiniteMdp>(
     mdp: &M,
     q: &QTable,
@@ -101,23 +105,30 @@ pub(crate) fn epsilon_greedy_valid<M: FiniteMdp>(
     epsilon: f64,
     rng: &mut dyn RngCore,
 ) -> usize {
-    let valid: Vec<usize> = (0..mdp.n_actions())
+    let n_valid = (0..mdp.n_actions())
         .filter(|&a| mdp.is_action_valid(state, a))
-        .collect();
-    assert!(!valid.is_empty(), "state {state} has no valid action");
+        .count();
+    assert!(n_valid > 0, "state {state} has no valid action");
     if rng.gen::<f64>() < epsilon {
-        valid[rng.gen_range(0..valid.len())]
+        let k = rng.gen_range(0..n_valid);
+        (0..mdp.n_actions())
+            .filter(|&a| mdp.is_action_valid(state, a))
+            .nth(k)
+            .expect("k indexes a valid action")
     } else {
-        let mut best = valid[0];
+        let mut best = None;
         let mut best_v = f64::NEG_INFINITY;
-        for &a in &valid {
+        for a in 0..mdp.n_actions() {
+            if !mdp.is_action_valid(state, a) {
+                continue;
+            }
             let v = q.get(state, a);
-            if v > best_v {
+            if best.is_none() || v > best_v {
                 best_v = v;
-                best = a;
+                best = Some(a);
             }
         }
-        best
+        best.expect("at least one valid action")
     }
 }
 

@@ -6,9 +6,10 @@
 //! `ρ* = max_π lim (1/T) Σ r_t` and a bias vector `h` satisfying the
 //! optimality equation `h(s) + ρ* = max_a Σ p (r + h(s'))`.
 
+use crate::compiled::{run_sweeps, CompiledMdp};
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
-use crate::solver::{greedy_policy, q_value};
+use crate::solver::{greedy_policy, q_value, DEFAULT_PARALLEL};
 use crate::MdpError;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +20,8 @@ use serde::{Deserialize, Serialize};
 /// vector, any fixed update pattern drives the chain into one recurrent
 /// cycle. An aperiodicity transform (damping) is applied internally so the
 /// iteration converges even on periodic chains.
+/// [`solve`](RelativeValueIteration::solve) compiles the model into a
+/// [`CompiledMdp`] once and sweeps on the flat CSR arrays.
 ///
 /// ```
 /// use mdp::solver::RelativeValueIteration;
@@ -39,6 +42,9 @@ pub struct RelativeValueIteration {
     /// Aperiodicity damping `τ ∈ (0, 1]`: each backup mixes `τ` of the
     /// Bellman operator with `1 − τ` of the identity.
     pub damping: f64,
+    /// Whether sweeps may fan out across worker threads (identical results
+    /// either way; defaults to the `parallel` feature).
+    pub parallel: bool,
 }
 
 impl Default for RelativeValueIteration {
@@ -47,6 +53,7 @@ impl Default for RelativeValueIteration {
             tolerance: 1e-9,
             max_sweeps: 100_000,
             damping: 0.5,
+            parallel: DEFAULT_PARALLEL,
         }
     }
 }
@@ -71,20 +78,90 @@ impl RelativeValueIteration {
         self
     }
 
-    /// Runs RVI.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MdpError::BadParameter`] for an invalid damping factor,
-    /// [`MdpError::EmptyModel`] for empty models, or
-    /// [`MdpError::NotConverged`] if the span tolerance is not reached.
-    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<AverageRewardOutcome, MdpError> {
+    /// Enables or disables parallel sweeps.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    fn validate(&self) -> Result<(), MdpError> {
         if !self.damping.is_finite() || self.damping <= 0.0 || self.damping > 1.0 {
             return Err(MdpError::BadParameter {
                 what: "damping",
                 valid: "(0, 1]",
             });
         }
+        Ok(())
+    }
+
+    /// Runs RVI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] for an invalid damping factor, a
+    /// compilation error ([`MdpError::EmptyModel`] and friends) for
+    /// malformed models, or [`MdpError::NotConverged`] if the span
+    /// tolerance is not reached.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<AverageRewardOutcome, MdpError> {
+        self.validate()?;
+        let compiled = CompiledMdp::compile(mdp)?;
+        self.solve_compiled(&compiled)
+    }
+
+    /// Runs RVI on a pre-compiled kernel: zero heap allocation per sweep,
+    /// parallel across states when
+    /// [`parallel`](RelativeValueIteration::parallel) holds and the model
+    /// is large enough.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] for an invalid damping factor or
+    /// [`MdpError::NotConverged`] if the span tolerance is not reached.
+    pub fn solve_compiled(&self, mdp: &CompiledMdp) -> Result<AverageRewardOutcome, MdpError> {
+        self.validate()?;
+        let damping = self.damping;
+        let tolerance = self.tolerance;
+        // Damped Bellman backup (gamma = 1) with the iterate re-anchored at
+        // the reference state 0 after every sweep so the bias stays bounded.
+        let outcome = run_sweeps(
+            vec![0.0; mdp.n_states()],
+            self.parallel,
+            self.max_sweeps,
+            |s, h| (1.0 - damping) * h[s] + damping * mdp.backup_state(s, h, 1.0),
+            |iterate, stats, _| {
+                let offset = iterate[0];
+                for v in iterate.iter_mut() {
+                    *v -= offset;
+                }
+                stats.hi - stats.lo < tolerance
+            },
+        );
+        if !outcome.converged {
+            return Err(MdpError::NotConverged {
+                iterations: self.max_sweeps,
+                residual: f64::NAN,
+            });
+        }
+        // Gain: the per-sweep drift divided by the damping.
+        let gain = (outcome.last.hi + outcome.last.lo) / 2.0 / damping;
+        let policy = mdp.greedy_policy(&outcome.values, 1.0);
+        Ok(AverageRewardOutcome {
+            gain,
+            bias: outcome.values,
+            policy,
+            sweeps: outcome.sweeps,
+        })
+    }
+
+    /// Trait-callback reference implementation, kept for differential
+    /// testing against the compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](RelativeValueIteration::solve).
+    pub fn solve_callback<M: FiniteMdp>(&self, mdp: &M) -> Result<AverageRewardOutcome, MdpError> {
+        self.validate()?;
         if mdp.n_states() == 0 || mdp.n_actions() == 0 {
             return Err(MdpError::EmptyModel);
         }
@@ -228,7 +305,10 @@ mod tests {
     fn agrees_with_high_gamma_discounted_policy() {
         let (mdp, _) = reference::gridworld(3, 3, 0.1);
         let rvi = RelativeValueIteration::new().solve(&mdp).unwrap();
-        let vi = ValueIteration::new(0.999).tolerance(1e-10).solve(&mdp).unwrap();
+        let vi = ValueIteration::new(0.999)
+            .tolerance(1e-10)
+            .solve(&mdp)
+            .unwrap();
         // Blackwell optimality: for gamma close enough to 1 the discounted
         // optimal policy is gain-optimal. Compare achieved gains instead of
         // raw action tables (ties may differ).

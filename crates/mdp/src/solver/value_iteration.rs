@@ -1,12 +1,18 @@
 //! Value iteration (Bellman-optimality fixed point).
 
+use crate::compiled::{run_sweeps, CompiledMdp};
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
-use crate::solver::{greedy_policy, q_value, validate_gamma};
+use crate::solver::{greedy_policy, q_value, validate_gamma, DEFAULT_PARALLEL};
 use crate::MdpError;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for value iteration.
+///
+/// [`solve`](ValueIteration::solve) compiles the model into a
+/// [`CompiledMdp`] CSR kernel and iterates on the flat arrays; use
+/// [`solve_compiled`](ValueIteration::solve_compiled) to reuse an existing
+/// kernel across solves.
 ///
 /// ```
 /// use mdp::solver::ValueIteration;
@@ -27,6 +33,9 @@ pub struct ValueIteration {
     pub tolerance: f64,
     /// Hard cap on sweeps.
     pub max_sweeps: usize,
+    /// Whether sweeps may fan out across worker threads (identical results
+    /// either way; defaults to the `parallel` feature).
+    pub parallel: bool,
 }
 
 impl ValueIteration {
@@ -37,6 +46,7 @@ impl ValueIteration {
             gamma,
             tolerance: 1e-9,
             max_sweeps: 10_000,
+            parallel: DEFAULT_PARALLEL,
         }
     }
 
@@ -54,16 +64,68 @@ impl ValueIteration {
         self
     }
 
+    /// Enables or disables parallel sweeps.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Runs value iteration to the Bellman-optimality fixed point.
     ///
-    /// Returns the final iterate even when the sweep cap was reached
+    /// Compiles the model once, then iterates on the CSR kernel. Returns the
+    /// final iterate even when the sweep cap was reached
     /// (`converged == false`), so callers can inspect partial progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if `gamma ∉ [0, 1)`, or a
+    /// compilation error ([`MdpError::EmptyModel`] and friends) for
+    /// malformed models.
+    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<ValueIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        let compiled = CompiledMdp::compile(mdp)?;
+        self.solve_compiled(&compiled)
+    }
+
+    /// Runs value iteration on a pre-compiled kernel: zero heap allocation
+    /// per sweep, per-state backups parallelized across worker threads when
+    /// [`parallel`](ValueIteration::parallel) holds and the model is large
+    /// enough.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if `gamma ∉ [0, 1)`.
+    pub fn solve_compiled(&self, mdp: &CompiledMdp) -> Result<ValueIterationOutcome, MdpError> {
+        validate_gamma(self.gamma)?;
+        let gamma = self.gamma;
+        let tolerance = self.tolerance;
+        let outcome = run_sweeps(
+            vec![0.0; mdp.n_states()],
+            self.parallel,
+            self.max_sweeps,
+            |s, values| mdp.backup_state(s, values, gamma),
+            |_, stats, _| stats.max_abs < tolerance,
+        );
+        let policy = mdp.greedy_policy(&outcome.values, gamma);
+        Ok(ValueIterationOutcome {
+            converged: outcome.converged,
+            sweeps: outcome.sweeps,
+            residual: outcome.last.max_abs,
+            values: outcome.values,
+            policy,
+        })
+    }
+
+    /// Trait-callback reference implementation (Gauss–Seidel, in-place),
+    /// kept for differential testing and benchmarking against the compiled
+    /// kernel.
     ///
     /// # Errors
     ///
     /// Returns [`MdpError::BadParameter`] if `gamma ∉ [0, 1)` or the model is
     /// empty.
-    pub fn solve<M: FiniteMdp>(&self, mdp: &M) -> Result<ValueIterationOutcome, MdpError> {
+    pub fn solve_callback<M: FiniteMdp>(&self, mdp: &M) -> Result<ValueIterationOutcome, MdpError> {
         validate_gamma(self.gamma)?;
         if mdp.n_states() == 0 || mdp.n_actions() == 0 {
             return Err(MdpError::EmptyModel);
@@ -160,7 +222,10 @@ mod tests {
     #[test]
     fn residual_certifies_solution() {
         let (mdp, gamma) = reference::gridworld(4, 4, 0.1);
-        let out = ValueIteration::new(gamma).tolerance(1e-10).solve(&mdp).unwrap();
+        let out = ValueIteration::new(gamma)
+            .tolerance(1e-10)
+            .solve(&mdp)
+            .unwrap();
         // ||TV - V|| <= tolerance * small factor near the fixed point.
         assert!(bellman_residual(&mdp, &out.values, gamma) < 1e-8);
     }

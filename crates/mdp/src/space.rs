@@ -163,10 +163,7 @@ mod tests {
     fn lexicographic_order() {
         let space = ProductSpace::new(vec![2, 2]).unwrap();
         let all: Vec<Vec<usize>> = space.iter().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

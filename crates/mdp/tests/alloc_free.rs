@@ -1,0 +1,120 @@
+//! Verifies the acceptance criterion that compiled solvers perform **zero
+//! heap allocation per sweep**: the allocation count of a solve must not
+//! grow with the number of sweeps performed.
+//!
+//! A counting wrapper around the system allocator tallies every allocation
+//! on this test binary; solving the same compiled model with a small and a
+//! large sweep budget must allocate exactly the same number of times (all
+//! buffers are set up before the first sweep).
+
+use mdp::solver::{evaluate_policy_compiled, PolicyIteration, ValueIteration};
+use mdp::{reference, CompiledMdp};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// A 16×14 gridworld (224 states × 4 actions) — comparable in size to the
+/// per-RSU cache MDP presets (e.g. 3 contents at age cap 6 → 216 states).
+fn compiled_model() -> CompiledMdp {
+    let (mdp, _) = reference::gridworld(16, 14, 0.15);
+    CompiledMdp::compile(&mdp).unwrap()
+}
+
+#[test]
+fn value_iteration_sweeps_do_not_allocate() {
+    let compiled = compiled_model();
+    // Serial path: the sweep loop itself must be allocation-free, so the
+    // total allocation count is independent of the sweep budget.
+    let solver = ValueIteration::new(0.95).tolerance(0.0).parallel(false);
+    // Warm up (thread-locals, lazy runtime state).
+    let _ = solver.max_sweeps(3).solve_compiled(&compiled).unwrap();
+    let short = allocations_during(|| {
+        let _ = solver.max_sweeps(5).solve_compiled(&compiled).unwrap();
+    });
+    let long = allocations_during(|| {
+        let _ = solver.max_sweeps(400).solve_compiled(&compiled).unwrap();
+    });
+    assert_eq!(
+        short, long,
+        "allocation count must not scale with sweeps (short {short}, long {long})"
+    );
+}
+
+#[test]
+fn policy_evaluation_sweeps_do_not_allocate() {
+    let compiled = compiled_model();
+    let policy = ValueIteration::new(0.9)
+        .parallel(false)
+        .solve_compiled(&compiled)
+        .unwrap()
+        .policy;
+    let _ = evaluate_policy_compiled(&compiled, &policy, 0.9, 0.0, 3, false);
+    let short = allocations_during(|| {
+        let _ = evaluate_policy_compiled(&compiled, &policy, 0.9, 0.0, 5, false);
+    });
+    let long = allocations_during(|| {
+        let _ = evaluate_policy_compiled(&compiled, &policy, 0.9, 0.0, 400, false);
+    });
+    assert_eq!(
+        short, long,
+        "allocation count must not scale with sweeps (short {short}, long {long})"
+    );
+}
+
+#[test]
+fn policy_iteration_inner_sweeps_do_not_allocate() {
+    let compiled = compiled_model();
+    // Policy iteration allocates per improvement *round* (values vector,
+    // final policy), never per evaluation sweep: tightening the inner
+    // tolerance by orders of magnitude must not change the count.
+    let solve = |tol: f64| {
+        PolicyIteration::new(0.95)
+            .eval_tolerance(tol)
+            .parallel(false)
+            .solve_compiled(&compiled)
+            .unwrap()
+    };
+    let _ = solve(1e-4);
+    let coarse_rounds = solve(1e-4).rounds;
+    let fine_rounds = solve(1e-12).rounds;
+    if coarse_rounds == fine_rounds {
+        let coarse = allocations_during(|| {
+            let _ = solve(1e-4);
+        });
+        let fine = allocations_during(|| {
+            let _ = solve(1e-12);
+        });
+        assert_eq!(
+            coarse, fine,
+            "equal rounds must allocate equally (coarse {coarse}, fine {fine})"
+        );
+    }
+}

@@ -18,10 +18,8 @@ fn arb_mdp(max_states: usize, max_actions: usize) -> impl Strategy<Value = Tabul
     (2..=max_states, 1..=max_actions)
         .prop_flat_map(|(n, m)| {
             // For each (s, a) row: up to 3 destination/weight/reward triples.
-            let row = proptest::collection::vec(
-                (0..n, 0.05f64..1.0, -1.0f64..1.0),
-                1..=3usize.min(n),
-            );
+            let row =
+                proptest::collection::vec((0..n, 0.05f64..1.0, -1.0f64..1.0), 1..=3usize.min(n));
             proptest::collection::vec(row, n * m).prop_map(move |rows| {
                 let mut b = TabularMdp::builder(n, m);
                 for (i, row) in rows.into_iter().enumerate() {

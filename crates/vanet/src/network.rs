@@ -167,9 +167,9 @@ impl Network {
     /// Advances one slot: mobility, request generation, popularity update.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> NetworkSlot {
         let mobility = self.traffic.step(rng);
-        let requests = self
-            .generator
-            .generate(self.traffic.vehicles(), &self.road, &self.layout, rng);
+        let requests =
+            self.generator
+                .generate(self.traffic.vehicles(), &self.road, &self.layout, rng);
         for r in &requests {
             self.popularity[r.rsu.0].record(r.region);
         }

@@ -47,7 +47,9 @@ impl Zipf {
                 valid: ">= 0 and finite",
             });
         }
-        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         let cdf = weights

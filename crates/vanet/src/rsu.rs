@@ -200,7 +200,10 @@ mod tests {
             assert!(p > 0.0 && p < 1000.0);
         }
         // RSU positions must be increasing along the road.
-        let ps: Vec<f64> = layout.rsus().map(|k| layout.position_on(&road, k)).collect();
+        let ps: Vec<f64> = layout
+            .rsus()
+            .map(|k| layout.position_on(&road, k))
+            .collect();
         assert!(ps.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vanet::{
-    MobilityConfig, Network, NetworkConfig, RegionId, Road, RsuLayout, Traffic, Zipf,
-};
+use vanet::{MobilityConfig, Network, NetworkConfig, RegionId, Road, RsuLayout, Traffic, Zipf};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

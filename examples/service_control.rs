@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut points = Vec::new();
     for v in [1.0, 4.0, 16.0, 64.0, 256.0] {
         let report = run_service(&scenario, ServicePolicyKind::Lyapunov { v })?;
-        println!("{v:>8.0} {:>12.4} {:>12.2}", report.mean_cost, report.mean_queue);
+        println!(
+            "{v:>8.0} {:>12.4} {:>12.2}",
+            report.mean_cost, report.mean_queue
+        );
         points.push(TradeoffPoint {
             v,
             mean_cost: report.mean_cost,
@@ -56,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fig = fig1b_scenario();
     fig.horizon = 1000;
     let reports = compare_service(&fig, &fig1b_policies())?;
-    let mut plot = simkit::plot::AsciiPlot::new("UV latency Q[t] (Fig. 1b)", 72, 14)
-        .y_label("queue length");
+    let mut plot =
+        simkit::plot::AsciiPlot::new("UV latency Q[t] (Fig. 1b)", 72, 14).y_label("queue length");
     for r in &reports {
         let named = rename(r.queue.downsample(72), &r.policy);
         plot = plot.series(&named);

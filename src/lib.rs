@@ -17,10 +17,29 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `aoi-cache` | the paper's algorithms, policies and simulators |
-//! | [`mdp`] | `mdp` | finite-MDP models and solvers |
+//! | [`mdp`] | `mdp` | finite-MDP models, the compiled CSR solver kernel, and solvers |
 //! | [`lyapunov`] | `lyapunov` | queues and drift-plus-penalty control |
 //! | [`vanet`] | `vanet` | the synthetic connected-vehicle substrate |
 //! | [`simkit`] | `simkit` | RNG streams, time series, stats, plots |
+//!
+//! ## Solving fast: compile-then-solve
+//!
+//! Every sweep-based MDP solver compiles its model into a
+//! [`mdp::CompiledMdp`] (flat CSR transition arrays, precomputed expected
+//! rewards, validity bitmap) and iterates on the flat arrays with zero heap
+//! allocation per sweep; under the default `parallel` feature the per-state
+//! Bellman backup fans out across worker threads with bit-for-bit identical
+//! results. The simulators compile each RSU's MDP exactly once
+//! ([`core::CompiledRsuMdp`]) and share the kernel across every policy
+//! kind, horizon step and run.
+//!
+//! ## Offline dependency stand-ins
+//!
+//! The build environment has no crates.io access; `serde`, `rand`,
+//! `proptest`, `criterion`, `parking_lot` and `crossbeam` are provided as
+//! API-compatible local implementations under `crates/compat/`, declared in
+//! one place (`[workspace.dependencies]`) so each can be swapped for its
+//! real release by editing a single line.
 //!
 //! ## Quickstart
 //!
@@ -68,13 +87,13 @@ pub mod prelude {
     };
     pub use aoi_cache::{
         compare_service, run_joint, run_service, Age, AgeVector, AoiCacheError, CachePolicyKind,
-        CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy, Catalog, JointReport,
-        JointScenario, PopularityModel, RewardModel, RsuCacheMdp, RsuSpec, ServiceLevel,
-        ServicePolicy, ServicePolicyKind, ServiceRunReport, ServiceScenario,
+        CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy, Catalog, CompiledRsuMdp,
+        JointReport, JointScenario, PopularityModel, RewardModel, RsuCacheMdp, RsuSpec,
+        ServiceLevel, ServicePolicy, ServicePolicyKind, ServiceRunReport, ServiceScenario,
     };
     pub use lyapunov::{DecisionOption, DriftPlusPenalty, Queue, ServiceController};
     pub use mdp::solver::{PolicyIteration, QLearning, ValueIteration};
-    pub use mdp::{FiniteMdp, Policy, TabularMdp};
+    pub use mdp::{CompiledMdp, FiniteMdp, Policy, TabularMdp};
     pub use simkit::{SeedSequence, TimeSeries, TimeSlot};
     pub use vanet::{Network, NetworkConfig, Road, RsuLayout, Zipf};
 }

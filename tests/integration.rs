@@ -132,7 +132,14 @@ fn custom_policy_through_trait_object() {
     // Content 0 of every RSU is pinned fresh.
     for k in 0..2 {
         assert!(report.aoi_trace(k, 0).max().unwrap() <= 6.0);
-        assert_eq!(report.aoi_trace(k, 0).values().skip(1).fold(f64::MIN, f64::max), 1.0);
+        assert_eq!(
+            report
+                .aoi_trace(k, 0)
+                .values()
+                .skip(1)
+                .fold(f64::MIN, f64::max),
+            1.0
+        );
     }
 }
 

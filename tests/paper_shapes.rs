@@ -50,7 +50,10 @@ fn fig1a_selected_contents_stay_below_their_limit() {
             .skip(warmup)
             .filter(|v| *v == 1.0)
             .count();
-        assert!(refreshes > 10, "rsu{k}/content{h}: only {refreshes} refreshes");
+        assert!(
+            refreshes > 10,
+            "rsu{k}/content{h}: only {refreshes} refreshes"
+        );
     }
 }
 
