@@ -40,10 +40,22 @@ fn bench_queue_step(c: &mut Criterion) {
     });
 }
 
+/// A whole stage-2 ensemble grid through the experiment engine (the Fig. 1b
+/// policy menu over replicate arrival traces): controller decisions, queue
+/// dynamics and the engine's cell fan-out, end to end.
+fn bench_service_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_grid");
+    group.sample_size(10);
+    let plan = aoi_cache::presets::fig1b_ensemble(3);
+    group.bench_function("fig1b_3traces", |b| b.iter(|| plan.run().expect("runs")));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dpp_decide,
     bench_controller_step,
-    bench_queue_step
+    bench_queue_step,
+    bench_service_grid
 );
 criterion_main!(benches);

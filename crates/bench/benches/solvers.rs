@@ -117,6 +117,23 @@ fn bench_q_learning(c: &mut Criterion) {
     group.finish();
 }
 
+/// The experiment engine on the grid presets: how much a whole multi-cell
+/// grid costs end to end (policy solves on shared compiled kernels plus
+/// the simulation loops), serial vs auto-sized executor fan-out. On
+/// multicore hosts the auto variant also measures the cell-level
+/// parallelism win; on single-CPU hosts the two coincide.
+fn bench_experiment_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_grid");
+    group.sample_size(10);
+    let serial = aoi_cache::presets::smoke_grid().workers(1);
+    group.bench_function("smoke_2x2_serial", |b| {
+        b.iter(|| serial.run().expect("runs"))
+    });
+    let auto = aoi_cache::presets::smoke_grid();
+    group.bench_function("smoke_2x2_auto", |b| b.iter(|| auto.run().expect("runs")));
+    group.finish();
+}
+
 fn bench_state_encoding(c: &mut Criterion) {
     let space = ProductSpace::new(vec![9; 5]).expect("fits");
     let coords = vec![3usize, 7, 1, 8, 0];
@@ -148,6 +165,7 @@ criterion_group!(
     bench_compiled_vs_callback,
     bench_compile,
     bench_q_learning,
+    bench_experiment_grid,
     bench_state_encoding,
     bench_transition_row
 );

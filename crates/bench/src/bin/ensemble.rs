@@ -1,0 +1,85 @@
+//! Ensemble figures — the paper's curves as multi-seed means with 95% CI
+//! bands, produced by the experiment engine.
+//!
+//! Runs the Fig. 1a cache grid (policy menu × seed replicates, cells
+//! concurrent on the shared executor, one compiled MDP kernel per RSU per
+//! replicate) and the Fig. 1b service grid, then renders the mean
+//! cumulative-reward / backlog curves with their confidence bands and a
+//! per-policy summary table.
+//!
+//! ```sh
+//! cargo run --release -p aoi-bench --bin ensemble [n_seeds]
+//! ```
+
+use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
+use aoi_cache::ExperimentReport;
+use simkit::plot::AsciiPlot;
+use simkit::table::{fmt_f64, Table};
+use simkit::TimeSeries;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    // --- Fig. 1a ensemble: cache policies × seeds -----------------------
+    let plan = fig1a_ensemble(n_seeds);
+    println!(
+        "Fig. 1a ensemble: {} cells ({} policies x {} seeds)\n",
+        plan.n_cells(),
+        plan.n_cells() / plan.n_replicates(),
+        plan.n_replicates()
+    );
+    let cache = plan.run()?;
+    print_summary(&cache, "final cumulative reward");
+    plot_means(
+        &cache,
+        "cumulative MBS reward (ensemble mean over seeds)",
+        120,
+    );
+
+    // --- Fig. 1b ensemble: service policies × arrival traces ------------
+    let plan = fig1b_ensemble(n_seeds);
+    println!(
+        "\nFig. 1b ensemble: {} cells ({} policies x {} arrival traces)\n",
+        plan.n_cells(),
+        plan.n_cells() / plan.n_replicates(),
+        plan.n_replicates()
+    );
+    let service = plan.run()?;
+    print_summary(&service, "final backlog");
+    plot_means(&service, "request backlog (ensemble mean over traces)", 120);
+    Ok(())
+}
+
+fn print_summary(report: &ExperimentReport, what: &str) {
+    let mut table = Table::new(["policy", what, "± 95% CI", "replicates"]);
+    for ensemble in &report.ensembles {
+        table.row([
+            ensemble.label.clone(),
+            fmt_f64(ensemble.curve.final_mean()),
+            fmt_f64(ensemble.curve.final_ci_half_width()),
+            ensemble.curve.replicates.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn plot_means(report: &ExperimentReport, title: &str, max_points: usize) {
+    let renamed: Vec<TimeSeries> = report
+        .ensembles
+        .iter()
+        .map(|e| {
+            let down = e.curve.mean.downsample(max_points);
+            let mut named = TimeSeries::with_capacity(e.label.clone(), down.len());
+            named.extend(down.iter().map(|p| (p.slot, p.value)));
+            named
+        })
+        .collect();
+    let mut plot = AsciiPlot::new(title, 72, 16).x_label("slot");
+    for series in &renamed {
+        plot = plot.series(series);
+    }
+    println!("{}", plot.render());
+}

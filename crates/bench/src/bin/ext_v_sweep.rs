@@ -3,12 +3,13 @@
 //! Sweeps the tradeoff coefficient of the paper's Eq. 5 and reports the
 //! time-average cost and backlog at each point: the canonical `O(1/V)`
 //! cost gap versus `O(V)` queue growth of Lyapunov optimization. Points
-//! are independent, so the sweep fans out across threads.
+//! are independent, so the sweep fans out on the shared executor (which
+//! also returns them in input order — no collect-and-sort needed).
 
 use aoi_cache::presets::fig1b_scenario;
 use aoi_cache::{run_service, ServicePolicyKind, ServiceScenario};
 use lyapunov::analysis::{has_v_tradeoff_signature, TradeoffPoint};
-use parking_lot::Mutex;
+use simkit::executor;
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,26 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let vs: Vec<f64> = (0..9).map(|i| 2f64.powi(i)).collect();
 
-    let points = Mutex::new(Vec::<TradeoffPoint>::new());
-    crossbeam::thread::scope(|scope| {
-        for &v in &vs {
-            let scenario = &scenario;
-            let points = &points;
-            scope.spawn(move |_| {
-                let report = run_service(scenario, ServicePolicyKind::Lyapunov { v })
-                    .expect("scenario is valid");
-                points.lock().push(TradeoffPoint {
-                    v,
-                    mean_cost: report.mean_cost,
-                    mean_backlog: report.mean_queue,
-                });
-            });
+    let workers = executor::worker_count(vs.len(), true, 1);
+    let points: Vec<TradeoffPoint> = executor::parallel_map(workers, &vs, |_, &v| {
+        let report =
+            run_service(&scenario, ServicePolicyKind::Lyapunov { v }).expect("scenario is valid");
+        TradeoffPoint {
+            v,
+            mean_cost: report.mean_cost,
+            mean_backlog: report.mean_queue,
         }
-    })
-    .expect("worker threads do not panic");
-
-    let mut points = points.into_inner();
-    points.sort_by(|a, b| a.v.partial_cmp(&b.v).expect("finite V"));
+    });
 
     let mut table = Table::new(["V", "mean cost", "mean queue"]);
     for p in &points {

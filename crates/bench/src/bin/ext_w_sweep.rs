@@ -6,7 +6,7 @@
 //! large `w` ⇒ the MBS pays for maximal freshness every slot.
 
 use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation};
-use parking_lot::Mutex;
+use simkit::executor;
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,25 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let ws = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
 
-    let rows = Mutex::new(Vec::<(f64, f64, f64, f64)>::new());
-    crossbeam::thread::scope(|scope| {
-        for &w in &ws {
-            let rows = &rows;
-            scope.spawn(move |_| {
-                let scenario = CacheScenario { weight: w, ..base };
-                let sim = CacheSimulation::new(scenario).expect("scenario is valid");
-                let r = sim
-                    .run(CachePolicyKind::ValueIteration { gamma: 0.95 })
-                    .expect("solver succeeds");
-                rows.lock()
-                    .push((w, r.mean_aoi_ratio, r.updates_per_slot(), r.mean_cost));
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-
-    let mut rows = rows.into_inner();
-    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite w"));
+    // Points are independent; the shared executor fans them out and
+    // returns them in input (ascending-w) order.
+    let workers = executor::worker_count(ws.len(), true, 1);
+    let rows: Vec<(f64, f64, f64, f64)> = executor::parallel_map(workers, &ws, |_, &w| {
+        let scenario = CacheScenario { weight: w, ..base };
+        let sim = CacheSimulation::new(scenario).expect("scenario is valid");
+        let r = sim
+            .run(CachePolicyKind::ValueIteration { gamma: 0.95 })
+            .expect("solver succeeds");
+        (w, r.mean_aoi_ratio, r.updates_per_slot(), r.mean_cost)
+    });
 
     let mut table = Table::new(["w", "mean aoi/max", "updates/slot", "cost/slot"]);
     for (w, aoi, upd, cost) in &rows {

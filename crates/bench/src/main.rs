@@ -7,6 +7,7 @@ fn main() {
 Paper artifacts:
   cargo run --release -p aoi-bench --bin fig1a        Fig. 1a: AoI traces + cumulative reward
   cargo run --release -p aoi-bench --bin fig1b        Fig. 1b: UV latency under 3 service policies
+  cargo run --release -p aoi-bench --bin ensemble     Both figures as multi-seed mean ± CI ensembles
 
 Extensions (ablations beyond the paper):
   cargo run --release -p aoi-bench --bin tab_policies Cache-policy comparison table

@@ -6,9 +6,10 @@
 //! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId`,
 //! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
 //!
-//! Measurement is a simple calibrated wall-clock loop (median-free mean over
-//! an adaptive iteration count) — adequate for the relative comparisons the
-//! BENCH trajectory tracks, with none of criterion's statistics. Passing
+//! Measurement is a simple calibrated wall-clock loop over an adaptive
+//! iteration count, reporting the mean together with the p50/p95 of the
+//! per-batch times — so the BENCH trajectory captures tail latency, not
+//! just the average — with none of criterion's heavier statistics. Passing
 //! `--test` (as `cargo bench -- --test` does) runs every benchmark body
 //! exactly once, which keeps CI smoke runs fast.
 
@@ -161,6 +162,8 @@ pub struct Bencher {
     test_mode: bool,
     samples: usize,
     mean: Duration,
+    p50: Duration,
+    p95: Duration,
     iters: u64,
 }
 
@@ -170,6 +173,8 @@ impl Bencher {
         if self.test_mode {
             std::hint::black_box(f());
             self.mean = Duration::ZERO;
+            self.p50 = Duration::ZERO;
+            self.p95 = Duration::ZERO;
             self.iters = 1;
             return;
         }
@@ -186,24 +191,45 @@ impl Bencher {
             }
             batch *= 2;
         }
-        // Measure: `samples` batches, report the mean per iteration.
+        // Measure: `samples` batches; report the mean per iteration plus
+        // the p50/p95 of the per-batch iteration times (tail latency).
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
+        let mut batch_ns: Vec<f64> = Vec::with_capacity(self.samples.max(1));
         for _ in 0..self.samples.max(1) {
             let start = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            batch_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            total += elapsed;
             iters += batch;
         }
         self.mean = total / iters.max(1) as u32;
+        self.p50 = Duration::from_nanos(percentile_of(&mut batch_ns, 50.0) as u64);
+        self.p95 = Duration::from_nanos(percentile_of(&mut batch_ns, 95.0) as u64);
         self.iters = iters;
     }
 }
 
+/// Linear-interpolation percentile of the (unsorted) per-batch samples.
+fn percentile_of(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let rank = p / 100.0 * (samples.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    samples[lo] * (1.0 - frac) + samples[hi] * frac
+}
+
 struct Report {
     mean: Duration,
+    p50: Duration,
+    p95: Duration,
     iters: u64,
     test_mode: bool,
 }
@@ -213,13 +239,30 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(test_mode: bool, samples: usize, f: &mu
         test_mode,
         samples,
         mean: Duration::ZERO,
+        p50: Duration::ZERO,
+        p95: Duration::ZERO,
         iters: 0,
     };
     f(&mut bencher);
     Report {
         mean: bencher.mean,
+        p50: bencher.p50,
+        p95: bencher.p95,
         iters: bencher.iters,
         test_mode,
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
     }
 }
 
@@ -229,15 +272,6 @@ fn print_report(name: &str, report: &Report, throughput: Option<&Throughput>) {
         return;
     }
     let ns = report.mean.as_nanos();
-    let time = if ns >= 1_000_000_000 {
-        format!("{:.3} s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.3} ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.3} µs", ns as f64 / 1e3)
-    } else {
-        format!("{ns} ns")
-    };
     let rate = match throughput {
         Some(Throughput::Elements(n)) if ns > 0 => {
             format!("  ({:.0} elem/s)", *n as f64 / report.mean.as_secs_f64())
@@ -248,7 +282,10 @@ fn print_report(name: &str, report: &Report, throughput: Option<&Throughput>) {
         _ => String::new(),
     };
     println!(
-        "bench {name:<48} time: {time:>12}/iter over {} iters{rate}",
+        "bench {name:<48} time: {:>12}/iter  p50: {:>12}  p95: {:>12}  over {} iters{rate}",
+        format_duration(report.mean),
+        format_duration(report.p50),
+        format_duration(report.p95),
         report.iters
     );
 }
@@ -322,5 +359,33 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut xs = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile_of(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile_of(&mut xs, 50.0), 2.5);
+        assert_eq!(percentile_of(&mut xs, 100.0), 4.0);
+        // p95 of 4 samples: rank 2.85 between 3 and 4.
+        assert!((percentile_of(&mut xs, 95.0) - 3.85).abs() < 1e-12);
+        assert_eq!(percentile_of(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn measurement_records_tail_percentiles() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            samples: 4,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p95: Duration::ZERO,
+            iters: 0,
+        };
+        bencher.iter(|| std::hint::black_box((0..2000u64).sum::<u64>()));
+        assert!(bencher.iters > 0);
+        assert!(bencher.p50 > Duration::ZERO);
+        // Tail percentiles are ordered: p50 <= p95.
+        assert!(bencher.p95 >= bencher.p50);
     }
 }

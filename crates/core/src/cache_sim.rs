@@ -12,9 +12,10 @@ use crate::policy::{
 };
 use crate::reward::RewardModel;
 use crate::AoiCacheError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::{SeedSequence, SlotClock, TimeSeries};
+use simkit::{executor, SeedSequence, SlotClock, TimeSeries};
 use vanet::Zipf;
 
 /// Configuration of a stage-1 cache-management experiment.
@@ -200,18 +201,21 @@ impl CacheSimulation {
     }
 
     /// The per-RSU compiled MDPs shared by every run of this experiment,
-    /// built (and cached) on first use.
+    /// built (and cached) on first use. The per-RSU compiles are
+    /// independent and deterministic, so they fan out across the shared
+    /// executor — one job per RSU.
     ///
     /// # Errors
     ///
     /// Propagates model-construction and compilation errors.
     pub fn compiled(&self) -> Result<&[CompiledRsuMdp], AoiCacheError> {
         if self.compiled.get().is_none() {
-            let built = self
-                .specs
-                .iter()
-                .map(CompiledRsuMdp::from_spec)
-                .collect::<Result<Vec<_>, _>>()?;
+            let workers = executor::worker_count(self.specs.len(), true, 1);
+            let built = executor::parallel_map(workers, &self.specs, |_, spec| {
+                CompiledRsuMdp::from_spec(spec)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
             // A concurrent caller may have won the race; either value is
             // identical (deterministic construction), so the loser is
             // simply dropped.
@@ -222,7 +226,13 @@ impl CacheSimulation {
 
     /// Builds one policy of the given kind per RSU (solving on the shared,
     /// lazily compiled kernels for the MDP-based kinds) and runs the
-    /// experiment.
+    /// experiment. This is exactly the cell body a grid
+    /// [`ExperimentPlan`](crate::ExperimentPlan) executes, so a single run
+    /// and the corresponding grid cell produce equal reports.
+    ///
+    /// Each RSU's policy is built from its own deterministic RNG stream
+    /// (derived up front, in RSU order), so the per-RSU solves fan out
+    /// across the shared executor without changing results.
     ///
     /// # Errors
     ///
@@ -237,11 +247,17 @@ impl CacheSimulation {
         let _ = seeds.rng("catalog");
         let _ = seeds.rng("popularity");
         let _ = seeds.rng("init-ages");
-        let mut build_rng = seeds.rng("policy-build");
-        let mut policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(self.specs.len());
-        for (k, spec) in self.specs.iter().enumerate() {
-            policies.push(kind.build_with(spec, compiled.map(|c| &c[k]), &mut build_rng)?);
-        }
+        let build_seeds: Vec<u64> = (0..self.specs.len())
+            .map(|_| seeds.derive("policy-build"))
+            .collect();
+        let workers = executor::worker_count(self.specs.len(), kind.uses_mdp(), 1);
+        let policies: Vec<Box<dyn CacheUpdatePolicy>> =
+            executor::parallel_map(workers, &build_seeds, |k, seed| {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                kind.build_with(compiled.map(|c| &c[k]), &mut rng)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         self.run_with(policies, kind.label().to_string())
     }
 

@@ -1,0 +1,676 @@
+//! The multi-run experiment engine: grids over scenarios × policies × seed
+//! replicates, executed in parallel on the shared executor.
+//!
+//! The paper's headline figures are *ensembles* — cumulative-reward and
+//! AoI/backlog curves averaged over many seeded runs and compared across a
+//! policy menu. An [`ExperimentPlan`] expresses such a grid declaratively;
+//! [`ExperimentPlan::run`] expands it into cells (one `(scenario, seed,
+//! policy)` triple each), runs the cells concurrently on
+//! [`simkit::executor`], and aggregates each `(scenario, policy)` group's
+//! replicate curves into mean/95%-CI [`CurveSummary`] bands.
+//!
+//! Three properties make the engine safe to scale:
+//!
+//! * **Work sharing** — cells of the same `(scenario, seed)` share one
+//!   [`CacheSimulation`], so each RSU's exact MDP is enumerated and
+//!   compiled once per simulation instance no matter how many policy kinds
+//!   run against it (and those per-RSU compiles themselves fan out across
+//!   the executor).
+//! * **Determinism** — every cell derives all randomness from its own
+//!   scenario seed, so a grid run is bit-for-bit identical to running each
+//!   cell alone, for *any* worker count (including the serial fallback
+//!   without the `parallel` feature).
+//! * **Single-run compatibility** — the single-run APIs
+//!   ([`CacheSimulation::run`], [`run_service`], [`run_joint`]) are exactly
+//!   the cell bodies the engine calls, so a one-cell plan and a direct call
+//!   produce equal reports.
+//!
+//! ```
+//! use aoi_cache::{CachePolicyKind, CacheScenario, ExperimentGrid, ExperimentPlan};
+//!
+//! let scenario = CacheScenario {
+//!     n_rsus: 2,
+//!     regions_per_rsu: 2,
+//!     age_cap: 5,
+//!     max_age_min: 3,
+//!     max_age_max: 4,
+//!     horizon: 60,
+//!     ..CacheScenario::default()
+//! };
+//! let plan = ExperimentPlan::cache(
+//!     vec![scenario],
+//!     vec![CachePolicyKind::Myopic, CachePolicyKind::Never],
+//! )
+//! .replicate_seeds(vec![1, 2, 3]);
+//! let report = plan.run()?;
+//! assert_eq!(report.cells.len(), 6); // 1 scenario × 3 seeds × 2 policies
+//! assert_eq!(report.ensembles.len(), 2); // one summary curve per policy
+//! # Ok::<(), aoi_cache::AoiCacheError>(())
+//! ```
+
+use crate::cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
+use crate::joint_sim::{run_joint, JointReport, JointScenario};
+use crate::policy::CachePolicyKind;
+use crate::service::ServicePolicyKind;
+use crate::service_sim::{run_service, ServiceRunReport, ServiceScenario};
+use crate::AoiCacheError;
+use serde::{Deserialize, Serialize};
+use simkit::executor;
+use simkit::{summarize_curves, CurveSummary, TimeSeries};
+
+/// The policy/scenario axes of an experiment grid.
+///
+/// Joint scenarios embed their policy pair, so the joint grid has no
+/// separate policy axis (each scenario is its own policy cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentGrid {
+    /// Stage-1 cache management: scenarios × cache-policy menu.
+    Cache {
+        /// Base scenarios (their `seed` field is replaced by replicates).
+        scenarios: Vec<CacheScenario>,
+        /// The policy menu every scenario runs under.
+        policies: Vec<CachePolicyKind>,
+    },
+    /// Stage-2 content service: scenarios × service-policy menu.
+    Service {
+        /// Base scenarios (their `seed` field is replaced by replicates).
+        scenarios: Vec<ServiceScenario>,
+        /// The policy menu every scenario runs under.
+        policies: Vec<ServicePolicyKind>,
+    },
+    /// The full two-stage scheme on the vehicular substrate.
+    Joint {
+        /// Base scenarios, each carrying its own policy pair.
+        scenarios: Vec<JointScenario>,
+    },
+}
+
+impl ExperimentGrid {
+    fn n_scenarios(&self) -> usize {
+        match self {
+            ExperimentGrid::Cache { scenarios, .. } => scenarios.len(),
+            ExperimentGrid::Service { scenarios, .. } => scenarios.len(),
+            ExperimentGrid::Joint { scenarios } => scenarios.len(),
+        }
+    }
+
+    fn n_policies(&self) -> usize {
+        match self {
+            ExperimentGrid::Cache { policies, .. } => policies.len(),
+            ExperimentGrid::Service { policies, .. } => policies.len(),
+            ExperimentGrid::Joint { .. } => 1,
+        }
+    }
+
+    fn base_seed(&self, scenario: usize) -> u64 {
+        match self {
+            ExperimentGrid::Cache { scenarios, .. } => scenarios[scenario].seed,
+            ExperimentGrid::Service { scenarios, .. } => scenarios[scenario].seed,
+            ExperimentGrid::Joint { scenarios } => scenarios[scenario].seed,
+        }
+    }
+
+    fn policy_label(&self, scenario: usize, policy: usize) -> String {
+        match self {
+            ExperimentGrid::Cache { policies, .. } => policies[policy].label().to_string(),
+            ExperimentGrid::Service { policies, .. } => policies[policy].label().to_string(),
+            ExperimentGrid::Joint { scenarios } => format!(
+                "{}+{}",
+                scenarios[scenario].cache_policy.label(),
+                scenarios[scenario].service_policy.label()
+            ),
+        }
+    }
+}
+
+/// A declarative multi-run experiment: a grid plus seed replicates and an
+/// optional worker-count override.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentPlan {
+    /// The scenario × policy axes.
+    pub grid: ExperimentGrid,
+    /// Seed replicates substituted into every scenario's `seed` field.
+    /// Empty means "one replicate per scenario, using its embedded seed".
+    pub seeds: Vec<u64>,
+    /// Worker-count override for the cell fan-out (`None` sizes
+    /// automatically from the host; results are identical either way).
+    pub workers: Option<usize>,
+}
+
+impl ExperimentPlan {
+    /// A stage-1 cache-management grid.
+    pub fn cache(scenarios: Vec<CacheScenario>, policies: Vec<CachePolicyKind>) -> Self {
+        ExperimentPlan {
+            grid: ExperimentGrid::Cache {
+                scenarios,
+                policies,
+            },
+            seeds: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// A stage-2 content-service grid.
+    pub fn service(scenarios: Vec<ServiceScenario>, policies: Vec<ServicePolicyKind>) -> Self {
+        ExperimentPlan {
+            grid: ExperimentGrid::Service {
+                scenarios,
+                policies,
+            },
+            seeds: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// A joint two-stage grid (each scenario embeds its policy pair).
+    pub fn joint(scenarios: Vec<JointScenario>) -> Self {
+        ExperimentPlan {
+            grid: ExperimentGrid::Joint { scenarios },
+            seeds: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// Replaces the seed replicates (each scenario runs once per seed).
+    #[must_use]
+    pub fn replicate_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Forces the cell fan-out to exactly `workers` workers. `1` means
+    /// **fully serial**: the whole run — nested per-RSU compiles, solves
+    /// and sweep pools included — stays on the calling thread. Reports are
+    /// bit-for-bit identical for every choice; this only pins scheduling
+    /// (tests use it to prove exactly that).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Number of seed replicates per scenario (at least 1).
+    pub fn n_replicates(&self) -> usize {
+        self.seeds.len().max(1)
+    }
+
+    /// Total number of cells the plan expands to.
+    pub fn n_cells(&self) -> usize {
+        self.grid.n_scenarios() * self.n_replicates() * self.grid.n_policies()
+    }
+
+    /// The seed of replicate `rep` of `scenario`.
+    fn seed_of(&self, scenario: usize, rep: usize) -> u64 {
+        if self.seeds.is_empty() {
+            self.grid.base_seed(scenario)
+        } else {
+            self.seeds[rep]
+        }
+    }
+
+    /// Expands the grid into cell identities, in report order (scenario ▸
+    /// seed replicate ▸ policy).
+    pub fn cell_ids(&self) -> Vec<CellId> {
+        let mut ids = Vec::with_capacity(self.n_cells());
+        for scenario in 0..self.grid.n_scenarios() {
+            for rep in 0..self.n_replicates() {
+                for policy in 0..self.grid.n_policies() {
+                    ids.push(CellId {
+                        scenario,
+                        replicate: rep,
+                        seed: self.seed_of(scenario, rep),
+                        policy,
+                    });
+                }
+            }
+        }
+        ids
+    }
+
+    fn validate(&self) -> Result<(), AoiCacheError> {
+        if self.grid.n_scenarios() == 0 {
+            return Err(AoiCacheError::BadParameter {
+                what: "scenarios",
+                valid: "non-empty",
+            });
+        }
+        match &self.grid {
+            ExperimentGrid::Cache { policies, .. } if policies.is_empty() => {
+                Err(AoiCacheError::BadParameter {
+                    what: "policies",
+                    valid: "non-empty",
+                })
+            }
+            ExperimentGrid::Service { policies, .. } if policies.is_empty() => {
+                Err(AoiCacheError::BadParameter {
+                    what: "policies",
+                    valid: "non-empty",
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Runs every cell of the grid — concurrently on the shared executor
+    /// when the `parallel` feature is on — and aggregates the replicate
+    /// curves of each `(scenario, policy)` group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AoiCacheError::BadParameter`] for an empty grid and
+    /// propagates the first scenario/solver error any cell hits.
+    pub fn run(&self) -> Result<ExperimentReport, AoiCacheError> {
+        self.validate()?;
+        if self.workers == Some(1) {
+            // A 1-worker plan promises fully serial execution: suppress
+            // the nested automatic fan-outs (per-RSU compiles/solves,
+            // sweep pools) too, not just the cell loop.
+            executor::serialized(|| self.run_cells())
+        } else {
+            self.run_cells()
+        }
+    }
+
+    fn run_cells(&self) -> Result<ExperimentReport, AoiCacheError> {
+        let ids = self.cell_ids();
+        let workers = self
+            .workers
+            .unwrap_or_else(|| executor::worker_count(ids.len(), true, 1));
+
+        let outcomes: Vec<Result<CellOutcome, AoiCacheError>> = match &self.grid {
+            ExperimentGrid::Cache {
+                scenarios,
+                policies,
+            } => {
+                // One shared simulation per (scenario, replicate): every
+                // policy cell reuses its catalog, initial ages and compiled
+                // per-RSU MDP kernels.
+                let n_reps = self.n_replicates();
+                let mut sims = Vec::with_capacity(scenarios.len() * n_reps);
+                for (si, base) in scenarios.iter().enumerate() {
+                    for rep in 0..n_reps {
+                        let mut scenario = *base;
+                        scenario.seed = self.seed_of(si, rep);
+                        sims.push(CacheSimulation::new(scenario)?);
+                    }
+                }
+                if policies.iter().any(|p| p.uses_mdp()) {
+                    // Compile ahead of the fan-out so cells never race the
+                    // lazy kernel cache (the per-RSU compiles themselves run
+                    // on the executor).
+                    for sim in &sims {
+                        sim.compiled()?;
+                    }
+                }
+                executor::parallel_map(workers, &ids, |_, id| {
+                    let sim = &sims[id.scenario * n_reps + id.replicate];
+                    sim.run(policies[id.policy]).map(CellOutcome::Cache)
+                })
+            }
+            ExperimentGrid::Service {
+                scenarios,
+                policies,
+            } => executor::parallel_map(workers, &ids, |_, id| {
+                let mut scenario = scenarios[id.scenario].clone();
+                scenario.seed = id.seed;
+                run_service(&scenario, policies[id.policy]).map(CellOutcome::Service)
+            }),
+            ExperimentGrid::Joint { scenarios } => {
+                executor::parallel_map(workers, &ids, |_, id| {
+                    let mut scenario = scenarios[id.scenario].clone();
+                    scenario.seed = id.seed;
+                    run_joint(&scenario).map(CellOutcome::Joint)
+                })
+            }
+        };
+
+        let mut cells = Vec::with_capacity(ids.len());
+        for (id, outcome) in ids.into_iter().zip(outcomes) {
+            cells.push(CellReport {
+                label: self.grid.policy_label(id.scenario, id.policy),
+                id,
+                outcome: outcome?,
+            });
+        }
+        let ensembles = self.summarize(&cells)?;
+        Ok(ExperimentReport { cells, ensembles })
+    }
+
+    /// Aggregates each `(scenario, policy)` group's headline curves across
+    /// seed replicates.
+    fn summarize(&self, cells: &[CellReport]) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+        let mut ensembles = Vec::new();
+        for scenario in 0..self.grid.n_scenarios() {
+            for policy in 0..self.grid.n_policies() {
+                let curves: Vec<&TimeSeries> = cells
+                    .iter()
+                    .filter(|c| c.id.scenario == scenario && c.id.policy == policy)
+                    .map(|c| c.outcome.headline_curve())
+                    .collect();
+                let label = self.grid.policy_label(scenario, policy);
+                let curve = summarize_curves(format!("s{scenario}/{label}"), &curves)
+                    .expect("every group has one curve per replicate");
+                ensembles.push(EnsembleSummary {
+                    scenario,
+                    policy,
+                    label,
+                    curve,
+                });
+            }
+        }
+        Ok(ensembles)
+    }
+}
+
+/// Identity of one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellId {
+    /// Index into the plan's scenario list.
+    pub scenario: usize,
+    /// Index into the plan's seed replicates (0 when none were given).
+    pub replicate: usize,
+    /// The seed this cell ran under.
+    pub seed: u64,
+    /// Index into the plan's policy menu (0 for joint grids).
+    pub policy: usize,
+}
+
+/// One cell's full single-run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Which cell of the grid this is.
+    pub id: CellId,
+    /// Display label of the cell's policy.
+    pub label: String,
+    /// The underlying single-run report.
+    pub outcome: CellOutcome,
+}
+
+/// A single-run report of whichever simulator the grid drives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// Stage-1 cache-management run.
+    Cache(CacheRunReport),
+    /// Stage-2 content-service run.
+    Service(ServiceRunReport),
+    /// Joint two-stage run.
+    Joint(JointReport),
+}
+
+impl CellOutcome {
+    /// The stage-1 report, if this is a cache cell.
+    pub fn cache(&self) -> Option<&CacheRunReport> {
+        match self {
+            CellOutcome::Cache(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The stage-2 report, if this is a service cell.
+    pub fn service(&self) -> Option<&ServiceRunReport> {
+        match self {
+            CellOutcome::Service(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The joint report, if this is a joint cell.
+    pub fn joint(&self) -> Option<&JointReport> {
+        match self {
+            CellOutcome::Joint(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The curve the paper plots for this workload: cumulative reward
+    /// (cache and joint) or queue backlog (service).
+    pub fn headline_curve(&self) -> &TimeSeries {
+        match self {
+            CellOutcome::Cache(r) => &r.cumulative_reward,
+            CellOutcome::Service(r) => &r.queue,
+            CellOutcome::Joint(r) => &r.cumulative_cache_reward,
+        }
+    }
+}
+
+/// Mean/CI aggregation of one `(scenario, policy)` group across its seed
+/// replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleSummary {
+    /// Index into the plan's scenario list.
+    pub scenario: usize,
+    /// Index into the plan's policy menu — the group key to join cells on
+    /// (labels drop policy parameters, so two parameterizations of one
+    /// kind share a label but never a policy index).
+    pub policy: usize,
+    /// Display label of the policy (not necessarily unique per group).
+    pub label: String,
+    /// Per-slot mean and 95% CI band of the group's headline curves.
+    pub curve: CurveSummary,
+}
+
+/// Everything a grid run produced: per-cell reports (in `cell_ids` order)
+/// plus per-group ensemble summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// One full single-run report per cell.
+    pub cells: Vec<CellReport>,
+    /// One mean/CI summary per `(scenario, policy)` group.
+    pub ensembles: Vec<EnsembleSummary>,
+}
+
+impl ExperimentReport {
+    /// The cell at `(scenario, replicate, policy)`, if present.
+    pub fn cell(&self, scenario: usize, replicate: usize, policy: usize) -> Option<&CellReport> {
+        self.cells.iter().find(|c| {
+            c.id.scenario == scenario && c.id.replicate == replicate && c.id.policy == policy
+        })
+    }
+
+    /// The ensemble summary of `(scenario, policy index)`, if present.
+    pub fn ensemble_at(&self, scenario: usize, policy: usize) -> Option<&EnsembleSummary> {
+        self.ensembles
+            .iter()
+            .find(|e| e.scenario == scenario && e.policy == policy)
+    }
+
+    /// The first ensemble summary of `(scenario, policy-label)`, if any.
+    ///
+    /// Labels drop policy parameters (every `Lyapunov { v }` is
+    /// `"lyapunov"`), so a plan sweeping parameters of one kind has
+    /// several ensembles per label — use [`ensemble_at`] with the policy
+    /// index to address a specific one.
+    ///
+    /// [`ensemble_at`]: ExperimentReport::ensemble_at
+    pub fn ensemble(&self, scenario: usize, label: &str) -> Option<&EnsembleSummary> {
+        self.ensembles
+            .iter()
+            .find(|e| e.scenario == scenario && e.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceLevel;
+
+    fn tiny_cache() -> CacheScenario {
+        CacheScenario {
+            n_rsus: 2,
+            regions_per_rsu: 2,
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 80,
+            ..CacheScenario::default()
+        }
+    }
+
+    #[test]
+    fn cache_grid_shapes_and_order() {
+        let plan = ExperimentPlan::cache(
+            vec![tiny_cache()],
+            vec![CachePolicyKind::Myopic, CachePolicyKind::Never],
+        )
+        .replicate_seeds(vec![5, 6]);
+        assert_eq!(plan.n_cells(), 4);
+        let report = plan.run().unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.ensembles.len(), 2);
+        // Report order: seed-major, then policy.
+        assert_eq!(report.cells[0].id.seed, 5);
+        assert_eq!(report.cells[1].id.policy, 1);
+        assert_eq!(report.cells[2].id.seed, 6);
+        let myopic = report.ensemble(0, "myopic").unwrap();
+        assert_eq!(myopic.curve.replicates, 2);
+        assert_eq!(myopic.curve.mean.len(), 80);
+        // Myopic caching beats never-update on mean cumulative reward.
+        let never = report.ensemble(0, "never").unwrap();
+        assert!(myopic.curve.final_mean() > never.curve.final_mean());
+    }
+
+    #[test]
+    fn cells_match_standalone_single_runs() {
+        let plan = ExperimentPlan::cache(
+            vec![tiny_cache()],
+            vec![
+                CachePolicyKind::ValueIteration { gamma: 0.9 },
+                CachePolicyKind::Myopic,
+            ],
+        )
+        .replicate_seeds(vec![11, 12]);
+        let report = plan.run().unwrap();
+        for cell in &report.cells {
+            let mut scenario = tiny_cache();
+            scenario.seed = cell.id.seed;
+            let standalone = CacheSimulation::new(scenario).unwrap();
+            let kind = [
+                CachePolicyKind::ValueIteration { gamma: 0.9 },
+                CachePolicyKind::Myopic,
+            ][cell.id.policy];
+            let want = standalone.run(kind).unwrap();
+            assert_eq!(
+                cell.outcome.cache().unwrap(),
+                &want,
+                "cell {:?} must equal its standalone run",
+                cell.id
+            );
+        }
+    }
+
+    #[test]
+    fn empty_seed_list_uses_scenario_seed() {
+        let plan = ExperimentPlan::cache(vec![tiny_cache()], vec![CachePolicyKind::Never]);
+        let report = plan.run().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].id.seed, tiny_cache().seed);
+    }
+
+    #[test]
+    fn service_grid_runs_shared_traces() {
+        let scenario = ServiceScenario {
+            horizon: 200,
+            levels: ServiceLevel::standard_menu(),
+            ..ServiceScenario::default()
+        };
+        let plan = ExperimentPlan::service(
+            vec![scenario],
+            vec![
+                ServicePolicyKind::Lyapunov { v: 20.0 },
+                ServicePolicyKind::AlwaysServe,
+            ],
+        )
+        .replicate_seeds(vec![1, 2, 3]);
+        let report = plan.run().unwrap();
+        assert_eq!(report.cells.len(), 6);
+        let lyap = report.ensemble(0, "lyapunov").unwrap();
+        assert_eq!(lyap.curve.replicates, 3);
+        assert_eq!(lyap.curve.mean.len(), 200);
+        // Always-serve keeps the mean queue at or below Lyapunov's.
+        let always = report.ensemble(0, "always-serve").unwrap();
+        assert!(always.curve.mean.mean() <= lyap.curve.mean.mean() + 1e-9);
+    }
+
+    #[test]
+    fn joint_grid_labels_embed_both_policies() {
+        let scenario = JointScenario {
+            network: vanet::NetworkConfig {
+                n_regions: 4,
+                n_rsus: 2,
+                road_length_m: 800.0,
+                ..vanet::NetworkConfig::default()
+            },
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 60,
+            warmup: 10,
+            ..JointScenario::default()
+        };
+        let report = ExperimentPlan::joint(vec![scenario])
+            .replicate_seeds(vec![7, 8])
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].label, "myopic+lyapunov");
+        assert!(report.cells[0].outcome.joint().is_some());
+        assert_eq!(report.ensembles.len(), 1);
+    }
+
+    #[test]
+    fn empty_grids_are_rejected() {
+        assert!(ExperimentPlan::cache(vec![], vec![CachePolicyKind::Never])
+            .run()
+            .is_err());
+        assert!(ExperimentPlan::cache(vec![tiny_cache()], vec![])
+            .run()
+            .is_err());
+        assert!(
+            ExperimentPlan::service(vec![ServiceScenario::default()], vec![])
+                .run()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parameter_sweeps_keep_distinct_ensembles() {
+        // Two parameterizations of one kind share a label but must keep
+        // separate, addressable ensembles.
+        let plan = ExperimentPlan::cache(
+            vec![tiny_cache()],
+            vec![
+                CachePolicyKind::Random { probability: 0.1 },
+                CachePolicyKind::Random { probability: 0.9 },
+            ],
+        )
+        .replicate_seeds(vec![1, 2]);
+        let report = plan.run().unwrap();
+        assert_eq!(report.ensembles.len(), 2);
+        let lazy = report.ensemble_at(0, 0).unwrap();
+        let eager = report.ensemble_at(0, 1).unwrap();
+        assert_eq!(lazy.label, eager.label);
+        assert_ne!(lazy.policy, eager.policy);
+        // More updates ⇒ different curves; the two groups must not have
+        // been merged.
+        assert_ne!(
+            lazy.curve.final_mean(),
+            eager.curve.final_mean(),
+            "distinct parameterizations must aggregate separately"
+        );
+        // The label lookup still resolves (to the first match).
+        assert_eq!(report.ensemble(0, "random").unwrap().policy, 0);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let plan = ExperimentPlan::cache(vec![tiny_cache()], vec![CachePolicyKind::Never])
+            .replicate_seeds(vec![1]);
+        let report = plan.run().unwrap();
+        assert!(report.cell(0, 0, 0).is_some());
+        assert!(report.cell(0, 1, 0).is_none());
+        let cell = report.cell(0, 0, 0).unwrap();
+        assert!(cell.outcome.service().is_none());
+        assert!(cell.outcome.joint().is_none());
+        assert_eq!(cell.outcome.headline_curve().len(), 80);
+    }
+}

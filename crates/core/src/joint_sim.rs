@@ -20,9 +20,10 @@ use crate::reward::RewardModel;
 use crate::service::{ServiceDecisionContext, ServiceLevel, ServicePolicy, ServicePolicyKind};
 use crate::AoiCacheError;
 use lyapunov::Queue;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::{SeedSequence, SlotClock, TimeSeries};
+use simkit::{executor, SeedSequence, SlotClock, TimeSeries};
 use vanet::{Network, NetworkConfig, RsuId};
 
 /// Configuration of a joint two-stage experiment.
@@ -186,36 +187,57 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
 
     // Per-RSU problem specs; the build-time popularity is the (uniform)
     // initial estimate — live estimates flow in during the run.
-    let mut build_rng = seeds.rng("policy-build");
-    let mut cache_policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(n_rsus);
-    let mut service_policies: Vec<Box<dyn ServicePolicy>> = Vec::with_capacity(n_rsus);
-    let mut rewards: Vec<RewardModel> = Vec::with_capacity(n_rsus);
-    let mut specs: Vec<RsuSpec> = Vec::with_capacity(n_rsus);
-    for k in 0..n_rsus {
-        let coverage = layout.coverage(RsuId(k));
-        let n_local = coverage.end - coverage.start;
-        let spec = RsuSpec {
-            max_ages: catalog.max_ages(coverage.clone()),
-            popularity: vec![1.0 / n_local as f64; n_local],
-            age_cap: cap,
-            weight: scenario.weight,
-            update_cost: network.update_cost(RsuId(k), 1),
-        };
+    let specs: Vec<RsuSpec> = (0..n_rsus)
+        .map(|k| {
+            let coverage = layout.coverage(RsuId(k));
+            let n_local = coverage.end - coverage.start;
+            RsuSpec {
+                max_ages: catalog.max_ages(coverage.clone()),
+                popularity: vec![1.0 / n_local as f64; n_local],
+                age_cap: cap,
+                weight: scenario.weight,
+                update_cost: network.update_cost(RsuId(k), 1),
+            }
+        })
+        .collect();
+
+    // Per-RSU MDP compiles and solves are independent, so they fan out
+    // across the shared executor; each RSU builds from its own
+    // deterministic RNG stream (derived up front, in RSU order), keeping
+    // results identical for any worker count.
+    let build_seeds: Vec<u64> = (0..n_rsus).map(|_| seeds.derive("policy-build")).collect();
+    let workers = executor::worker_count(n_rsus, scenario.cache_policy.uses_mdp(), 1);
+    type BuiltRsu = (
+        Box<dyn CacheUpdatePolicy>,
+        Box<dyn ServicePolicy>,
+        RewardModel,
+    );
+    let built: Vec<BuiltRsu> = executor::parallel_map(workers, &build_seeds, |k, seed| {
+        let spec = &specs[k];
         // Compile the RSU's MDP once (when the policy kind solves one) so
         // the solver sweeps the CSR kernel rather than the trait callback.
         let compiled = if scenario.cache_policy.uses_mdp() {
-            Some(CompiledRsuMdp::from_spec(&spec)?)
+            Some(CompiledRsuMdp::from_spec(spec)?)
         } else {
             None
         };
-        cache_policies.push(scenario.cache_policy.build_with(
-            &spec,
-            compiled.as_ref(),
-            &mut build_rng,
-        )?);
-        service_policies.push(scenario.service_policy.build()?);
-        rewards.push(spec.reward_model()?);
-        specs.push(spec);
+        let mut rng = StdRng::seed_from_u64(*seed);
+        let cache_policy = scenario
+            .cache_policy
+            .build_with(compiled.as_ref(), &mut rng)?;
+        let service_policy = scenario.service_policy.build()?;
+        let reward = spec.reward_model()?;
+        Ok::<BuiltRsu, AoiCacheError>((cache_policy, service_policy, reward))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut cache_policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(n_rsus);
+    let mut service_policies: Vec<Box<dyn ServicePolicy>> = Vec::with_capacity(n_rsus);
+    let mut rewards: Vec<RewardModel> = Vec::with_capacity(n_rsus);
+    for (cache_policy, service_policy, reward) in built {
+        cache_policies.push(cache_policy);
+        service_policies.push(service_policy);
+        rewards.push(reward);
     }
 
     let mut init_rng = seeds.rng("init-ages");

@@ -18,6 +18,11 @@
 //! Three simulators regenerate the paper's evaluation:
 //! [`CacheSimulation`] (Fig. 1a), [`run_service`]/[`compare_service`]
 //! (Fig. 1b) and [`run_joint`] (both stages on the `vanet` substrate).
+//! The paper's *ensemble* figures — curves averaged over many seeded
+//! runs and compared across policy menus — come from the
+//! [`experiment`] engine: an [`ExperimentPlan`] grid over scenarios ×
+//! policies × seed replicates whose cells run concurrently on the shared
+//! executor and aggregate into mean/CI summary curves.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +58,7 @@ mod aoi;
 mod cache_sim;
 mod catalog;
 mod error;
+pub mod experiment;
 mod freshness_service;
 mod joint_sim;
 mod mdp_model;
@@ -66,6 +72,10 @@ pub use aoi::{Age, AgeVector};
 pub use cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
 pub use catalog::{Catalog, ContentSpec};
 pub use error::AoiCacheError;
+pub use experiment::{
+    CellId, CellOutcome, CellReport, EnsembleSummary, ExperimentGrid, ExperimentPlan,
+    ExperimentReport,
+};
 pub use freshness_service::{
     run_freshness_service, FreshnessReport, FreshnessScenario, ServingSource, SourcingMode,
 };

@@ -35,7 +35,10 @@ pub struct CacheDecisionContext<'a> {
 /// Each slot the policy returns `Some(local content index)` to push a fresh
 /// copy of that content, or `None` to skip the slot (the paper's binary
 /// `x^k_h(t)` with the one-update-per-RSU constraint).
-pub trait CacheUpdatePolicy {
+///
+/// Policies are `Send` so per-RSU construction (MDP solves included) can
+/// fan out across the shared executor.
+pub trait CacheUpdatePolicy: Send {
     /// Short display name (used in experiment tables).
     fn name(&self) -> &str;
 
@@ -596,10 +599,11 @@ impl CachePolicyKind {
         } else {
             None
         };
-        self.build_with(spec, compiled.as_ref(), rng)
+        self.build_with(compiled.as_ref(), rng)
     }
 
-    /// Builds a policy instance for one RSU against a pre-compiled kernel.
+    /// Builds a policy instance for one RSU against a pre-compiled kernel
+    /// (which embeds the per-RSU model, so no spec is needed here).
     ///
     /// The MDP-based kinds solve on `compiled` (which therefore must be
     /// `Some` for them); the baselines ignore it.
@@ -611,11 +615,9 @@ impl CachePolicyKind {
     /// without a compiled model.
     pub fn build_with(
         &self,
-        spec: &RsuSpec,
         compiled: Option<&CompiledRsuMdp>,
         rng: &mut dyn RngCore,
     ) -> Result<Box<dyn CacheUpdatePolicy>, AoiCacheError> {
-        let _ = spec;
         let need = || {
             compiled.ok_or(AoiCacheError::BadParameter {
                 what: "compiled",

@@ -2,6 +2,7 @@
 //! the benchmark harness, the examples and EXPERIMENTS.md.
 
 use crate::cache_sim::CacheScenario;
+use crate::experiment::ExperimentPlan;
 use crate::joint_sim::JointScenario;
 use crate::policy::CachePolicyKind;
 use crate::service::ServicePolicyKind;
@@ -46,6 +47,54 @@ pub fn joint_scenario() -> JointScenario {
     JointScenario::default()
 }
 
+/// The Fig. 1a experiment as an *ensemble*: the proposed MDP policy against
+/// the strongest baselines, replicated over `n_seeds` seeds, producing the
+/// mean/CI cumulative-reward curves the paper's figures average over.
+pub fn fig1a_ensemble(n_seeds: u64) -> ExperimentPlan {
+    ExperimentPlan::cache(
+        vec![fig1a_scenario()],
+        vec![
+            fig1a_policy(),
+            CachePolicyKind::AverageReward,
+            CachePolicyKind::Myopic,
+            CachePolicyKind::AgeThreshold { margin: 1 },
+            CachePolicyKind::Random { probability: 0.5 },
+            CachePolicyKind::Never,
+        ],
+    )
+    .replicate_seeds((1..=n_seeds.max(1)).collect())
+}
+
+/// The Fig. 1b experiment as an ensemble: the drift-plus-penalty rule and
+/// the two baseline extremes over `n_seeds` replicate arrival traces.
+pub fn fig1b_ensemble(n_seeds: u64) -> ExperimentPlan {
+    ExperimentPlan::service(vec![fig1b_scenario()], fig1b_policies().to_vec())
+        .replicate_seeds((1..=n_seeds.max(1)).collect())
+}
+
+/// A deliberately small grid (2 policies × 2 seeds on a tiny scenario) used
+/// by the CI smoke step and the bench harness to keep both executor paths
+/// (serial and `parallel`) green.
+pub fn smoke_grid() -> ExperimentPlan {
+    let scenario = CacheScenario {
+        n_rsus: 2,
+        regions_per_rsu: 3,
+        age_cap: 6,
+        max_age_min: 3,
+        max_age_max: 5,
+        horizon: 200,
+        ..CacheScenario::default()
+    };
+    ExperimentPlan::cache(
+        vec![scenario],
+        vec![
+            CachePolicyKind::ValueIteration { gamma: 0.9 },
+            CachePolicyKind::Myopic,
+        ],
+    )
+    .replicate_seeds(vec![1, 2])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +122,25 @@ mod tests {
     #[test]
     fn joint_scenario_is_valid() {
         assert!(joint_scenario().validate().is_ok());
+    }
+
+    #[test]
+    fn ensemble_presets_have_expected_shapes() {
+        let a = fig1a_ensemble(5);
+        assert_eq!(a.n_replicates(), 5);
+        assert_eq!(a.n_cells(), 30);
+        let b = fig1b_ensemble(3);
+        assert_eq!(b.n_cells(), 9);
+        // Degenerate requests still yield at least one replicate.
+        assert_eq!(fig1a_ensemble(0).n_replicates(), 1);
+    }
+
+    #[test]
+    fn smoke_grid_runs_quickly_and_deterministically() {
+        let report = smoke_grid().run().unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.ensembles.len(), 2);
+        let again = smoke_grid().run().unwrap();
+        assert_eq!(report, again);
     }
 }

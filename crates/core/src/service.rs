@@ -46,7 +46,7 @@ pub struct ServiceDecisionContext<'a> {
 }
 
 /// A per-RSU service decision rule: picks a service level each slot.
-pub trait ServicePolicy {
+pub trait ServicePolicy: Send {
     /// Short display name (used in experiment tables).
     fn name(&self) -> &str;
 

@@ -1,0 +1,64 @@
+//! Executor-determinism acceptance test: an experiment grid must produce a
+//! **bit-identical** `ExperimentReport` run serially (1 worker) and with a
+//! forced multi-worker fan-out — the same discipline PR 1 established for
+//! the sweep solvers. The grid mixes exact solves, learned policies (whose
+//! per-RSU RNG streams must not depend on scheduling), a finite-horizon
+//! solve (persistent stage pool) and baselines.
+
+use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation, ExperimentPlan};
+
+fn scenario() -> CacheScenario {
+    CacheScenario {
+        n_rsus: 3,
+        regions_per_rsu: 2,
+        age_cap: 5,
+        max_age_min: 3,
+        max_age_max: 4,
+        horizon: 120,
+        ..CacheScenario::default()
+    }
+}
+
+fn policies() -> Vec<CachePolicyKind> {
+    vec![
+        CachePolicyKind::ValueIteration { gamma: 0.9 },
+        CachePolicyKind::RecedingHorizon { horizon: 12 },
+        CachePolicyKind::QLearning {
+            gamma: 0.9,
+            steps: 3_000,
+        },
+        CachePolicyKind::Myopic,
+    ]
+}
+
+#[test]
+fn grid_reports_are_bit_identical_for_any_worker_count() {
+    let plan = ExperimentPlan::cache(vec![scenario()], policies()).replicate_seeds(vec![3, 4]);
+    let serial = plan.clone().workers(1).run().unwrap();
+    assert_eq!(serial.cells.len(), 8);
+    for workers in [2, 4, 7] {
+        let pooled = plan.clone().workers(workers).run().unwrap();
+        assert_eq!(
+            serial, pooled,
+            "grid report must be bit-identical with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn grid_cells_reproduce_single_runs_bit_for_bit() {
+    let plan = ExperimentPlan::cache(vec![scenario()], policies()).replicate_seeds(vec![9, 10]);
+    let report = plan.workers(4).run().unwrap();
+    for cell in &report.cells {
+        let mut s = scenario();
+        s.seed = cell.id.seed;
+        let standalone = CacheSimulation::new(s).unwrap();
+        let want = standalone.run(policies()[cell.id.policy]).unwrap();
+        assert_eq!(
+            cell.outcome.cache().unwrap(),
+            &want,
+            "cell {:?} diverged from its standalone single run",
+            cell.id
+        );
+    }
+}

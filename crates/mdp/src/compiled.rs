@@ -15,10 +15,11 @@
 //!
 //! Solvers then run on the compiled form with **zero heap allocation per
 //! sweep**, and the per-state Bellman backup is embarrassingly parallel:
-//! under the `parallel` feature (default) sweeps fan out across a pool of
-//! scoped worker threads. Sweeps are Jacobi-style (each state's backup reads
-//! only the previous iterate), so serial and parallel runs are bit-for-bit
-//! identical.
+//! under the `parallel` feature (default) sweeps fan out across the
+//! workspace's shared executor ([`simkit::executor`]) — one persistent
+//! barrier-synchronized pool per solve. Sweeps are Jacobi-style (each
+//! state's backup reads only the previous iterate), so serial and parallel
+//! runs are bit-for-bit identical.
 //!
 //! ```
 //! use mdp::{reference, CompiledMdp, FiniteMdp};
@@ -269,69 +270,6 @@ impl CompiledMdp {
         }
         residual
     }
-
-    /// Fills one backward-induction stage: `values[s], actions[s] =
-    /// max/argmax_a Q(s, a)` against `next_values`, parallelized across
-    /// states when `parallel` holds and the model is large enough.
-    ///
-    /// Unlike [`run_sweeps`], which keeps one worker pool alive across all
-    /// sweeps, this spawns scoped workers per call (one call per stage), so
-    /// the fan-out threshold is set much higher — spawn overhead must be
-    /// negligible against a single stage backup before parallelism pays.
-    pub(crate) fn fill_stage(
-        &self,
-        next_values: &[f64],
-        gamma: f64,
-        values: &mut [f64],
-        actions: &mut [usize],
-        parallel: bool,
-    ) {
-        #[cfg(feature = "parallel")]
-        {
-            let n = values.len();
-            let workers = worker_count_with(n, parallel, MIN_STATES_PER_SPAWNED_WORKER);
-            if workers >= 2 {
-                return self.fill_stage_parallel(next_values, gamma, values, actions, workers);
-            }
-        }
-        let _ = parallel;
-        for (s, (v, a)) in values.iter_mut().zip(actions.iter_mut()).enumerate() {
-            let (bv, ba) = self.backup_state_with_action(s, next_values, gamma);
-            *v = bv;
-            *a = ba;
-        }
-    }
-
-    /// Chunked fan-out of one stage backup across `workers` scoped threads
-    /// (factored out so tests can force a worker count regardless of the
-    /// host's CPU count).
-    #[cfg(feature = "parallel")]
-    fn fill_stage_parallel(
-        &self,
-        next_values: &[f64],
-        gamma: f64,
-        values: &mut [f64],
-        actions: &mut [usize],
-        workers: usize,
-    ) {
-        let chunk = values.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (i, (vals, acts)) in values
-                .chunks_mut(chunk)
-                .zip(actions.chunks_mut(chunk))
-                .enumerate()
-            {
-                let lo = i * chunk;
-                scope.spawn(move || {
-                    for (j, (v, a)) in vals.iter_mut().zip(acts.iter_mut()).enumerate() {
-                        let (bv, ba) = self.backup_state_with_action(lo + j, next_values, gamma);
-                        *v = bv;
-                        *a = ba;
-                    }
-                });
-            }
-        });
-    }
 }
 
 impl FiniteMdp for CompiledMdp {
@@ -407,8 +345,15 @@ impl SweepStats {
         self.lo = self.lo.min(delta);
         self.hi = self.hi.max(delta);
     }
+}
 
-    fn merge(&mut self, other: &SweepStats) {
+/// Lets the shared executor reduce per-chunk sweep stats across workers.
+impl simkit::executor::RoundStat for SweepStats {
+    fn identity() -> Self {
+        SweepStats::new()
+    }
+
+    fn merge(&mut self, other: &Self) {
         self.max_abs = self.max_abs.max(other.max_abs);
         self.lo = self.lo.min(other.lo);
         self.hi = self.hi.max(other.hi);
@@ -427,15 +372,24 @@ pub(crate) struct SweepOutcome {
     pub converged: bool,
 }
 
+/// Minimum states per worker before a sweep pool fans out (below this the
+/// barrier synchronization dominates the backup work). The pool is
+/// persistent across all rounds of one sweep loop — every value-iteration
+/// sweep, policy-evaluation sweep, or backward-induction stage of that
+/// loop reuses it — so spawn cost is amortized over the loop. (Policy
+/// iteration runs one evaluation loop per improvement round, so it pays
+/// one pool per round; see ROADMAP.)
+pub(crate) const MIN_STATES_PER_WORKER: usize = 1024;
+
 /// Shared Jacobi sweep loop: repeatedly computes `new[s] = backup(s, old)`
 /// for every state, lets `epilogue` post-process the fresh iterate (e.g.
 /// normalize it) and decide convergence, and stops at `max_sweeps`.
 ///
-/// All buffers are allocated once up front — the loop itself performs no
-/// heap allocation per sweep. With the `parallel` feature and a large enough
-/// model, states are partitioned across a persistent pool of scoped worker
-/// threads; because every backup reads only the previous iterate, the
-/// parallel schedule is bit-for-bit identical to the serial one.
+/// This is a thin domain adapter over [`simkit::executor::run_rounds`],
+/// the workspace's single thread-pool implementation: one persistent
+/// barrier-synchronized pool per solve, no per-sweep allocation, and a
+/// schedule that is bit-for-bit identical to the serial loop (every backup
+/// reads only the previous iterate).
 pub(crate) fn run_sweeps(
     values: Vec<f64>,
     parallel: bool,
@@ -443,212 +397,38 @@ pub(crate) fn run_sweeps(
     backup: impl Fn(usize, &[f64]) -> f64 + Sync,
     epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
 ) -> SweepOutcome {
-    #[cfg(feature = "parallel")]
-    {
-        let workers = worker_count(values.len(), parallel);
-        if workers >= 2 {
-            return run_sweeps_parallel(values, workers, max_sweeps, backup, epilogue);
-        }
-    }
-    let _ = parallel;
-    run_sweeps_serial(values, max_sweeps, backup, epilogue)
+    let workers = simkit::executor::worker_count(values.len(), parallel, MIN_STATES_PER_WORKER);
+    run_sweeps_on(values, workers, max_sweeps, backup, epilogue)
 }
 
-fn run_sweeps_serial(
-    mut values: Vec<f64>,
-    max_sweeps: usize,
-    backup: impl Fn(usize, &[f64]) -> f64,
-    mut epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
-) -> SweepOutcome {
-    let n = values.len();
-    let mut scratch = vec![0.0; n];
-    let mut sweeps = 0;
-    let mut last = SweepStats {
-        max_abs: f64::INFINITY,
-        ..SweepStats::new()
-    };
-    let mut converged = false;
-    while sweeps < max_sweeps {
-        sweeps += 1;
-        let mut stats = SweepStats::new();
-        for (s, slot) in scratch.iter_mut().enumerate() {
-            let backed = backup(s, &values);
-            stats.record(backed - values[s]);
-            *slot = backed;
-        }
-        let stop = epilogue(&mut scratch, &stats, sweeps);
-        std::mem::swap(&mut values, &mut scratch);
-        last = stats;
-        if stop {
-            converged = true;
-            break;
-        }
-    }
-    SweepOutcome {
-        values,
-        sweeps,
-        last,
-        converged,
-    }
-}
-
-/// Minimum states per worker before the persistent sweep pool fans out
-/// (below this the synchronization overhead dominates the backup work).
-#[cfg(feature = "parallel")]
-const MIN_STATES_PER_WORKER: usize = 1024;
-
-/// Minimum states per worker for one-shot spawns ([`CompiledMdp::fill_stage`]),
-/// where thread creation is paid on every call rather than amortized over a
-/// whole solve.
-#[cfg(feature = "parallel")]
-const MIN_STATES_PER_SPAWNED_WORKER: usize = 8192;
-
-/// Upper bound on sweep workers; backups are memory-bound, so very wide
-/// fan-out stops paying for itself.
-#[cfg(feature = "parallel")]
-const MAX_WORKERS: usize = 16;
-
-#[cfg(feature = "parallel")]
-fn worker_count(n_states: usize, parallel: bool) -> usize {
-    worker_count_with(n_states, parallel, MIN_STATES_PER_WORKER)
-}
-
-#[cfg(feature = "parallel")]
-fn worker_count_with(n_states: usize, parallel: bool, min_per_worker: usize) -> usize {
-    if !parallel {
-        return 1;
-    }
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    hardware.min(n_states / min_per_worker).min(MAX_WORKERS)
-}
-
-/// Parallel variant of [`run_sweeps_serial`]: a persistent pool of scoped
-/// workers, each owning a contiguous chunk of states, synchronized with the
-/// coordinating thread through a reusable barrier. Per sweep the workers
-/// (1) read the shared iterate and back up their chunk into a worker-local
-/// buffer, (2) publish the chunk, and then the coordinator (3) runs the
-/// epilogue and decides termination — three barrier phases, no per-sweep
-/// allocation anywhere.
-///
-/// A panic inside `backup` must not leave the coordinator blocked on a
-/// barrier the dead worker will never reach: workers catch panics, mark the
-/// pool poisoned, and keep honouring the barrier protocol; the coordinator
-/// then shuts the pool down and re-raises the panic on its own thread.
-#[cfg(feature = "parallel")]
-fn run_sweeps_parallel(
+/// [`run_sweeps`] with an explicit worker count (tests use this to force
+/// the pooled path on hosts whose CPU count would keep it serial).
+pub(crate) fn run_sweeps_on(
     values: Vec<f64>,
     workers: usize,
     max_sweeps: usize,
     backup: impl Fn(usize, &[f64]) -> f64 + Sync,
-    mut epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+    epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
 ) -> SweepOutcome {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{Barrier, Mutex, RwLock};
-
-    let n = values.len();
-    let chunk = n.div_ceil(workers);
-    let shared = RwLock::new(values);
-    let barrier = Barrier::new(workers + 1);
-    let done = AtomicBool::new(false);
-    let poisoned = AtomicBool::new(false);
-    let sweep_stats = Mutex::new(SweepStats::new());
-
-    let mut sweeps = 0;
-    let mut last = SweepStats {
-        max_abs: f64::INFINITY,
-        ..SweepStats::new()
-    };
-    let mut converged = false;
-    let mut worker_panicked = false;
-
-    std::thread::scope(|scope| {
-        for worker in 0..workers {
-            let lo = worker * chunk;
-            let hi = ((worker + 1) * chunk).min(n);
-            let shared = &shared;
-            let barrier = &barrier;
-            let done = &done;
-            let poisoned = &poisoned;
-            let sweep_stats = &sweep_stats;
-            let backup = &backup;
-            scope.spawn(move || {
-                let mut out = vec![0.0f64; hi - lo];
-                loop {
-                    barrier.wait(); // phase 1: released into a sweep
-                    if done.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut local = SweepStats::new();
-                        let old = shared.read().expect("sweep lock");
-                        for (slot, s) in out.iter_mut().zip(lo..hi) {
-                            let backed = backup(s, &old);
-                            local.record(backed - old[s]);
-                            *slot = backed;
-                        }
-                        local
-                    }));
-                    match compute {
-                        Ok(local) => sweep_stats.lock().expect("stats lock").merge(&local),
-                        Err(_) => poisoned.store(true, Ordering::SeqCst),
-                    }
-                    barrier.wait(); // phase 2: all chunks computed
-                    shared.write().expect("sweep lock")[lo..hi].copy_from_slice(&out);
-                    barrier.wait(); // phase 3: iterate published
-                }
-            });
-        }
-
-        // Coordinator (this thread).
-        loop {
-            if sweeps == max_sweeps {
-                done.store(true, Ordering::SeqCst);
-                barrier.wait();
-                break;
-            }
-            barrier.wait(); // phase 1
-            barrier.wait(); // phase 2
-            barrier.wait(); // phase 3
-            if poisoned.load(Ordering::SeqCst) {
-                worker_panicked = true;
-                done.store(true, Ordering::SeqCst);
-                barrier.wait();
-                break;
-            }
-            sweeps += 1;
-            let stats = {
-                let mut guard = sweep_stats.lock().expect("stats lock");
-                let stats = *guard;
-                *guard = SweepStats::new();
-                stats
-            };
-            let stop = {
-                let mut iterate = shared.write().expect("sweep lock");
-                epilogue(&mut iterate, &stats, sweeps)
-            };
-            last = stats;
-            if stop {
-                converged = true;
-                done.store(true, Ordering::SeqCst);
-                barrier.wait();
-                break;
-            }
-        }
-    });
-
-    // All workers have exited cleanly; now it is safe to re-raise.
-    assert!(
-        !worker_panicked,
-        "a parallel sweep worker panicked (backup closure)"
+    let outcome = simkit::executor::run_rounds(
+        values,
+        workers,
+        max_sweeps,
+        |s, old, stats: &mut SweepStats| {
+            let backed = backup(s, old);
+            stats.record(backed - old[s]);
+            backed
+        },
+        epilogue,
     );
-
     SweepOutcome {
-        values: shared.into_inner().expect("sweep lock"),
-        sweeps,
-        last,
-        converged,
+        values: outcome.values,
+        sweeps: outcome.rounds,
+        last: outcome.last.unwrap_or(SweepStats {
+            max_abs: f64::INFINITY,
+            ..SweepStats::new()
+        }),
+        converged: outcome.converged,
     }
 }
 
@@ -770,31 +550,33 @@ mod tests {
         assert!((r1 - r2).abs() < 1e-10, "{r1} vs {r2}");
     }
 
-    /// Drives the worker pool directly with forced worker counts so the
-    /// parallel code path is exercised even on single-CPU hosts (where
-    /// `worker_count` correctly refuses to fan out).
-    #[cfg(feature = "parallel")]
+    /// Drives the sweep adapter with forced worker counts so the pooled
+    /// code path is exercised even on single-CPU hosts (where the executor's
+    /// automatic sizing correctly refuses to fan out).
     #[test]
-    fn run_sweeps_serial_and_parallel_agree_bitwise() {
+    fn run_sweeps_serial_and_pooled_agree_bitwise() {
         let (model, gamma) = reference::gridworld(64, 64, 0.1);
         let compiled = CompiledMdp::compile(&model).unwrap();
         let backup = |s: usize, v: &[f64]| compiled.backup_state(s, v, gamma);
-        let serial =
-            run_sweeps_serial(vec![0.0; compiled.n_states()], 60, backup, |_, stats, _| {
-                stats.max_abs < 1e-9
-            });
+        let serial = run_sweeps_on(
+            vec![0.0; compiled.n_states()],
+            1,
+            60,
+            backup,
+            |_, stats, _| stats.max_abs < 1e-9,
+        );
         for workers in [2, 3, 7] {
-            let parallel = run_sweeps_parallel(
+            let pooled = run_sweeps_on(
                 vec![0.0; compiled.n_states()],
                 workers,
                 60,
                 backup,
                 |_, stats, _| stats.max_abs < 1e-9,
             );
-            assert_eq!(serial.sweeps, parallel.sweeps, "{workers} workers");
-            assert_eq!(serial.converged, parallel.converged);
+            assert_eq!(serial.sweeps, pooled.sweeps, "{workers} workers");
+            assert_eq!(serial.converged, pooled.converged);
             assert_eq!(
-                serial.values, parallel.values,
+                serial.values, pooled.values,
                 "iterates must be identical with {workers} workers"
             );
         }
@@ -804,9 +586,9 @@ mod tests {
     /// thread, not leave the coordinator deadlocked on the barrier.
     #[cfg(feature = "parallel")]
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    #[should_panic(expected = "pool worker panicked")]
     fn worker_panic_propagates_instead_of_deadlocking() {
-        let _ = run_sweeps_parallel(
+        let _ = run_sweeps_on(
             vec![0.0; 4096],
             3,
             5,
@@ -818,31 +600,5 @@ mod tests {
             },
             |_, _, _| false,
         );
-    }
-
-    #[test]
-    fn fill_stage_matches_serial_backup() {
-        let (model, gamma) = reference::gridworld(48, 48, 0.2);
-        let compiled = CompiledMdp::compile(&model).unwrap();
-        let n = compiled.n_states();
-        let next_values: Vec<f64> = (0..n).map(|s| (s % 17) as f64 * 0.1).collect();
-        let mut v_serial = vec![0.0; n];
-        let mut a_serial = vec![0usize; n];
-        compiled.fill_stage(&next_values, gamma, &mut v_serial, &mut a_serial, false);
-        // Forced fan-out: exercises the chunked path on any host.
-        #[cfg(feature = "parallel")]
-        {
-            let mut v_par = vec![0.0; n];
-            let mut a_par = vec![0usize; n];
-            compiled.fill_stage_parallel(&next_values, gamma, &mut v_par, &mut a_par, 5);
-            assert_eq!(v_serial, v_par);
-            assert_eq!(a_serial, a_par);
-        }
-        // And through the public entry point (serial on small hosts).
-        let mut v_auto = vec![0.0; n];
-        let mut a_auto = vec![0usize; n];
-        compiled.fill_stage(&next_values, gamma, &mut v_auto, &mut a_auto, true);
-        assert_eq!(v_serial, v_auto);
-        assert_eq!(a_serial, a_auto);
     }
 }

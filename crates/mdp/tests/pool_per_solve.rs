@@ -1,0 +1,67 @@
+//! Pool-reuse regression tests (companion to the counting-allocator suite
+//! in `alloc_free.rs`): a solve must create **exactly one** worker pool,
+//! however many sweeps or backward-induction stages it runs.
+//!
+//! The executor's pool counter is process-global, so everything lives in a
+//! single test function in its own integration-test binary — no concurrent
+//! test can race the deltas. `force_workers` drives the pooled path even on
+//! single-CPU hosts, where automatic sizing would correctly stay serial.
+
+#![cfg(feature = "parallel")]
+
+use mdp::solver::{BackwardInduction, ValueIteration};
+use mdp::{reference, CompiledMdp};
+use simkit::executor::{force_workers, pools_created};
+
+#[test]
+fn each_solve_creates_exactly_one_pool() {
+    let (model, gamma) = reference::gridworld(24, 24, 0.15);
+    let compiled = CompiledMdp::compile(&model).unwrap();
+    force_workers(Some(3));
+
+    // Backward induction: 40 stages, one persistent pool (it used to
+    // re-spawn scoped workers per stage).
+    let before = pools_created();
+    let solution = BackwardInduction::new(40)
+        .gamma(gamma)
+        .parallel(true)
+        .solve_compiled(&compiled)
+        .unwrap();
+    assert_eq!(solution.stage_policies.len(), 40);
+    assert_eq!(
+        pools_created() - before,
+        1,
+        "a 40-stage backward induction must spawn exactly one pool"
+    );
+
+    // Value iteration: many sweeps, still one pool.
+    let before = pools_created();
+    let outcome = ValueIteration::new(0.95)
+        .parallel(true)
+        .solve_compiled(&compiled)
+        .unwrap();
+    assert!(outcome.sweeps > 5, "expected a multi-sweep solve");
+    assert_eq!(
+        pools_created() - before,
+        1,
+        "a multi-sweep value iteration must spawn exactly one pool"
+    );
+
+    // Serial solves spawn no pool at all.
+    let before = pools_created();
+    let serial = ValueIteration::new(0.95)
+        .parallel(false)
+        .solve_compiled(&compiled)
+        .unwrap();
+    assert_eq!(
+        pools_created(),
+        before,
+        "serial solves must not spawn pools"
+    );
+    assert_eq!(
+        serial.values, outcome.values,
+        "pool must not change results"
+    );
+
+    force_workers(None);
+}

@@ -12,6 +12,12 @@
 //!   that experiments are reproducible under a single `u64` seed,
 //! * [`TimeSeries`] — per-slot sample recorder with downsampling,
 //! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
+//! * [`CurveSummary`] / [`summarize_curves`] — mean/CI aggregation of
+//!   replicate curves (experiment ensembles),
+//! * [`executor`] — the workspace's only thread pool: a persistent
+//!   barrier-synchronized round pool for fixed-point solvers and a one-shot
+//!   ordered [`parallel_map`](executor::parallel_map) for coarse jobs, both
+//!   gated behind the `parallel` feature and bit-for-bit deterministic,
 //! * [`AsciiPlot`](plot::AsciiPlot) and [`Table`](table::Table) — terminal
 //!   "figures" and CSV export used by the benchmark harness.
 //!
@@ -41,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod executor;
 pub mod plot;
 mod rng;
 mod series;
@@ -51,5 +58,5 @@ mod time;
 pub use error::SimkitError;
 pub use rng::{sample_poisson, SeedSequence};
 pub use series::{SeriesPoint, TimeSeries};
-pub use stats::{percentile, Histogram, RunningStats, Summary};
+pub use stats::{percentile, summarize_curves, CurveSummary, Histogram, RunningStats, Summary};
 pub use time::{SlotClock, TimeSlot};

@@ -1,5 +1,7 @@
-//! Streaming statistics: Welford running moments, percentiles, histograms.
+//! Streaming statistics: Welford running moments, percentiles, histograms,
+//! and ensemble curve summaries (mean/CI across replicate runs).
 
+use crate::series::TimeSeries;
 use crate::SimkitError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -365,9 +367,117 @@ impl Histogram {
     }
 }
 
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom (exact
+/// table through df = 30, the z quantile beyond). Replicate counts in
+/// experiment ensembles are small — 3 to 10 seeds — where the normal
+/// z = 1.96 would understate the band by a factor of up to 6.5.
+fn t_quantile_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+/// Ensemble summary of replicate curves: the per-slot mean with a 95%
+/// Student-t confidence band.
+///
+/// Produced by [`summarize_curves`] from the per-run [`TimeSeries`] of an
+/// experiment grid (e.g. cumulative-reward curves across seed replicates —
+/// the ensembles the paper's figures average over).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveSummary {
+    /// Number of replicate curves aggregated.
+    pub replicates: usize,
+    /// Per-slot mean across replicates.
+    pub mean: TimeSeries,
+    /// Lower edge of the 95% confidence band (`mean − t·se`, Student-t
+    /// quantile for `replicates − 1` degrees of freedom).
+    pub lo: TimeSeries,
+    /// Upper edge of the 95% confidence band (`mean + t·se`).
+    pub hi: TimeSeries,
+}
+
+impl CurveSummary {
+    /// Final value of the mean curve (0 if empty).
+    pub fn final_mean(&self) -> f64 {
+        self.mean.last().map_or(0.0, |p| p.value)
+    }
+
+    /// Half-width of the confidence band at the final slot (0 if empty).
+    pub fn final_ci_half_width(&self) -> f64 {
+        match (self.hi.last(), self.lo.last()) {
+            (Some(hi), Some(lo)) => (hi.value - lo.value) / 2.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Aggregates replicate curves slot by slot into a [`CurveSummary`]
+/// (mean ± `t`·se, where `t` is the two-sided 95% Student-t quantile for
+/// `n − 1` degrees of freedom — at the small replicate counts experiments
+/// actually use, the normal 1.96 would claim far more precision than the
+/// data has. The band collapses onto the mean for a single replicate.)
+///
+/// Curves are aligned by position and truncated to the shortest replicate;
+/// slots are taken from the first curve.
+///
+/// # Errors
+///
+/// Returns [`SimkitError::Empty`] when `curves` is empty or any curve has
+/// no samples.
+pub fn summarize_curves(
+    name: impl Into<String>,
+    curves: &[&TimeSeries],
+) -> Result<CurveSummary, SimkitError> {
+    if curves.is_empty() {
+        return Err(SimkitError::Empty { what: "curves" });
+    }
+    let len = curves.iter().map(|c| c.len()).min().expect("non-empty");
+    if len == 0 {
+        return Err(SimkitError::Empty {
+            what: "curve samples",
+        });
+    }
+    let name = name.into();
+    let mut mean = TimeSeries::with_capacity(format!("{name} (mean)"), len);
+    let mut lo = TimeSeries::with_capacity(format!("{name} (ci lo)"), len);
+    let mut hi = TimeSeries::with_capacity(format!("{name} (ci hi)"), len);
+    let slots: Vec<_> = curves[0].iter().take(len).map(|p| p.slot).collect();
+    let columns: Vec<Vec<f64>> = curves
+        .iter()
+        .map(|c| c.values().take(len).collect())
+        .collect();
+    let t_mult = t_quantile_975(curves.len().saturating_sub(1) as u64);
+    for (t, slot) in slots.into_iter().enumerate() {
+        let stats: RunningStats = columns.iter().map(|c| c[t]).collect();
+        let m = stats.mean();
+        let half = if stats.count() >= 2 {
+            t_mult * (stats.sample_variance() / stats.count() as f64).sqrt()
+        } else {
+            0.0
+        };
+        mean.push(slot, m);
+        lo.push(slot, m - half);
+        hi.push(slot, m + half);
+    }
+    Ok(CurveSummary {
+        replicates: curves.len(),
+        mean,
+        lo,
+        hi,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::TimeSlot;
 
     #[test]
     fn welford_matches_naive() {
@@ -486,6 +596,69 @@ mod tests {
     fn histogram_empty_cdf() {
         let h = Histogram::new(0.0, 1.0, 4).unwrap();
         assert!(h.cdf().is_empty());
+    }
+
+    fn curve(values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new("c");
+        for (i, v) in values.iter().enumerate() {
+            s.push(TimeSlot::new(i as u64), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn summarize_curves_mean_and_band() {
+        let a = curve(&[1.0, 2.0, 3.0]);
+        let b = curve(&[3.0, 4.0, 5.0]);
+        let s = summarize_curves("reward", &[&a, &b]).unwrap();
+        assert_eq!(s.replicates, 2);
+        assert_eq!(s.mean.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.final_mean(), 4.0);
+        // se = sd/sqrt(2) = 1; half-width = t_{0.975, df=1} = 12.706.
+        assert!((s.final_ci_half_width() - 12.706).abs() < 1e-9);
+        let hi: Vec<f64> = s.hi.values().collect();
+        let lo: Vec<f64> = s.lo.values().collect();
+        assert!(hi.iter().zip(&lo).all(|(h, l)| h >= l));
+    }
+
+    #[test]
+    fn summarize_single_replicate_collapses_band() {
+        let a = curve(&[1.0, 2.0]);
+        let s = summarize_curves("x", &[&a]).unwrap();
+        assert_eq!(
+            s.mean.values().collect::<Vec<_>>(),
+            s.lo.values().collect::<Vec<_>>()
+        );
+        assert_eq!(s.final_ci_half_width(), 0.0);
+        assert_eq!(s.lo.values().collect::<Vec<_>>(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn t_quantiles_shrink_toward_z() {
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(4) - 2.776).abs() < 1e-9);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert_eq!(t_quantile_975(1000), 1.96);
+        // Monotone non-increasing in df.
+        for df in 1..40 {
+            assert!(t_quantile_975(df + 1) <= t_quantile_975(df));
+        }
+    }
+
+    #[test]
+    fn summarize_truncates_to_shortest() {
+        let a = curve(&[1.0, 2.0, 3.0]);
+        let b = curve(&[1.0, 2.0]);
+        let s = summarize_curves("x", &[&a, &b]).unwrap();
+        assert_eq!(s.mean.len(), 2);
+    }
+
+    #[test]
+    fn summarize_rejects_empty() {
+        assert!(summarize_curves("x", &[]).is_err());
+        let empty = TimeSeries::new("e");
+        assert!(summarize_curves("x", &[&empty]).is_err());
     }
 
     #[test]

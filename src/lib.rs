@@ -33,6 +33,18 @@
 //! ([`core::CompiledRsuMdp`]) and share the kernel across every policy
 //! kind, horizon step and run.
 //!
+//! ## Scaling out: one executor, one experiment engine
+//!
+//! All parallelism funnels through [`simkit::executor`] — a persistent
+//! barrier-synchronized round pool (one pool per sweep loop, shared by
+//! every value-iteration sweep and backward-induction stage of a solve)
+//! plus an ordered `parallel_map` for coarse jobs. The paper's ensemble figures come from
+//! [`core::ExperimentPlan`]: declarative grids over scenarios × policy
+//! menus × seed replicates whose cells run concurrently, share compiled
+//! per-RSU kernels per `(scenario, seed)`, and aggregate into mean/95%-CI
+//! [`simkit::CurveSummary`] bands. Grid reports are bit-identical for any
+//! worker count — parallelism changes wall-clock time, never output.
+//!
 //! ## Offline dependency stand-ins
 //!
 //! The build environment has no crates.io access; `serde`, `rand`,
@@ -83,13 +95,15 @@ pub use vanet;
 /// experiment.
 pub mod prelude {
     pub use aoi_cache::presets::{
-        fig1a_policy, fig1a_scenario, fig1b_policies, fig1b_scenario, joint_scenario,
+        fig1a_ensemble, fig1a_policy, fig1a_scenario, fig1b_ensemble, fig1b_policies,
+        fig1b_scenario, joint_scenario, smoke_grid,
     };
     pub use aoi_cache::{
         compare_service, run_joint, run_service, Age, AgeVector, AoiCacheError, CachePolicyKind,
-        CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy, Catalog, CompiledRsuMdp,
-        JointReport, JointScenario, PopularityModel, RewardModel, RsuCacheMdp, RsuSpec,
-        ServiceLevel, ServicePolicy, ServicePolicyKind, ServiceRunReport, ServiceScenario,
+        CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy, Catalog, CellOutcome,
+        CellReport, CompiledRsuMdp, EnsembleSummary, ExperimentGrid, ExperimentPlan,
+        ExperimentReport, JointReport, JointScenario, PopularityModel, RewardModel, RsuCacheMdp,
+        RsuSpec, ServiceLevel, ServicePolicy, ServicePolicyKind, ServiceRunReport, ServiceScenario,
     };
     pub use lyapunov::{DecisionOption, DriftPlusPenalty, Queue, ServiceController};
     pub use mdp::solver::{PolicyIteration, QLearning, ValueIteration};
