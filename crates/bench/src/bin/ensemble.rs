@@ -8,23 +8,42 @@
 //! per-policy summary table.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin ensemble [n_seeds]
+//! cargo run --release -p aoi-bench --bin ensemble [n_seeds] [--workers N]
 //! ```
+//!
+//! `--workers N` pins the cell fan-out to exactly `N` workers (`1` runs
+//! fully serial); without it the executor sizes itself from the host's
+//! available parallelism. Reports are bit-identical either way.
 
 use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
-use aoi_cache::ExperimentReport;
+use aoi_cache::{ExperimentPlan, ExperimentReport};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
 
+/// Applies a `--workers N` override to a plan, if one was given.
+fn with_workers(plan: ExperimentPlan, workers: Option<usize>) -> ExperimentPlan {
+    match workers {
+        Some(n) => plan.workers(n),
+        None => plan,
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n_seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = aoi_bench::take_workers_flag(&mut args)?;
+    if args.len() > 1 {
+        return Err(format!("unrecognized argument: {}", args[1]).into());
+    }
+    let n_seeds: u64 = match args.first() {
+        Some(arg) => arg
+            .parse()
+            .map_err(|_| format!("unrecognized argument: {arg}"))?,
+        None => 5,
+    };
 
     // --- Fig. 1a ensemble: cache policies × seeds -----------------------
-    let plan = fig1a_ensemble(n_seeds);
+    let plan = with_workers(fig1a_ensemble(n_seeds), workers);
     println!(
         "Fig. 1a ensemble: {} cells ({} policies x {} seeds)\n",
         plan.n_cells(),
@@ -40,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Fig. 1b ensemble: service policies × arrival traces ------------
-    let plan = fig1b_ensemble(n_seeds);
+    let plan = with_workers(fig1b_ensemble(n_seeds), workers);
     println!(
         "\nFig. 1b ensemble: {} cells ({} policies x {} arrival traces)\n",
         plan.n_cells(),

@@ -4,7 +4,8 @@
 //! time-average cost and backlog at each point: the canonical `O(1/V)`
 //! cost gap versus `O(V)` queue growth of Lyapunov optimization. Points
 //! are independent, so the sweep fans out on the shared executor (which
-//! also returns them in input order — no collect-and-sort needed).
+//! also returns them in input order — no collect-and-sort needed);
+//! `--workers N` pins the fan-out, defaulting to available parallelism.
 
 use aoi_cache::presets::fig1b_scenario;
 use aoi_cache::{run_service, ServicePolicyKind, ServiceScenario};
@@ -19,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let vs: Vec<f64> = (0..9).map(|i| 2f64.powi(i)).collect();
 
-    let workers = executor::worker_count(vs.len(), true, 1);
+    let workers = aoi_bench::workers_flag_only()?
+        .unwrap_or_else(|| executor::worker_count(vs.len(), true, 1));
     let points: Vec<TradeoffPoint> = executor::parallel_map(workers, &vs, |_, &v| {
         let report =
             run_service(&scenario, ServicePolicyKind::Lyapunov { v }).expect("scenario is valid");

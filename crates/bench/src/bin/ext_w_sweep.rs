@@ -25,8 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ws = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
 
     // Points are independent; the shared executor fans them out and
-    // returns them in input (ascending-w) order.
-    let workers = executor::worker_count(ws.len(), true, 1);
+    // returns them in input (ascending-w) order. `--workers N` pins the
+    // fan-out; the default sizes from the host.
+    let workers = aoi_bench::workers_flag_only()?
+        .unwrap_or_else(|| executor::worker_count(ws.len(), true, 1));
     let rows: Vec<(f64, f64, f64, f64)> = executor::parallel_map(workers, &ws, |_, &w| {
         let scenario = CacheScenario { weight: w, ..base };
         let sim = CacheSimulation::new(scenario).expect("scenario is valid");

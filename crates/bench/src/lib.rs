@@ -1,0 +1,85 @@
+//! Shared helpers for the experiment binaries.
+
+#![forbid(unsafe_code)]
+
+/// Extracts every `--workers N` flag from `args` (removing flag and value
+/// in place, last occurrence winning) and validates `N >= 1`; the
+/// remaining entries are the binary's positional arguments.
+///
+/// `N == 1` means fully serial execution; larger values pin the executor
+/// fan-out. `0` is rejected — it would match neither documented mode.
+///
+/// # Errors
+///
+/// Returns a message when the flag's value is missing, not an integer, or
+/// zero.
+pub fn take_workers_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let mut workers = None;
+    while let Some(pos) = args.iter().position(|a| a == "--workers") {
+        args.remove(pos);
+        let value = (pos < args.len()).then(|| args.remove(pos));
+        let n: usize = value
+            .as_deref()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| "--workers needs a positive integer".to_string())?;
+        workers = Some(n);
+    }
+    Ok(workers)
+}
+
+/// [`take_workers_flag`] for binaries that take no positional arguments:
+/// parses the whole command line, erroring on anything but `--workers N`.
+///
+/// # Errors
+///
+/// Returns a message for an invalid `--workers` value or any leftover
+/// argument.
+pub fn workers_flag_only() -> Result<Option<usize>, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = take_workers_flag(&mut args)?;
+    if let Some(arg) = args.first() {
+        return Err(format!("unrecognized argument: {arg}"));
+    }
+    Ok(workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_leaves_args_untouched() {
+        let mut a = args(&["3"]);
+        assert_eq!(take_workers_flag(&mut a), Ok(None));
+        assert_eq!(a, args(&["3"]));
+    }
+
+    #[test]
+    fn flag_is_extracted_anywhere() {
+        let mut a = args(&["--workers", "4", "3"]);
+        assert_eq!(take_workers_flag(&mut a), Ok(Some(4)));
+        assert_eq!(a, args(&["3"]));
+        let mut a = args(&["3", "--workers", "1"]);
+        assert_eq!(take_workers_flag(&mut a), Ok(Some(1)));
+        assert_eq!(a, args(&["3"]));
+    }
+
+    #[test]
+    fn rejects_zero_missing_and_garbage_values() {
+        assert!(take_workers_flag(&mut args(&["--workers", "0"])).is_err());
+        assert!(take_workers_flag(&mut args(&["--workers"])).is_err());
+        assert!(take_workers_flag(&mut args(&["--workers", "many"])).is_err());
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let mut a = args(&["--workers", "2", "--workers", "5"]);
+        assert_eq!(take_workers_flag(&mut a), Ok(Some(5)));
+        assert!(a.is_empty());
+    }
+}

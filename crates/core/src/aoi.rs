@@ -181,7 +181,14 @@ impl AgeVector {
 
     /// 0-based coordinates (age − 1 per content) for state-space encoding.
     pub fn coords(&self) -> Vec<usize> {
-        self.ages.iter().map(|a| (a.get() - 1) as usize).collect()
+        self.coord_iter().collect()
+    }
+
+    /// Streams the 0-based coordinates without allocating — the per-slot
+    /// state-encoding path of the simulators
+    /// (pairs with [`ProductSpace::encode_iter`](mdp::ProductSpace::encode_iter)).
+    pub fn coord_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ages.iter().map(|a| (a.get() - 1) as usize)
     }
 
     /// Reconstructs an `AgeVector` from 0-based coordinates.

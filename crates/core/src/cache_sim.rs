@@ -15,7 +15,9 @@ use crate::AoiCacheError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::{executor, SeedSequence, SlotClock, TimeSeries};
+use simkit::{
+    executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
+};
 use vanet::Zipf;
 
 /// Configuration of a stage-1 cache-management experiment.
@@ -123,6 +125,7 @@ pub struct CacheSimulation {
     specs: Vec<RsuSpec>,
     compiled: std::sync::OnceLock<Vec<CompiledRsuMdp>>,
     initial_ages: Vec<AgeVector>,
+    recording: RecordingMode,
 }
 
 impl CacheSimulation {
@@ -182,12 +185,38 @@ impl CacheSimulation {
             specs,
             compiled: std::sync::OnceLock::new(),
             initial_ages,
+            recording: RecordingMode::Full,
         })
     }
 
     /// The scenario this experiment was built from.
     pub fn scenario(&self) -> &CacheScenario {
         &self.scenario
+    }
+
+    /// How much of the per-content AoI traces runs of this experiment
+    /// retain (default: [`RecordingMode::Full`]).
+    pub fn recording(&self) -> RecordingMode {
+        self.recording
+    }
+
+    /// Sets the AoI-trace retention policy of subsequent runs.
+    ///
+    /// The retention policy is a *measurement* knob, not part of the
+    /// experiment identity: every scalar statistic, the per-slot reward
+    /// series and the cumulative-reward curve are identical in every mode —
+    /// only how much of the `O(horizon × contents)` per-content trace data
+    /// is kept changes ([`RecordingMode::SummaryOnly`] keeps none, shrinking
+    /// a run's trace memory to O(contents)).
+    pub fn set_recording(&mut self, mode: RecordingMode) {
+        self.recording = mode;
+    }
+
+    /// Builder-style [`set_recording`](CacheSimulation::set_recording).
+    #[must_use]
+    pub fn with_recording(mut self, mode: RecordingMode) -> Self {
+        self.recording = mode;
+        self
     }
 
     /// The drawn content catalog.
@@ -292,10 +321,15 @@ impl CacheSimulation {
         let mut ages: Vec<AgeVector> = self.initial_ages.clone();
         let mut clock = SlotClock::new();
 
-        let mut aoi_traces: Vec<TimeSeries> = (0..n_rsus)
+        // Everything the slot loop touches is allocated up front (the
+        // recorders pre-size their retained buffers to the exact retained
+        // length); the loop body itself performs zero heap allocation per
+        // slot — see `core/tests/alloc_free.rs`.
+        let mut aoi_recorders: Vec<TraceRecorder> = (0..n_rsus)
             .flat_map(|k| {
-                (0..per_rsu)
-                    .map(move |h| TimeSeries::with_capacity(format!("rsu{k}/content{h}"), horizon))
+                (0..per_rsu).map(move |h| {
+                    TraceRecorder::new(format!("rsu{k}/content{h}"), self.recording, horizon)
+                })
             })
             .collect();
         let mut reward_series = TimeSeries::with_capacity("reward", horizon);
@@ -341,7 +375,7 @@ impl CacheSimulation {
                 for h in 0..per_rsu {
                     let age = ages[k].age(h);
                     let max_age = spec.max_ages[h];
-                    aoi_traces[k * per_rsu + h].push(now, f64::from(age.get()));
+                    aoi_recorders[k * per_rsu + h].record(now, f64::from(age.get()));
                     aoi_ratio_sum += age.ratio_to(max_age);
                     if age.exceeds(max_age) {
                         violation_content_slots += 1;
@@ -355,11 +389,20 @@ impl CacheSimulation {
             clock.tick();
         }
 
+        let mut aoi_traces = Vec::with_capacity(aoi_recorders.len());
+        let mut aoi_summaries = Vec::with_capacity(aoi_recorders.len());
+        for recorder in aoi_recorders.drain(..) {
+            let (series, summary) = recorder.into_parts();
+            aoi_traces.push(series);
+            aoi_summaries.push(summary);
+        }
         let content_slots = (horizon * n_rsus * per_rsu) as u64;
         let cumulative_reward = reward_series.cumulative();
         Ok(CacheRunReport {
             policy: label,
+            recording: self.recording,
             aoi_traces,
+            aoi_summaries,
             cumulative_reward,
             reward: reward_series,
             updates,
@@ -380,8 +423,17 @@ impl CacheSimulation {
 pub struct CacheRunReport {
     /// Label of the policy that produced this run.
     pub policy: String,
-    /// Post-action AoI trace per content, indexed `rsu · L′ + content`.
+    /// How much of the per-content AoI traces this run retained.
+    pub recording: RecordingMode,
+    /// Post-action AoI trace per content, indexed `rsu · L′ + content` —
+    /// complete under [`RecordingMode::Full`], strided under
+    /// [`RecordingMode::Decimate`], empty under
+    /// [`RecordingMode::SummaryOnly`].
     pub aoi_traces: Vec<TimeSeries>,
+    /// Exact per-content summary statistics (Welford mean/variance and
+    /// min/max over **every** post-action age, regardless of `recording`),
+    /// indexed like `aoi_traces`.
+    pub aoi_summaries: Vec<Summary>,
     /// Per-slot Eq. 1 reward (summed over RSUs).
     pub reward: TimeSeries,
     /// Cumulative reward curve (the paper's rising curve in Fig. 1a).
@@ -415,6 +467,17 @@ impl CacheRunReport {
     pub fn aoi_trace(&self, rsu: usize, content: usize) -> &TimeSeries {
         assert!(rsu < self.n_rsus && content < self.regions_per_rsu);
         &self.aoi_traces[rsu * self.regions_per_rsu + content]
+    }
+
+    /// The exact AoI summary statistics of one content (available in every
+    /// [`RecordingMode`], including `SummaryOnly`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn aoi_summary(&self, rsu: usize, content: usize) -> Summary {
+        assert!(rsu < self.n_rsus && content < self.regions_per_rsu);
+        self.aoi_summaries[rsu * self.regions_per_rsu + content]
     }
 
     /// Fraction of content-slots in violation of their freshness limit.
@@ -687,5 +750,71 @@ mod tests {
         let sim = CacheSimulation::new(tiny()).unwrap();
         let err = sim.run_with(vec![], "empty".to_string());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn decimate_one_reports_equal_full() {
+        let sim = CacheSimulation::new(tiny()).unwrap();
+        assert_eq!(sim.recording(), RecordingMode::Full);
+        let full = sim.run(CachePolicyKind::Myopic).unwrap();
+        let dec = sim
+            .clone()
+            .with_recording(RecordingMode::Decimate(1))
+            .run(CachePolicyKind::Myopic)
+            .unwrap();
+        // Everything except the mode tag itself must be identical.
+        assert_eq!(dec.recording, RecordingMode::Decimate(1));
+        let relabeled = CacheRunReport {
+            recording: RecordingMode::Full,
+            ..dec
+        };
+        assert_eq!(relabeled, full, "Decimate(1) must reproduce Full exactly");
+    }
+
+    #[test]
+    fn summary_only_matches_post_hoc_summaries_of_full_traces() {
+        let sim = CacheSimulation::new(tiny()).unwrap();
+        let full = sim.run(CachePolicyKind::Myopic).unwrap();
+        let summary = sim
+            .clone()
+            .with_recording(RecordingMode::SummaryOnly)
+            .run(CachePolicyKind::Myopic)
+            .unwrap();
+        // Traces are dropped, one (empty) slot per content remains.
+        assert_eq!(summary.aoi_traces.len(), 6);
+        assert!(summary.aoi_traces.iter().all(|t| t.is_empty()));
+        // The streamed statistics equal a post-hoc pass over the full
+        // traces to well below 1e-12 (same accumulator, same sample order
+        // — bitwise equal in fact).
+        for (k, trace) in full.aoi_traces.iter().enumerate() {
+            let post_hoc: simkit::RunningStats = trace.values().collect();
+            let want = post_hoc.summary();
+            let got = summary.aoi_summaries[k];
+            assert_eq!(got.count, want.count, "content {k}");
+            assert!((got.mean - want.mean).abs() < 1e-12, "content {k}");
+            assert!((got.std_dev - want.std_dev).abs() < 1e-12, "content {k}");
+            assert_eq!(got.min, want.min, "content {k}");
+            assert_eq!(got.max, want.max, "content {k}");
+        }
+        // Every scalar statistic and the headline curves are unaffected.
+        assert_eq!(summary.cumulative_reward, full.cumulative_reward);
+        assert_eq!(summary.reward, full.reward);
+        assert_eq!(summary.updates, full.updates);
+        assert_eq!(summary.mean_aoi_ratio, full.mean_aoi_ratio);
+        assert_eq!(summary.aoi_summaries, full.aoi_summaries);
+    }
+
+    #[test]
+    fn decimated_traces_stride_and_keep_exact_summaries() {
+        let sim = CacheSimulation::new(tiny())
+            .unwrap()
+            .with_recording(RecordingMode::Decimate(10));
+        let report = sim.run(CachePolicyKind::Never).unwrap();
+        for trace in &report.aoi_traces {
+            assert_eq!(trace.len(), 30, "300 slots / 10");
+        }
+        for summary in &report.aoi_summaries {
+            assert_eq!(summary.count, 300, "stats must see every slot");
+        }
     }
 }

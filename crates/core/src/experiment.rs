@@ -49,14 +49,14 @@
 //! ```
 
 use crate::cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
-use crate::joint_sim::{run_joint, JointReport, JointScenario};
+use crate::joint_sim::{run_joint_recorded, JointReport, JointScenario};
 use crate::policy::CachePolicyKind;
 use crate::service::ServicePolicyKind;
 use crate::service_sim::{run_service, ServiceRunReport, ServiceScenario};
 use crate::AoiCacheError;
 use serde::{Deserialize, Serialize};
 use simkit::executor;
-use simkit::{summarize_curves, CurveSummary, TimeSeries};
+use simkit::{CurveAccumulator, CurveSummary, RecordingMode, TimeSeries};
 
 /// The policy/scenario axes of an experiment grid.
 ///
@@ -135,6 +135,11 @@ pub struct ExperimentPlan {
     /// Worker-count override for the cell fan-out (`None` sizes
     /// automatically from the host; results are identical either way).
     pub workers: Option<usize>,
+    /// Per-cell trace retention (AoI traces of cache cells, backlog traces
+    /// of joint cells). Scalar statistics and every headline/ensemble curve
+    /// are identical in all modes; [`RecordingMode::SummaryOnly`] shrinks
+    /// each cell report from `O(horizon × contents)` to `O(horizon)`.
+    pub recording: RecordingMode,
 }
 
 impl ExperimentPlan {
@@ -147,6 +152,7 @@ impl ExperimentPlan {
             },
             seeds: Vec::new(),
             workers: None,
+            recording: RecordingMode::Full,
         }
     }
 
@@ -159,6 +165,7 @@ impl ExperimentPlan {
             },
             seeds: Vec::new(),
             workers: None,
+            recording: RecordingMode::Full,
         }
     }
 
@@ -168,6 +175,7 @@ impl ExperimentPlan {
             grid: ExperimentGrid::Joint { scenarios },
             seeds: Vec::new(),
             workers: None,
+            recording: RecordingMode::Full,
         }
     }
 
@@ -175,6 +183,17 @@ impl ExperimentPlan {
     #[must_use]
     pub fn replicate_seeds(mut self, seeds: Vec<u64>) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Sets the per-cell trace retention policy. Reports, scalar statistics
+    /// and ensemble curves are identical in every mode; only the per-cell
+    /// trace bulk ([`CacheRunReport::aoi_traces`], [`JointReport::queues`])
+    /// changes. Large grids should run [`RecordingMode::SummaryOnly`] so a
+    /// cell costs `O(horizon)`, not `O(horizon × contents)`.
+    #[must_use]
+    pub fn recording(mut self, recording: RecordingMode) -> Self {
+        self.recording = recording;
         self
     }
 
@@ -273,6 +292,69 @@ impl ExperimentPlan {
 
     fn run_cells(&self) -> Result<ExperimentReport, AoiCacheError> {
         let ids = self.cell_ids();
+        let outcomes = self.run_cell_batch(&ids)?;
+        let mut cells = Vec::with_capacity(ids.len());
+        for (id, outcome) in ids.into_iter().zip(outcomes) {
+            cells.push(CellReport {
+                label: self.grid.policy_label(id.scenario, id.policy),
+                id,
+                outcome,
+            });
+        }
+        let ensembles = self.summarize(&cells)?;
+        Ok(ExperimentReport { cells, ensembles })
+    }
+
+    /// Runs the grid **streamed**: one seed-replicate wave at a time, each
+    /// cell's headline curve folded into its `(scenario, policy)` group's
+    /// [`CurveAccumulator`] and the cell report dropped immediately, so the
+    /// engine never holds more than one wave of reports (combine with
+    /// [`RecordingMode::SummaryOnly`] to make each of those cells
+    /// `O(horizon)`). Peak memory is `O(cells-per-wave × horizon + groups ×
+    /// horizon)` instead of [`run`](ExperimentPlan::run)'s whole-grid
+    /// report.
+    ///
+    /// The returned ensembles are bit-identical to
+    /// [`run`](ExperimentPlan::run)`()?.ensembles` for any worker count —
+    /// waves only bound memory, never change results.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](ExperimentPlan::run).
+    pub fn run_ensembles(&self) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+        self.validate()?;
+        if self.workers == Some(1) {
+            executor::serialized(|| self.run_ensemble_waves())
+        } else {
+            self.run_ensemble_waves()
+        }
+    }
+
+    fn run_ensemble_waves(&self) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+        let mut groups = self.group_accumulators();
+        let n_policies = self.grid.n_policies();
+        let all_ids = self.cell_ids();
+        for rep in 0..self.n_replicates() {
+            let wave: Vec<CellId> = all_ids
+                .iter()
+                .filter(|id| id.replicate == rep)
+                .copied()
+                .collect();
+            let outcomes = self.run_cell_batch(&wave)?;
+            for (id, outcome) in wave.iter().zip(&outcomes) {
+                groups[id.scenario * n_policies + id.policy].push_curve(outcome.headline_curve());
+            }
+            // `outcomes` drops here: the wave's reports are gone, only the
+            // per-group slot statistics remain.
+        }
+        self.finish_groups(groups)
+    }
+
+    /// Runs one batch of cells (the whole grid for
+    /// [`run`](ExperimentPlan::run), one replicate wave for
+    /// [`run_ensembles`](ExperimentPlan::run_ensembles)) on the shared
+    /// executor; outcomes return in `ids` order.
+    fn run_cell_batch(&self, ids: &[CellId]) -> Result<Vec<CellOutcome>, AoiCacheError> {
         let workers = self
             .workers
             .unwrap_or_else(|| executor::worker_count(ids.len(), true, 1));
@@ -282,17 +364,19 @@ impl ExperimentPlan {
                 scenarios,
                 policies,
             } => {
-                // One shared simulation per (scenario, replicate): every
-                // policy cell reuses its catalog, initial ages and compiled
-                // per-RSU MDP kernels.
-                let n_reps = self.n_replicates();
-                let mut sims = Vec::with_capacity(scenarios.len() * n_reps);
-                for (si, base) in scenarios.iter().enumerate() {
-                    for rep in 0..n_reps {
-                        let mut scenario = *base;
-                        scenario.seed = self.seed_of(si, rep);
-                        sims.push(CacheSimulation::new(scenario)?);
-                    }
+                // One shared simulation per distinct (scenario, replicate)
+                // in the batch: every policy cell reuses its catalog,
+                // initial ages and compiled per-RSU MDP kernels. `ids` is
+                // scenario-major then replicate-major, so the distinct keys
+                // are consecutive and sorted.
+                let mut keys: Vec<(usize, usize)> =
+                    ids.iter().map(|id| (id.scenario, id.replicate)).collect();
+                keys.dedup();
+                let mut sims = Vec::with_capacity(keys.len());
+                for &(si, rep) in &keys {
+                    let mut scenario = scenarios[si];
+                    scenario.seed = self.seed_of(si, rep);
+                    sims.push(CacheSimulation::new(scenario)?.with_recording(self.recording));
                 }
                 if policies.iter().any(|p| p.uses_mdp()) {
                     // Compile ahead of the fan-out so cells never race the
@@ -302,61 +386,73 @@ impl ExperimentPlan {
                         sim.compiled()?;
                     }
                 }
-                executor::parallel_map(workers, &ids, |_, id| {
-                    let sim = &sims[id.scenario * n_reps + id.replicate];
-                    sim.run(policies[id.policy]).map(CellOutcome::Cache)
+                executor::parallel_map(workers, ids, |_, id| {
+                    let sim = keys
+                        .binary_search(&(id.scenario, id.replicate))
+                        .expect("batch provides a simulation for each of its cells");
+                    sims[sim].run(policies[id.policy]).map(CellOutcome::Cache)
                 })
             }
             ExperimentGrid::Service {
                 scenarios,
                 policies,
-            } => executor::parallel_map(workers, &ids, |_, id| {
+            } => executor::parallel_map(workers, ids, |_, id| {
                 let mut scenario = scenarios[id.scenario].clone();
                 scenario.seed = id.seed;
                 run_service(&scenario, policies[id.policy]).map(CellOutcome::Service)
             }),
-            ExperimentGrid::Joint { scenarios } => {
-                executor::parallel_map(workers, &ids, |_, id| {
-                    let mut scenario = scenarios[id.scenario].clone();
-                    scenario.seed = id.seed;
-                    run_joint(&scenario).map(CellOutcome::Joint)
-                })
-            }
+            ExperimentGrid::Joint { scenarios } => executor::parallel_map(workers, ids, |_, id| {
+                let mut scenario = scenarios[id.scenario].clone();
+                scenario.seed = id.seed;
+                run_joint_recorded(&scenario, self.recording).map(CellOutcome::Joint)
+            }),
         };
-
-        let mut cells = Vec::with_capacity(ids.len());
-        for (id, outcome) in ids.into_iter().zip(outcomes) {
-            cells.push(CellReport {
-                label: self.grid.policy_label(id.scenario, id.policy),
-                id,
-                outcome: outcome?,
-            });
-        }
-        let ensembles = self.summarize(&cells)?;
-        Ok(ExperimentReport { cells, ensembles })
+        outcomes.into_iter().collect()
     }
 
     /// Aggregates each `(scenario, policy)` group's headline curves across
-    /// seed replicates.
+    /// seed replicates, streaming one curve at a time into the group's
+    /// [`CurveAccumulator`] (no side-by-side curve matrix).
     fn summarize(&self, cells: &[CellReport]) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
-        let mut ensembles = Vec::new();
+        let mut groups = self.group_accumulators();
+        let n_policies = self.grid.n_policies();
+        for cell in cells {
+            groups[cell.id.scenario * n_policies + cell.id.policy]
+                .push_curve(cell.outcome.headline_curve());
+        }
+        self.finish_groups(groups)
+    }
+
+    /// One empty curve accumulator per `(scenario, policy)` group, in
+    /// ensemble-report order (scenario-major).
+    fn group_accumulators(&self) -> Vec<CurveAccumulator> {
+        let mut groups = Vec::with_capacity(self.grid.n_scenarios() * self.grid.n_policies());
         for scenario in 0..self.grid.n_scenarios() {
             for policy in 0..self.grid.n_policies() {
-                let curves: Vec<&TimeSeries> = cells
-                    .iter()
-                    .filter(|c| c.id.scenario == scenario && c.id.policy == policy)
-                    .map(|c| c.outcome.headline_curve())
-                    .collect();
                 let label = self.grid.policy_label(scenario, policy);
-                let curve = summarize_curves(format!("s{scenario}/{label}"), &curves)
-                    .expect("every group has one curve per replicate");
-                ensembles.push(EnsembleSummary {
-                    scenario,
-                    policy,
-                    label,
-                    curve,
-                });
+                groups.push(CurveAccumulator::new(format!("s{scenario}/{label}")));
             }
+        }
+        groups
+    }
+
+    fn finish_groups(
+        &self,
+        groups: Vec<CurveAccumulator>,
+    ) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+        let n_policies = self.grid.n_policies();
+        let mut ensembles = Vec::with_capacity(groups.len());
+        for (i, group) in groups.into_iter().enumerate() {
+            let (scenario, policy) = (i / n_policies, i % n_policies);
+            let curve = group
+                .finish()
+                .expect("every group has one curve per replicate");
+            ensembles.push(EnsembleSummary {
+                scenario,
+                policy,
+                label: self.grid.policy_label(scenario, policy),
+                curve,
+            });
         }
         Ok(ensembles)
     }
@@ -659,6 +755,87 @@ mod tests {
         );
         // The label lookup still resolves (to the first match).
         assert_eq!(report.ensemble(0, "random").unwrap().policy, 0);
+    }
+
+    #[test]
+    fn recording_mode_threads_to_cells_without_changing_curves() {
+        let plan = ExperimentPlan::cache(
+            vec![tiny_cache()],
+            vec![CachePolicyKind::Myopic, CachePolicyKind::Never],
+        )
+        .replicate_seeds(vec![5, 6]);
+        let full = plan.clone().run().unwrap();
+        let lean = plan.recording(RecordingMode::SummaryOnly).run().unwrap();
+        assert_eq!(full.ensembles, lean.ensembles, "ensembles are mode-free");
+        for (a, b) in full.cells.iter().zip(&lean.cells) {
+            let (a, b) = (a.outcome.cache().unwrap(), b.outcome.cache().unwrap());
+            assert!(b.aoi_traces.iter().all(|t| t.is_empty()));
+            assert_eq!(a.aoi_summaries, b.aoi_summaries);
+            assert_eq!(a.cumulative_reward, b.cumulative_reward);
+            assert_eq!(a.updates, b.updates);
+        }
+    }
+
+    #[test]
+    fn streamed_ensembles_match_batch_run() {
+        let plan = ExperimentPlan::cache(
+            vec![tiny_cache()],
+            vec![
+                CachePolicyKind::ValueIteration { gamma: 0.9 },
+                CachePolicyKind::Myopic,
+            ],
+        )
+        .replicate_seeds(vec![11, 12, 13]);
+        let batch = plan.clone().run().unwrap();
+        let streamed = plan.clone().run_ensembles().unwrap();
+        assert_eq!(
+            batch.ensembles, streamed,
+            "streaming must not change results"
+        );
+        // Also identical under summary-only cells and forced-serial execution.
+        let lean = plan
+            .clone()
+            .recording(RecordingMode::SummaryOnly)
+            .workers(1)
+            .run_ensembles()
+            .unwrap();
+        assert_eq!(batch.ensembles, lean);
+    }
+
+    #[test]
+    fn streamed_ensembles_cover_service_and_joint_grids() {
+        let service = ExperimentPlan::service(
+            vec![ServiceScenario {
+                horizon: 120,
+                ..ServiceScenario::default()
+            }],
+            vec![ServicePolicyKind::AlwaysServe],
+        )
+        .replicate_seeds(vec![1, 2]);
+        assert_eq!(
+            service.run().unwrap().ensembles,
+            service.run_ensembles().unwrap()
+        );
+        let joint = ExperimentPlan::joint(vec![JointScenario {
+            network: vanet::NetworkConfig {
+                n_regions: 4,
+                n_rsus: 2,
+                road_length_m: 800.0,
+                ..vanet::NetworkConfig::default()
+            },
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 50,
+            warmup: 10,
+            ..JointScenario::default()
+        }])
+        .replicate_seeds(vec![7, 8])
+        .recording(RecordingMode::SummaryOnly);
+        assert_eq!(
+            joint.run().unwrap().ensembles,
+            joint.run_ensembles().unwrap()
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ use lyapunov::Queue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::{executor, SeedSequence, SlotClock, TimeSeries};
+use simkit::{
+    executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
+};
 use vanet::{Network, NetworkConfig, RsuId};
 
 /// Configuration of a joint two-stage experiment.
@@ -125,12 +127,19 @@ impl JointScenario {
 /// Everything measured in one joint run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JointReport {
+    /// How much of the per-RSU backlog traces this run retained.
+    pub recording: RecordingMode,
     /// Stage-1 per-slot Eq. 1 reward (live popularity).
     pub cache_reward: TimeSeries,
     /// Cumulative stage-1 reward.
     pub cumulative_cache_reward: TimeSeries,
-    /// Per-RSU backlog trajectories.
+    /// Per-RSU backlog trajectories — complete under
+    /// [`RecordingMode::Full`], strided under [`RecordingMode::Decimate`],
+    /// empty under [`RecordingMode::SummaryOnly`].
     pub queues: Vec<TimeSeries>,
+    /// Exact per-RSU backlog summary statistics (over every slot,
+    /// regardless of `recording`).
+    pub queue_summaries: Vec<Summary>,
     /// Total requests issued by vehicles.
     pub total_requests: u64,
     /// Requests that hit a stale cached content.
@@ -162,13 +171,32 @@ impl JointReport {
     }
 }
 
-/// Runs the full two-stage scheme.
+/// Runs the full two-stage scheme, retaining every per-RSU backlog sample
+/// ([`RecordingMode::Full`]).
 ///
 /// # Errors
 ///
 /// Propagates scenario validation, network construction and policy
 /// construction errors.
 pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError> {
+    run_joint_recorded(scenario, RecordingMode::Full)
+}
+
+/// [`run_joint`] with an explicit backlog-trace retention policy.
+///
+/// The retention policy is a measurement knob, not part of the experiment
+/// identity: every scalar statistic, the reward series and the cumulative
+/// reward curve are identical in every mode — only how much of the
+/// `O(horizon × RSUs)` backlog trace data is kept changes.
+///
+/// # Errors
+///
+/// Propagates scenario validation, network construction and policy
+/// construction errors.
+pub fn run_joint_recorded(
+    scenario: &JointScenario,
+    recording: RecordingMode,
+) -> Result<JointReport, AoiCacheError> {
     scenario.validate()?;
     let mut seeds = SeedSequence::new(scenario.seed);
     let mut network = Network::new(scenario.network)?;
@@ -255,8 +283,8 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
     network.warm_up(scenario.warmup, &mut rng);
 
     let mut queues: Vec<Queue> = (0..n_rsus).map(|_| Queue::new()).collect();
-    let mut queue_series: Vec<TimeSeries> = (0..n_rsus)
-        .map(|k| TimeSeries::with_capacity(format!("rsu{k}/queue"), scenario.horizon))
+    let mut queue_recorders: Vec<TraceRecorder> = (0..n_rsus)
+        .map(|k| TraceRecorder::new(format!("rsu{k}/queue"), recording, scenario.horizon))
         .collect();
     let mut reward_series = TimeSeries::with_capacity("cache reward", scenario.horizon);
     let mut clock = SlotClock::new();
@@ -269,15 +297,21 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
     let mut stale_cost_sum = 0.0;
     let mut queue_sum = 0.0;
 
+    // Hoisted slot-loop scratch: the decision/arrival buffers and the live
+    // popularity estimate are reused every slot instead of reallocated.
+    let mut decisions: Vec<Option<usize>> = Vec::with_capacity(n_rsus);
+    let mut arrivals = vec![0.0f64; n_rsus];
+    let mut popularity: Vec<f64> = Vec::new();
+
     for _ in 0..scenario.horizon {
         let now = clock.now();
         let slot = network.step(&mut rng);
 
         // Stage 1: collect decisions first so congestion pricing sees the
         // slot's true concurrency.
-        let mut decisions: Vec<Option<usize>> = Vec::with_capacity(n_rsus);
+        decisions.clear();
         for k in 0..n_rsus {
-            let popularity = network.popularity(RsuId(k));
+            network.popularity_into(RsuId(k), &mut popularity);
             let ctx = CacheDecisionContext {
                 slot: now,
                 ages: &ages[k],
@@ -304,13 +338,13 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
                 update_cost_sum += cost;
                 slot_reward -= cost;
             }
-            let popularity = network.popularity(RsuId(k));
+            network.popularity_into(RsuId(k), &mut popularity);
             slot_reward += scenario.weight * rewards[k].aoi_utility(&ages[k], &popularity);
         }
         reward_series.push(now, slot_reward);
 
         // Stage 2: per-RSU arrivals and freshness accounting.
-        let mut arrivals = vec![0.0f64; n_rsus];
+        arrivals.fill(0.0);
         for request in &slot.requests {
             total_requests += 1;
             let k = request.rsu.0;
@@ -341,7 +375,7 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
             queues[k].step(arrivals[k], level.rate);
             service_cost_sum += level.cost;
             queue_sum += queues[k].backlog();
-            queue_series[k].push(now, queues[k].backlog());
+            queue_recorders[k].record(now, queues[k].backlog());
         }
 
         for a in &mut ages {
@@ -350,11 +384,20 @@ pub fn run_joint(scenario: &JointScenario) -> Result<JointReport, AoiCacheError>
         clock.tick();
     }
 
+    let mut queue_series = Vec::with_capacity(n_rsus);
+    let mut queue_summaries = Vec::with_capacity(n_rsus);
+    for recorder in queue_recorders.drain(..) {
+        let (series, summary) = recorder.into_parts();
+        queue_series.push(series);
+        queue_summaries.push(summary);
+    }
     let horizon = scenario.horizon as f64;
     Ok(JointReport {
+        recording,
         cumulative_cache_reward: reward_series.cumulative(),
         cache_reward: reward_series,
         queues: queue_series,
+        queue_summaries,
         total_requests,
         stale_requests,
         updates,
@@ -443,6 +486,32 @@ mod tests {
         let lyap = run_joint(&tiny()).unwrap();
         assert!(report.mean_queue > lyap.mean_queue);
         assert!(report.mean_service_cost < lyap.mean_service_cost + 1e-9);
+    }
+
+    #[test]
+    fn recording_modes_share_everything_but_queue_traces() {
+        let full = run_joint(&tiny()).unwrap();
+        assert_eq!(full.recording, RecordingMode::Full);
+        let summary = run_joint_recorded(&tiny(), RecordingMode::SummaryOnly).unwrap();
+        assert!(summary.queues.iter().all(|q| q.is_empty()));
+        assert_eq!(
+            summary.cumulative_cache_reward,
+            full.cumulative_cache_reward
+        );
+        assert_eq!(summary.cache_reward, full.cache_reward);
+        assert_eq!(summary.total_requests, full.total_requests);
+        assert_eq!(summary.stale_requests, full.stale_requests);
+        assert_eq!(summary.updates, full.updates);
+        assert_eq!(summary.mean_queue, full.mean_queue);
+        assert_eq!(summary.queue_summaries, full.queue_summaries);
+        // The streamed summaries equal a post-hoc pass over the full traces.
+        for (trace, want) in full.queues.iter().zip(&summary.queue_summaries) {
+            let post_hoc: simkit::RunningStats = trace.values().collect();
+            assert_eq!(post_hoc.summary(), *want);
+        }
+        // Decimate(1) is Full.
+        let dec = run_joint_recorded(&tiny(), RecordingMode::Decimate(1)).unwrap();
+        assert_eq!(dec.queues, full.queues);
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use experiment::{
 pub use freshness_service::{
     run_freshness_service, FreshnessReport, FreshnessScenario, ServingSource, SourcingMode,
 };
-pub use joint_sim::{run_joint, JointReport, JointScenario};
+pub use joint_sim::{run_joint, run_joint_recorded, JointReport, JointScenario};
 pub use mdp_model::{PopularityModel, RsuCacheMdp};
 pub use policy::{
     AgeThresholdPolicy, CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp,
@@ -93,3 +93,6 @@ pub use service::{
 pub use service_sim::{
     compare_service, run_service, run_service_with, ServiceRunReport, ServiceScenario,
 };
+// Trace-retention vocabulary, re-exported so simulator callers need not
+// depend on simkit directly.
+pub use simkit::{RecordingMode, Summary, TraceRecorder};

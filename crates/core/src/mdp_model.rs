@@ -232,9 +232,12 @@ impl RsuCacheMdp {
     /// Panics if the vector length, any age, or the phase is out of range.
     pub fn encode_state(&self, ages: &AgeVector, phase: usize) -> usize {
         assert!(phase < self.popularity.n_phases(), "phase out of range");
+        // Stream the coordinates straight into the mixed-radix encoding:
+        // this runs once per (RSU, slot) in the simulators, so it must not
+        // materialize a coordinate vector.
         let idx = self
             .age_space
-            .encode(&ages.coords())
+            .encode_iter(ages.coord_iter())
             .expect("ages within cap encode");
         phase * self.age_space.len() + idx
     }

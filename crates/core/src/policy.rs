@@ -319,6 +319,9 @@ impl CacheUpdatePolicy for SolvedMdpPolicy {
     }
 
     fn decide(&mut self, ctx: &CacheDecisionContext<'_>, _rng: &mut dyn RngCore) -> Option<usize> {
+        // One table lookup per slot; `encode_state` streams the age
+        // coordinates (no per-decision heap allocation — the simulators'
+        // step loops rely on this, see `core/tests/alloc_free.rs`).
         let state = self.mdp.encode_state(ctx.ages, 0);
         self.mdp.decode_action(self.policy.action(state))
     }

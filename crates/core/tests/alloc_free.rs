@@ -1,0 +1,117 @@
+//! Simulation-loop companion to `mdp/tests/alloc_free.rs`: the per-slot
+//! body of [`CacheSimulation::run_with`] must perform **zero heap
+//! allocation per slot** after warm-up. A counting wrapper around the
+//! system allocator tallies every allocation in this test binary; running
+//! the identical experiment at a short and a long horizon must allocate
+//! exactly the same number of times (everything the slot loop touches —
+//! state encoding, decision contexts, reward accumulators, trace recorders
+//! — is set up before the first slot).
+//!
+//! Runs are wrapped in `executor::serialized` so allocation counts stay
+//! deterministic on any host (no pool threads), which also covers the
+//! `--no-default-features` build where that is the only path.
+
+use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation, RecordingMode};
+use simkit::executor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// The tiny exact-solver scenario of the cache_sim test suite, at a
+/// caller-chosen horizon (the catalog, popularity and initial ages derive
+/// from the seed only, so two horizons describe the same problem).
+fn sim(horizon: usize, recording: RecordingMode) -> CacheSimulation {
+    let scenario = CacheScenario {
+        n_rsus: 2,
+        regions_per_rsu: 3,
+        age_cap: 6,
+        max_age_min: 3,
+        max_age_max: 5,
+        horizon,
+        seed: 42,
+        ..CacheScenario::default()
+    };
+    CacheSimulation::new(scenario)
+        .unwrap()
+        .with_recording(recording)
+}
+
+/// Asserts that running `kind` allocates exactly as often at 64 slots as
+/// at 512: whatever the run allocates is per-run setup, never per-slot.
+fn assert_horizon_free(kind: CachePolicyKind, recording: RecordingMode) {
+    let short = sim(64, recording);
+    let long = sim(512, recording);
+    executor::serialized(|| {
+        // Warm-up: lazy per-RSU kernel compiles, thread-locals.
+        let _ = short.run(kind).unwrap();
+        let _ = long.run(kind).unwrap();
+        let a = allocations_during(|| {
+            let _ = short.run(kind).unwrap();
+        });
+        let b = allocations_during(|| {
+            let _ = long.run(kind).unwrap();
+        });
+        assert_eq!(
+            a,
+            b,
+            "{} ({recording:?}): allocation count must not scale with the \
+             horizon (64 slots: {a}, 512 slots: {b})",
+            kind.label()
+        );
+    });
+}
+
+/// One test function for the whole binary (the same discipline as
+/// `mdp/tests/pool_per_solve.rs`): concurrently running tests would spawn
+/// harness threads into each other's measurement windows and shift the
+/// process-global counts nondeterministically.
+#[test]
+fn simulation_hot_loop_is_allocation_free() {
+    // The paper's policy: table lookup through the no-alloc state encoding.
+    assert_horizon_free(
+        CachePolicyKind::ValueIteration { gamma: 0.9 },
+        RecordingMode::Full,
+    );
+    // Baselines, including an RNG-driven one.
+    assert_horizon_free(CachePolicyKind::Myopic, RecordingMode::Full);
+    assert_horizon_free(
+        CachePolicyKind::Random { probability: 0.5 },
+        RecordingMode::Full,
+    );
+    // Every trace-retention mode.
+    for recording in [
+        RecordingMode::Full,
+        RecordingMode::Decimate(8),
+        RecordingMode::SummaryOnly,
+    ] {
+        assert_horizon_free(CachePolicyKind::Myopic, recording);
+    }
+}

@@ -5,7 +5,7 @@
 //! per-RSU RNG streams must not depend on scheduling), a finite-horizon
 //! solve (persistent stage pool) and baselines.
 
-use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation, ExperimentPlan};
+use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation, ExperimentPlan, RecordingMode};
 
 fn scenario() -> CacheScenario {
     CacheScenario {
@@ -33,16 +33,34 @@ fn policies() -> Vec<CachePolicyKind> {
 
 #[test]
 fn grid_reports_are_bit_identical_for_any_worker_count() {
-    let plan = ExperimentPlan::cache(vec![scenario()], policies()).replicate_seeds(vec![3, 4]);
-    let serial = plan.clone().workers(1).run().unwrap();
-    assert_eq!(serial.cells.len(), 8);
-    for workers in [2, 4, 7] {
-        let pooled = plan.clone().workers(workers).run().unwrap();
-        assert_eq!(
-            serial, pooled,
-            "grid report must be bit-identical with {workers} workers"
-        );
+    // The discipline must hold in every trace-recording mode: the retained
+    // traces differ by design across modes, but within a mode the report is
+    // identical for any worker count, and the ensembles (built from the
+    // always-full headline curves) are identical across modes too.
+    let mut ensembles = Vec::new();
+    for recording in [
+        RecordingMode::Full,
+        RecordingMode::Decimate(4),
+        RecordingMode::SummaryOnly,
+    ] {
+        let plan = ExperimentPlan::cache(vec![scenario()], policies())
+            .replicate_seeds(vec![3, 4])
+            .recording(recording);
+        let serial = plan.clone().workers(1).run().unwrap();
+        assert_eq!(serial.cells.len(), 8);
+        for workers in [2, 4, 7] {
+            let pooled = plan.clone().workers(workers).run().unwrap();
+            assert_eq!(
+                serial, pooled,
+                "grid report must be bit-identical with {workers} workers ({recording:?})"
+            );
+        }
+        // The streamed engine agrees with the batch engine in every mode.
+        assert_eq!(serial.ensembles, plan.run_ensembles().unwrap());
+        ensembles.push(serial.ensembles);
     }
+    assert_eq!(ensembles[0], ensembles[1], "ensembles are mode-free");
+    assert_eq!(ensembles[0], ensembles[2], "ensembles are mode-free");
 }
 
 #[test]

@@ -375,10 +375,10 @@ pub(crate) struct SweepOutcome {
 /// Minimum states per worker before a sweep pool fans out (below this the
 /// barrier synchronization dominates the backup work). The pool is
 /// persistent across all rounds of one sweep loop — every value-iteration
-/// sweep, policy-evaluation sweep, or backward-induction stage of that
-/// loop reuses it — so spawn cost is amortized over the loop. (Policy
-/// iteration runs one evaluation loop per improvement round, so it pays
-/// one pool per round; see ROADMAP.)
+/// sweep, policy-evaluation sweep, backward-induction stage, or
+/// policy-iteration evaluate/improve round of that loop reuses it — so
+/// spawn cost is amortized over the whole solve (one pool per solve for
+/// every sweep-based solver; asserted by `tests/pool_per_solve.rs`).
 pub(crate) const MIN_STATES_PER_WORKER: usize = 1024;
 
 /// Shared Jacobi sweep loop: repeatedly computes `new[s] = backup(s, old)`

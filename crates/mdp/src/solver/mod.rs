@@ -198,8 +198,9 @@ pub fn evaluate_policy_compiled(
     )
 }
 
-/// Sweep kernel shared by [`evaluate_policy_compiled`] and policy
-/// iteration, operating on a bare action table.
+/// Sweep kernel behind [`evaluate_policy_compiled`], operating on a bare
+/// action table. (Policy iteration no longer calls this — it runs its
+/// evaluations inside its own single solve-wide sweep loop.)
 pub(crate) fn evaluate_actions_compiled(
     mdp: &CompiledMdp,
     actions: &[usize],

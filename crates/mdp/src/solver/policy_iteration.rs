@@ -1,13 +1,12 @@
 //! Howard policy iteration.
 
-use crate::compiled::CompiledMdp;
+use crate::compiled::{run_sweeps, CompiledMdp};
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
-use crate::solver::{
-    evaluate_actions_compiled, evaluate_policy_callback, q_value, validate_gamma, DEFAULT_PARALLEL,
-};
+use crate::solver::{evaluate_policy_callback, q_value, validate_gamma, DEFAULT_PARALLEL};
 use crate::MdpError;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration for policy iteration (policy evaluation + greedy
 /// improvement until the policy is stable).
@@ -89,6 +88,15 @@ impl PolicyIteration {
 
     /// Runs policy iteration on a pre-compiled kernel.
     ///
+    /// The whole solve — every evaluation sweep of every improvement round
+    /// — runs inside **one** [`run_sweeps`] loop (one persistent worker
+    /// pool per solve, like value iteration and backward induction): the
+    /// sweep backup evaluates the current policy's actions, and the
+    /// coordinator epilogue detects evaluation convergence, improves the
+    /// policy greedily in place, and restarts the evaluation from zero —
+    /// reproducing the classical evaluate/improve rounds bit for bit while
+    /// allocating nothing per round.
+    ///
     /// # Errors
     ///
     /// Returns [`MdpError::BadParameter`] for an invalid `gamma` or
@@ -96,63 +104,104 @@ impl PolicyIteration {
     pub fn solve_compiled(&self, mdp: &CompiledMdp) -> Result<PolicyIterationOutcome, MdpError> {
         validate_gamma(self.gamma)?;
         let n = mdp.n_states();
-        // Initial policy: lowest valid action per state (compilation
-        // guarantees one exists).
-        let mut actions: Vec<usize> = (0..n)
+        // Current policy, shared between the sweep backup (pool workers
+        // load it) and the epilogue's improvement step (the coordinator
+        // stores it while the workers wait at the round barrier). Initial
+        // policy: lowest valid action per state (compilation guarantees
+        // one exists).
+        let actions: Vec<AtomicUsize> = (0..n)
             .map(|s| {
-                (0..mdp.n_actions())
-                    .find(|&a| mdp.is_valid(s, a))
-                    .expect("compiled models have a valid action per state")
+                AtomicUsize::new(
+                    (0..mdp.n_actions())
+                        .find(|&a| mdp.is_valid(s, a))
+                        .expect("compiled models have a valid action per state"),
+                )
             })
             .collect();
-        let mut improved = vec![0usize; n];
-        let mut rounds = 0;
+        // Degenerate cap: with no evaluation budget at all, no policy can
+        // ever be evaluated (the historical per-round evaluation returned
+        // exactly this error after zero sweeps).
+        if self.max_eval_sweeps == 0 {
+            return Err(MdpError::NotConverged {
+                iterations: 0,
+                residual: mdp.bellman_residual(&vec![0.0; n], self.gamma),
+            });
+        }
+        let mut rounds = 0usize;
+        let mut eval_sweeps = 0usize;
+        let mut stable = false;
+        let mut eval_failed = false;
 
-        loop {
-            rounds += 1;
-            let values = evaluate_actions_compiled(
-                mdp,
-                &actions,
-                self.gamma,
-                self.eval_tolerance,
-                self.max_eval_sweeps,
-                self.parallel,
-            )?;
-
-            let mut stable = true;
-            for s in 0..n {
-                let current = actions[s];
-                let mut best_a = current;
-                let mut best_q = mdp
-                    .q_value(s, current, &values, self.gamma)
-                    .expect("current policy action must be valid");
-                for a in 0..mdp.n_actions() {
-                    if a == current {
-                        continue;
+        // Total sweep budget across all rounds. `max_improvements == 0`
+        // still runs one evaluate+improve round (the epilogue's round cap
+        // fires after it), matching the historical loop structure.
+        let outcome = run_sweeps(
+            vec![0.0; n],
+            self.parallel,
+            self.max_improvements
+                .max(1)
+                .saturating_mul(self.max_eval_sweeps),
+            |s, values| {
+                mdp.q_value(s, actions[s].load(Ordering::Relaxed), values, self.gamma)
+                    .expect("policy actions stay valid")
+            },
+            |values, stats, _| {
+                eval_sweeps += 1;
+                if stats.max_abs >= self.eval_tolerance {
+                    if eval_sweeps >= self.max_eval_sweeps {
+                        eval_failed = true;
+                        return true;
                     }
-                    if let Some(q) = mdp.q_value(s, a, &values, self.gamma) {
-                        // Strict improvement margin avoids oscillating on ties.
-                        if q > best_q + 1e-12 {
-                            best_q = q;
-                            best_a = a;
+                    return false;
+                }
+                // Evaluation converged: greedy improvement on the fresh
+                // values (strict margin avoids oscillating on ties).
+                rounds += 1;
+                stable = true;
+                for (s, action) in actions.iter().enumerate() {
+                    let current = action.load(Ordering::Relaxed);
+                    let mut best_a = current;
+                    let mut best_q = mdp
+                        .q_value(s, current, values, self.gamma)
+                        .expect("current policy action must be valid");
+                    for a in 0..mdp.n_actions() {
+                        if a == current {
+                            continue;
+                        }
+                        if let Some(q) = mdp.q_value(s, a, values, self.gamma) {
+                            if q > best_q + 1e-12 {
+                                best_q = q;
+                                best_a = a;
+                            }
                         }
                     }
+                    if best_a != current {
+                        stable = false;
+                        action.store(best_a, Ordering::Relaxed);
+                    }
                 }
-                if best_a != current {
-                    stable = false;
+                if stable || rounds >= self.max_improvements {
+                    return true;
                 }
-                improved[s] = best_a;
-            }
-            std::mem::swap(&mut actions, &mut improved);
-            if stable || rounds >= self.max_improvements {
-                return Ok(PolicyIterationOutcome {
-                    converged: stable,
-                    rounds,
-                    values,
-                    policy: TabularPolicy::new(actions),
-                });
-            }
+                // Next round's evaluation starts cold, exactly like the
+                // historical one-loop-per-round structure.
+                values.fill(0.0);
+                eval_sweeps = 0;
+                false
+            },
+        );
+        if eval_failed {
+            return Err(MdpError::NotConverged {
+                iterations: self.max_eval_sweeps,
+                residual: mdp.bellman_residual(&outcome.values, self.gamma),
+            });
         }
+        Ok(PolicyIterationOutcome {
+            converged: stable,
+            rounds,
+            values: outcome.values,
+            policy: TabularPolicy::new(actions.iter().map(|a| a.load(Ordering::Relaxed)).collect()),
+        })
     }
 
     /// Trait-callback reference implementation, kept for differential
@@ -294,5 +343,30 @@ mod tests {
     fn rejects_bad_gamma() {
         let (mdp, _) = reference::two_state();
         assert!(PolicyIteration::new(2.0).solve(&mdp).is_err());
+    }
+
+    #[test]
+    fn degenerate_caps_keep_historic_behavior() {
+        let (mdp, gamma) = reference::two_state();
+        let compiled = CompiledMdp::compile(&mdp).unwrap();
+        // No evaluation budget: the first evaluation cannot converge.
+        let err = PolicyIteration {
+            max_eval_sweeps: 0,
+            ..PolicyIteration::new(gamma)
+        }
+        .solve_compiled(&compiled);
+        assert!(matches!(
+            err,
+            Err(MdpError::NotConverged { iterations: 0, .. })
+        ));
+        // No improvement budget: one evaluate+improve round still runs.
+        let out = PolicyIteration {
+            max_improvements: 0,
+            ..PolicyIteration::new(gamma)
+        }
+        .solve_compiled(&compiled)
+        .unwrap();
+        assert_eq!(out.rounds, 1);
+        assert!(!out.converged);
     }
 }

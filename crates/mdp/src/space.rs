@@ -82,6 +82,28 @@ impl ProductSpace {
         Some(idx)
     }
 
+    /// Encodes a coordinate *stream* into a flat index without touching the
+    /// heap — the no-alloc counterpart of [`encode`](ProductSpace::encode)
+    /// for hot loops whose coordinates live in another representation (the
+    /// cache simulators encode per-content ages every slot without first
+    /// materializing a `Vec<usize>`).
+    ///
+    /// Returns `None` if the stream yields the wrong number of coordinates
+    /// or any coordinate is out of range.
+    pub fn encode_iter(&self, coords: impl IntoIterator<Item = usize>) -> Option<usize> {
+        let mut idx = 0usize;
+        let mut n = 0usize;
+        for c in coords {
+            let d = *self.dims.get(n)?;
+            if c >= d {
+                return None;
+            }
+            idx = idx * d + c;
+            n += 1;
+        }
+        (n == self.dims.len()).then_some(idx)
+    }
+
     /// Decodes a flat index into a coordinate vector.
     ///
     /// # Panics
@@ -178,6 +200,19 @@ mod tests {
         assert_eq!(space.encode(&[2, 0]), None);
         assert_eq!(space.encode(&[0]), None);
         assert_eq!(space.encode(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn encode_iter_matches_encode() {
+        let space = ProductSpace::new(vec![2, 3, 5]).unwrap();
+        for idx in 0..space.len() {
+            let coords = space.decode(idx);
+            assert_eq!(space.encode_iter(coords.iter().copied()), Some(idx));
+        }
+        // Same rejections as the slice path.
+        assert_eq!(space.encode_iter([2, 0, 0]), None);
+        assert_eq!(space.encode_iter([0, 0]), None);
+        assert_eq!(space.encode_iter([0, 0, 0, 0]), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 #![cfg(feature = "parallel")]
 
-use mdp::solver::{BackwardInduction, ValueIteration};
+use mdp::solver::{BackwardInduction, PolicyIteration, ValueIteration};
 use mdp::{reference, CompiledMdp};
 use simkit::executor::{force_workers, pools_created};
 
@@ -47,6 +47,22 @@ fn each_solve_creates_exactly_one_pool() {
         "a multi-sweep value iteration must spawn exactly one pool"
     );
 
+    // Policy iteration: several improvement rounds, each with its own
+    // evaluation sweep loop — still exactly one pool (it used to spawn one
+    // pool per improvement round).
+    let before = pools_created();
+    let pi = PolicyIteration::new(0.95)
+        .parallel(true)
+        .solve_compiled(&compiled)
+        .unwrap();
+    assert!(pi.converged);
+    assert!(pi.rounds >= 2, "expected a multi-round solve");
+    assert_eq!(
+        pools_created() - before,
+        1,
+        "a multi-round policy iteration must spawn exactly one pool"
+    );
+
     // Serial solves spawn no pool at all.
     let before = pools_created();
     let serial = ValueIteration::new(0.95)
@@ -62,6 +78,15 @@ fn each_solve_creates_exactly_one_pool() {
         serial.values, outcome.values,
         "pool must not change results"
     );
+
+    // Pooled and serial policy iteration agree bit for bit.
+    let pi_serial = PolicyIteration::new(0.95)
+        .parallel(false)
+        .solve_compiled(&compiled)
+        .unwrap();
+    assert_eq!(pi.rounds, pi_serial.rounds);
+    assert_eq!(pi.values, pi_serial.values);
+    assert_eq!(pi.policy.actions(), pi_serial.policy.actions());
 
     force_workers(None);
 }

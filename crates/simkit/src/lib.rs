@@ -11,9 +11,13 @@
 //! * [`SeedSequence`] — deterministic fan-out of independent RNG streams so
 //!   that experiments are reproducible under a single `u64` seed,
 //! * [`TimeSeries`] — per-slot sample recorder with downsampling,
+//! * [`TraceRecorder`] / [`RecordingMode`] — pluggable trace retention
+//!   (full, decimated, or summary-only) with exact streaming statistics in
+//!   every mode,
 //! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
-//! * [`CurveSummary`] / [`summarize_curves`] — mean/CI aggregation of
-//!   replicate curves (experiment ensembles),
+//! * [`CurveSummary`] / [`summarize_curves`] / [`CurveAccumulator`] —
+//!   mean/CI aggregation of replicate curves (experiment ensembles),
+//!   batch or streamed one curve at a time,
 //! * [`executor`] — the workspace's only thread pool: a persistent
 //!   barrier-synchronized round pool for fixed-point solvers and a one-shot
 //!   ordered [`parallel_map`](executor::parallel_map) for coarse jobs, both
@@ -49,6 +53,7 @@
 mod error;
 pub mod executor;
 pub mod plot;
+pub mod recorder;
 mod rng;
 mod series;
 mod stats;
@@ -56,7 +61,10 @@ pub mod table;
 mod time;
 
 pub use error::SimkitError;
+pub use recorder::{RecordingMode, TraceRecorder};
 pub use rng::{sample_poisson, SeedSequence};
 pub use series::{SeriesPoint, TimeSeries};
-pub use stats::{percentile, summarize_curves, CurveSummary, Histogram, RunningStats, Summary};
+pub use stats::{
+    percentile, summarize_curves, CurveAccumulator, CurveSummary, Histogram, RunningStats, Summary,
+};
 pub use time::{SlotClock, TimeSlot};

@@ -1,0 +1,241 @@
+//! Pluggable, streaming per-slot trace recording.
+//!
+//! Simulation loops historically pushed every `(slot, value)` sample into a
+//! [`TimeSeries`], so a run's memory grew as `O(horizon × channels)` even
+//! when the caller only wanted summary statistics (ensemble experiments
+//! collapse the traces immediately). A [`TraceRecorder`] makes the
+//! retention policy a parameter:
+//!
+//! * [`RecordingMode::Full`] — keep every sample, bit-identical to the
+//!   historical `TimeSeries::push` loop,
+//! * [`RecordingMode::Decimate`]`(k)` — keep every `k`-th sample
+//!   (`Decimate(1)` ≡ `Full`),
+//! * [`RecordingMode::SummaryOnly`] — keep **no** samples; memory is O(1)
+//!   per channel regardless of horizon.
+//!
+//! Every mode additionally folds all samples into a Welford/min-max
+//! [`RunningStats`] accumulator, so summary statistics are exact (computed
+//! from every sample, not just the retained ones) in every mode.
+//!
+//! ```
+//! use simkit::{RecordingMode, TimeSlot, TraceRecorder};
+//!
+//! let mut rec = TraceRecorder::new("aoi", RecordingMode::SummaryOnly, 1_000);
+//! for t in 0..1_000 {
+//!     rec.record(TimeSlot::new(t), (t % 7) as f64);
+//! }
+//! let (series, summary) = rec.into_parts();
+//! assert!(series.is_empty());        // nothing retained...
+//! assert_eq!(summary.count, 1_000);  // ...but the stats saw every sample.
+//! assert_eq!(summary.max, 6.0);
+//! ```
+
+use crate::series::TimeSeries;
+use crate::stats::{RunningStats, Summary};
+use crate::time::TimeSlot;
+use serde::{Deserialize, Serialize};
+
+/// How much of a per-slot trace a simulation run retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecordingMode {
+    /// Retain every sample (the historical behaviour; bit-identical traces).
+    #[default]
+    Full,
+    /// Retain every `k`-th sample, starting with the first. `Decimate(1)`
+    /// is exactly [`Full`](RecordingMode::Full); `Decimate(0)` is treated
+    /// as `Decimate(1)`.
+    Decimate(u64),
+    /// Retain no samples — only the streaming summary statistics. Trace
+    /// memory becomes O(1) per channel, independent of the horizon.
+    SummaryOnly,
+}
+
+impl RecordingMode {
+    /// How many samples a channel retains out of `horizon` offered ones.
+    pub fn retained(self, horizon: usize) -> usize {
+        match self {
+            RecordingMode::Full => horizon,
+            RecordingMode::Decimate(k) => {
+                let k = k.max(1) as usize;
+                horizon.div_ceil(k)
+            }
+            RecordingMode::SummaryOnly => 0,
+        }
+    }
+}
+
+/// A single trace channel recorded under a [`RecordingMode`].
+///
+/// The retained samples (if any) land in a [`TimeSeries`] pre-allocated to
+/// exactly the retained length, so a full simulation run performs no heap
+/// allocation per recorded sample; the exact summary statistics accumulate
+/// in a [`RunningStats`] regardless of mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecorder {
+    mode: RecordingMode,
+    series: TimeSeries,
+    stats: RunningStats,
+    seen: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for a channel expected to see about
+    /// `horizon_hint` samples (sizes the retained buffer up front).
+    pub fn new(name: impl Into<String>, mode: RecordingMode, horizon_hint: usize) -> Self {
+        TraceRecorder {
+            mode,
+            series: TimeSeries::with_capacity(name, mode.retained(horizon_hint)),
+            stats: RunningStats::new(),
+            seen: 0,
+        }
+    }
+
+    /// The retention policy of this channel.
+    pub fn mode(&self) -> RecordingMode {
+        self.mode
+    }
+
+    /// Records one sample: folds it into the summary statistics and retains
+    /// it in the series when the mode says so.
+    pub fn record(&mut self, slot: TimeSlot, value: f64) {
+        self.stats.push(value);
+        match self.mode {
+            RecordingMode::Full => self.series.push(slot, value),
+            RecordingMode::Decimate(k) => {
+                if self.seen.is_multiple_of(k.max(1)) {
+                    self.series.push(slot, value);
+                }
+            }
+            RecordingMode::SummaryOnly => {}
+        }
+        self.seen += 1;
+    }
+
+    /// Samples offered so far (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained samples so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The streaming statistics over **every** offered sample.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Snapshot of the exact summary statistics.
+    pub fn summary(&self) -> Summary {
+        self.stats.summary()
+    }
+
+    /// Consumes the recorder into its retained series and exact summary.
+    pub fn into_parts(self) -> (TimeSeries, Summary) {
+        let summary = self.stats.summary();
+        (self.series, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_all(mode: RecordingMode, values: &[f64]) -> TraceRecorder {
+        let mut rec = TraceRecorder::new("t", mode, values.len());
+        for (i, v) in values.iter().enumerate() {
+            rec.record(TimeSlot::new(i as u64), *v);
+        }
+        rec
+    }
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect()
+    }
+
+    #[test]
+    fn full_mode_matches_plain_timeseries() {
+        let values = ramp(100);
+        let rec = record_all(RecordingMode::Full, &values);
+        let mut want = TimeSeries::with_capacity("t", 100);
+        for (i, v) in values.iter().enumerate() {
+            want.push(TimeSlot::new(i as u64), *v);
+        }
+        assert_eq!(rec.series(), &want);
+        assert_eq!(rec.seen(), 100);
+    }
+
+    #[test]
+    fn decimate_one_is_full() {
+        let values = ramp(64);
+        let full = record_all(RecordingMode::Full, &values);
+        let dec = record_all(RecordingMode::Decimate(1), &values);
+        assert_eq!(full.series(), dec.series());
+        assert_eq!(full.summary(), dec.summary());
+        // Decimate(0) is defensively treated as Decimate(1).
+        let zero = record_all(RecordingMode::Decimate(0), &values);
+        assert_eq!(full.series(), zero.series());
+    }
+
+    #[test]
+    fn decimation_keeps_every_kth_sample() {
+        let values = ramp(10);
+        let rec = record_all(RecordingMode::Decimate(3), &values);
+        let kept: Vec<f64> = rec.series().values().collect();
+        assert_eq!(kept, vec![values[0], values[3], values[6], values[9]]);
+        assert_eq!(RecordingMode::Decimate(3).retained(10), 4);
+        // The stats still cover all ten samples.
+        assert_eq!(rec.stats().count(), 10);
+    }
+
+    #[test]
+    fn summary_only_retains_nothing_but_counts_everything() {
+        let values = ramp(1_000);
+        let rec = record_all(RecordingMode::SummaryOnly, &values);
+        assert!(rec.series().is_empty());
+        assert_eq!(rec.stats().count(), 1_000);
+        let exact: RunningStats = values.iter().copied().collect();
+        assert_eq!(rec.summary(), exact.summary());
+    }
+
+    #[test]
+    fn summary_matches_post_hoc_in_every_mode() {
+        let values = ramp(200);
+        let exact: RunningStats = values.iter().copied().collect();
+        for mode in [
+            RecordingMode::Full,
+            RecordingMode::Decimate(7),
+            RecordingMode::SummaryOnly,
+        ] {
+            let rec = record_all(mode, &values);
+            assert_eq!(rec.summary(), exact.summary(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn retained_capacity_is_exact() {
+        assert_eq!(RecordingMode::Full.retained(1000), 1000);
+        assert_eq!(RecordingMode::Decimate(1).retained(1000), 1000);
+        assert_eq!(RecordingMode::Decimate(10).retained(1000), 100);
+        assert_eq!(RecordingMode::Decimate(3).retained(10), 4);
+        assert_eq!(RecordingMode::SummaryOnly.retained(1000), 0);
+    }
+
+    #[test]
+    fn into_parts_returns_series_and_summary() {
+        let rec = record_all(RecordingMode::Full, &[1.0, 2.0, 3.0]);
+        assert_eq!(rec.mode(), RecordingMode::Full);
+        let (series, summary) = rec.into_parts();
+        assert_eq!(series.len(), 3);
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.mean, 2.0);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 3.0);
+    }
+
+    #[test]
+    fn default_mode_is_full() {
+        assert_eq!(RecordingMode::default(), RecordingMode::Full);
+    }
+}

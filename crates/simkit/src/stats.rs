@@ -418,6 +418,116 @@ impl CurveSummary {
     }
 }
 
+/// Streaming builder of a [`CurveSummary`]: replicate curves are folded in
+/// one at a time, so the aggregation holds one [`RunningStats`] row per
+/// slot — `O(horizon)` total — instead of materializing every replicate
+/// curve side by side (`O(horizon × replicates)`), which is what lets an
+/// experiment grid stream each cell's contribution and drop the cell.
+///
+/// The result is bit-identical to collecting all curves and calling
+/// [`summarize_curves`] (which is itself implemented on this accumulator):
+/// curves are aligned by position, truncated to the shortest replicate
+/// pushed so far, and slots are taken from the first curve.
+///
+/// ```
+/// use simkit::{CurveAccumulator, TimeSeries, TimeSlot};
+///
+/// let mut acc = CurveAccumulator::new("reward");
+/// for offset in [0.0, 2.0] {
+///     let mut curve = TimeSeries::new("run");
+///     for t in 0..3 {
+///         curve.push(TimeSlot::new(t), t as f64 + offset);
+///     }
+///     acc.push_curve(&curve);
+/// }
+/// let summary = acc.finish()?;
+/// assert_eq!(summary.replicates, 2);
+/// assert_eq!(summary.mean.values().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+/// # Ok::<(), simkit::SimkitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurveAccumulator {
+    name: String,
+    slots: Vec<crate::time::TimeSlot>,
+    stats: Vec<RunningStats>,
+    replicates: usize,
+}
+
+impl CurveAccumulator {
+    /// Creates an empty accumulator for curves summarized under `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CurveAccumulator {
+            name: name.into(),
+            slots: Vec::new(),
+            stats: Vec::new(),
+            replicates: 0,
+        }
+    }
+
+    /// Folds one replicate curve into the per-slot statistics.
+    ///
+    /// The first curve fixes the slot axis; later curves are aligned by
+    /// position, and a shorter curve truncates the aggregation to its
+    /// length (matching [`summarize_curves`] exactly).
+    pub fn push_curve(&mut self, curve: &TimeSeries) {
+        if self.replicates == 0 {
+            self.slots = curve.iter().map(|p| p.slot).collect();
+            self.stats = vec![RunningStats::new(); curve.len()];
+        } else if curve.len() < self.stats.len() {
+            self.slots.truncate(curve.len());
+            self.stats.truncate(curve.len());
+        }
+        for (stat, v) in self.stats.iter_mut().zip(curve.values()) {
+            stat.push(v);
+        }
+        self.replicates += 1;
+    }
+
+    /// Curves folded in so far.
+    pub fn replicates(&self) -> usize {
+        self.replicates
+    }
+
+    /// Finishes the aggregation into mean/CI band curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimkitError::Empty`] when no curve was pushed or any
+    /// pushed curve had no samples.
+    pub fn finish(self) -> Result<CurveSummary, SimkitError> {
+        if self.replicates == 0 {
+            return Err(SimkitError::Empty { what: "curves" });
+        }
+        if self.stats.is_empty() {
+            return Err(SimkitError::Empty {
+                what: "curve samples",
+            });
+        }
+        let len = self.stats.len();
+        let mut mean = TimeSeries::with_capacity(format!("{} (mean)", self.name), len);
+        let mut lo = TimeSeries::with_capacity(format!("{} (ci lo)", self.name), len);
+        let mut hi = TimeSeries::with_capacity(format!("{} (ci hi)", self.name), len);
+        let t_mult = t_quantile_975(self.replicates.saturating_sub(1) as u64);
+        for (slot, stats) in self.slots.into_iter().zip(&self.stats) {
+            let m = stats.mean();
+            let half = if stats.count() >= 2 {
+                t_mult * (stats.sample_variance() / stats.count() as f64).sqrt()
+            } else {
+                0.0
+            };
+            mean.push(slot, m);
+            lo.push(slot, m - half);
+            hi.push(slot, m + half);
+        }
+        Ok(CurveSummary {
+            replicates: self.replicates,
+            mean,
+            lo,
+            hi,
+        })
+    }
+}
+
 /// Aggregates replicate curves slot by slot into a [`CurveSummary`]
 /// (mean ± `t`·se, where `t` is the two-sided 95% Student-t quantile for
 /// `n − 1` degrees of freedom — at the small replicate counts experiments
@@ -425,7 +535,9 @@ impl CurveSummary {
 /// data has. The band collapses onto the mean for a single replicate.)
 ///
 /// Curves are aligned by position and truncated to the shortest replicate;
-/// slots are taken from the first curve.
+/// slots are taken from the first curve. Callers that can visit their
+/// curves one at a time should feed a [`CurveAccumulator`] directly (this
+/// function does exactly that) to avoid holding every curve at once.
 ///
 /// # Errors
 ///
@@ -435,43 +547,11 @@ pub fn summarize_curves(
     name: impl Into<String>,
     curves: &[&TimeSeries],
 ) -> Result<CurveSummary, SimkitError> {
-    if curves.is_empty() {
-        return Err(SimkitError::Empty { what: "curves" });
+    let mut acc = CurveAccumulator::new(name);
+    for curve in curves {
+        acc.push_curve(curve);
     }
-    let len = curves.iter().map(|c| c.len()).min().expect("non-empty");
-    if len == 0 {
-        return Err(SimkitError::Empty {
-            what: "curve samples",
-        });
-    }
-    let name = name.into();
-    let mut mean = TimeSeries::with_capacity(format!("{name} (mean)"), len);
-    let mut lo = TimeSeries::with_capacity(format!("{name} (ci lo)"), len);
-    let mut hi = TimeSeries::with_capacity(format!("{name} (ci hi)"), len);
-    let slots: Vec<_> = curves[0].iter().take(len).map(|p| p.slot).collect();
-    let columns: Vec<Vec<f64>> = curves
-        .iter()
-        .map(|c| c.values().take(len).collect())
-        .collect();
-    let t_mult = t_quantile_975(curves.len().saturating_sub(1) as u64);
-    for (t, slot) in slots.into_iter().enumerate() {
-        let stats: RunningStats = columns.iter().map(|c| c[t]).collect();
-        let m = stats.mean();
-        let half = if stats.count() >= 2 {
-            t_mult * (stats.sample_variance() / stats.count() as f64).sqrt()
-        } else {
-            0.0
-        };
-        mean.push(slot, m);
-        lo.push(slot, m - half);
-        hi.push(slot, m + half);
-    }
-    Ok(CurveSummary {
-        replicates: curves.len(),
-        mean,
-        lo,
-        hi,
-    })
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -652,6 +732,39 @@ mod tests {
         let b = curve(&[1.0, 2.0]);
         let s = summarize_curves("x", &[&a, &b]).unwrap();
         assert_eq!(s.mean.len(), 2);
+        // Shorter-first ordering truncates identically.
+        let t = summarize_curves("x", &[&b, &a]).unwrap();
+        assert_eq!(t.mean.len(), 2);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_summarize_bitwise() {
+        let curves: Vec<TimeSeries> = (0..5)
+            .map(|k| {
+                curve(
+                    &(0..40)
+                        .map(|t| ((t + k) as f64 * 0.31).sin() * (k + 1) as f64)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let refs: Vec<&TimeSeries> = curves.iter().collect();
+        let batch = summarize_curves("x", &refs).unwrap();
+        let mut acc = CurveAccumulator::new("x");
+        for c in &curves {
+            acc.push_curve(c);
+        }
+        assert_eq!(acc.replicates(), 5);
+        let streamed = acc.finish().unwrap();
+        assert_eq!(batch, streamed, "streaming must be bit-identical");
+    }
+
+    #[test]
+    fn accumulator_rejects_empty_input() {
+        assert!(CurveAccumulator::new("x").finish().is_err());
+        let mut acc = CurveAccumulator::new("x");
+        acc.push_curve(&TimeSeries::new("e"));
+        assert!(acc.finish().is_err());
     }
 
     #[test]

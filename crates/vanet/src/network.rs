@@ -148,6 +148,17 @@ impl Network {
         self.popularity[rsu.0].popularity()
     }
 
+    /// [`popularity`](Network::popularity) into a caller-owned buffer
+    /// (cleared and refilled) — per-slot consumers reuse one buffer for the
+    /// whole run instead of allocating a fresh vector every slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsu` is out of range.
+    pub fn popularity_into(&self, rsu: RsuId, out: &mut Vec<f64>) {
+        self.popularity[rsu.0].popularity_into(out);
+    }
+
     /// Cost of pushing one update to `rsu` with `concurrent` simultaneous
     /// pushes in the slot.
     pub fn update_cost(&self, rsu: RsuId, concurrent: usize) -> f64 {

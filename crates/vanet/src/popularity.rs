@@ -93,12 +93,19 @@ impl PopularityEstimator {
     /// The current Laplace-smoothed popularity distribution over the
     /// tracked regions (local indices `0..n_regions`).
     pub fn popularity(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.popularity_into(&mut out);
+        out
+    }
+
+    /// Writes the current popularity distribution into `out` (cleared and
+    /// refilled) — the no-alloc path for per-slot callers that reuse one
+    /// buffer across the whole simulation.
+    pub fn popularity_into(&self, out: &mut Vec<f64>) {
         let total: f64 =
             self.counts.iter().sum::<f64>() + self.smoothing * self.counts.len() as f64;
-        self.counts
-            .iter()
-            .map(|c| (c + self.smoothing) / total)
-            .collect()
+        out.clear();
+        out.extend(self.counts.iter().map(|c| (c + self.smoothing) / total));
     }
 
     /// Popularity of a specific region (global index), or `None` when the
