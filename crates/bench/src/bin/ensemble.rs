@@ -3,28 +3,47 @@
 //!
 //! Runs the Fig. 1a cache grid (policy menu × seed replicates, cells
 //! concurrent on the shared executor, one compiled MDP kernel per RSU per
-//! replicate) and the Fig. 1b service grid, then renders the mean
-//! cumulative-reward / backlog curves with their confidence bands and a
-//! per-policy summary table.
+//! replicate) and the Fig. 1b service grid **streamed**
+//! ([`ExperimentPlan::run_ensembles`]: one replicate wave at a time), then
+//! renders the mean cumulative-reward / backlog curves with their
+//! confidence bands and a per-policy summary table.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin ensemble [n_seeds] [--workers N]
+//! cargo run --release -p aoi-bench --bin ensemble [n_seeds] [--workers N] [--out DIR]
 //! ```
 //!
 //! `--workers N` pins the cell fan-out to exactly `N` workers (`1` runs
 //! fully serial); without it the executor sizes itself from the host's
 //! available parallelism. Reports are bit-identical either way.
+//!
+//! `--out DIR` persists run artifacts into `DIR`: every cell spills its
+//! traces to `cell-s<scenario>-r<replicate>-p<policy>.trace.jsonl` *as it
+//! runs* — so the grid's peak memory stays O(contents) even in `Full`
+//! recording mode — and each `(scenario, policy)` group writes its mean/CI
+//! curve to `ensemble-s<scenario>-p<policy>.jsonl`. Artifacts re-read
+//! bit-identically (`simkit::persist`); the rendered figures are identical
+//! with or without the flag.
 
 use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
-use aoi_cache::{ExperimentPlan, ExperimentReport};
+use aoi_cache::{EnsembleSummary, ExperimentPlan};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
+use std::path::PathBuf;
 
-/// Applies a `--workers N` override to a plan, if one was given.
-fn with_workers(plan: ExperimentPlan, workers: Option<usize>) -> ExperimentPlan {
-    match workers {
+/// Applies the `--workers N` / `--out DIR` overrides to a plan.
+fn configure(
+    plan: ExperimentPlan,
+    workers: Option<usize>,
+    out: &Option<PathBuf>,
+    tag: &str,
+) -> ExperimentPlan {
+    let plan = match workers {
         Some(n) => plan.workers(n),
+        None => plan,
+    };
+    match out {
+        Some(dir) => plan.artifact_dir(dir.join(tag)),
         None => plan,
     }
 }
@@ -32,6 +51,7 @@ fn with_workers(plan: ExperimentPlan, workers: Option<usize>) -> ExperimentPlan 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let workers = aoi_bench::take_workers_flag(&mut args)?;
+    let out = aoi_bench::take_out_flag(&mut args)?;
     if args.len() > 1 {
         return Err(format!("unrecognized argument: {}", args[1]).into());
     }
@@ -43,14 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // --- Fig. 1a ensemble: cache policies × seeds -----------------------
-    let plan = with_workers(fig1a_ensemble(n_seeds), workers);
+    let plan = configure(fig1a_ensemble(n_seeds), workers, &out, "fig1a");
     println!(
         "Fig. 1a ensemble: {} cells ({} policies x {} seeds)\n",
         plan.n_cells(),
         plan.n_cells() / plan.n_replicates(),
         plan.n_replicates()
     );
-    let cache = plan.run()?;
+    let cache = plan.run_ensembles()?;
     print_summary(&cache, "final cumulative reward");
     plot_means(
         &cache,
@@ -59,22 +79,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Fig. 1b ensemble: service policies × arrival traces ------------
-    let plan = with_workers(fig1b_ensemble(n_seeds), workers);
+    let plan = configure(fig1b_ensemble(n_seeds), workers, &out, "fig1b");
     println!(
         "\nFig. 1b ensemble: {} cells ({} policies x {} arrival traces)\n",
         plan.n_cells(),
         plan.n_cells() / plan.n_replicates(),
         plan.n_replicates()
     );
-    let service = plan.run()?;
+    let service = plan.run_ensembles()?;
     print_summary(&service, "final backlog");
     plot_means(&service, "request backlog (ensemble mean over traces)", 120);
+
+    if let Some(dir) = &out {
+        println!(
+            "\nartifacts: per-cell traces and per-group ensemble curves under {}",
+            dir.display()
+        );
+    }
     Ok(())
 }
 
-fn print_summary(report: &ExperimentReport, what: &str) {
+fn print_summary(ensembles: &[EnsembleSummary], what: &str) {
     let mut table = Table::new(["policy", what, "± 95% CI", "replicates"]);
-    for ensemble in &report.ensembles {
+    for ensemble in ensembles {
         table.row([
             ensemble.label.clone(),
             fmt_f64(ensemble.curve.final_mean()),
@@ -85,9 +112,8 @@ fn print_summary(report: &ExperimentReport, what: &str) {
     println!("{}", table.render());
 }
 
-fn plot_means(report: &ExperimentReport, title: &str, max_points: usize) {
-    let renamed: Vec<TimeSeries> = report
-        .ensembles
+fn plot_means(ensembles: &[EnsembleSummary], title: &str, max_points: usize) {
+    let renamed: Vec<TimeSeries> = ensembles
         .iter()
         .map(|e| {
             let down = e.curve.mean.downsample(max_points);

@@ -9,7 +9,17 @@
 //! Output: the AoI traces of two selected contents of RSU 1 (the two most
 //! popular, which the optimal policy maintains), the cumulative reward
 //! curve, an ASCII rendering of both, and CSV for external plotting.
+//!
+//! ```sh
+//! cargo run --release -p aoi-bench --bin fig1a [--out DIR]
+//! ```
+//!
+//! With `--out DIR` the run **spills** its AoI traces to
+//! `DIR/fig1a.trace.jsonl` slot by slot (no full trace stays in memory,
+//! even in `Full` recording mode) and the figure below is rendered from
+//! the **re-read** artifact — the round trip is bit-identical.
 
+use aoi_cache::persist::read_artifact;
 use aoi_cache::presets::{fig1a_policy, fig1a_scenario};
 use aoi_cache::CacheSimulation;
 use simkit::plot::AsciiPlot;
@@ -17,13 +27,39 @@ use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = aoi_bench::take_out_flag(&mut args)?;
+    if let Some(arg) = args.first() {
+        return Err(format!("unrecognized argument: {arg}").into());
+    }
     let scenario = fig1a_scenario();
     println!(
         "Fig. 1a scenario: {} RSUs x {} contents, horizon {}, seed {}\n",
         scenario.n_rsus, scenario.regions_per_rsu, scenario.horizon, scenario.seed
     );
     let sim = CacheSimulation::new(scenario)?;
-    let report = sim.run(fig1a_policy())?;
+    let (report, artifact) = match &out {
+        Some(dir) => {
+            let path = dir.join("fig1a.trace.jsonl");
+            let report = sim.run_artifact(fig1a_policy(), &path)?;
+            let artifact = read_artifact(&path)?;
+            println!(
+                "artifacts: traces spilled to and re-read from {}\n",
+                path.display()
+            );
+            (report, Some(artifact))
+        }
+        None => (sim.run(fig1a_policy())?, None),
+    };
+    // With --out the report holds no traces — the figure's series come
+    // from the re-read artifact (channels are in rsu-major content order).
+    let per = scenario.regions_per_rsu;
+    let aoi = |rsu: usize, content: usize| -> &TimeSeries {
+        match &artifact {
+            Some(a) => &a.channels[rsu * per + content].series,
+            None => report.aoi_trace(rsu, content),
+        }
+    };
 
     // The paper: "we select two contents in the cache of RSU 1 and show
     // them over time". Select, among the contents of RSU 1 that the policy
@@ -34,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let warmup = 100usize;
     let mut candidates: Vec<(usize, f64)> = (0..spec.popularity.len())
         .filter_map(|h| {
-            let tail: Vec<f64> = report.aoi_trace(rsu, h).values().skip(warmup).collect();
+            let tail: Vec<f64> = aoi(rsu, h).values().skip(warmup).collect();
             let max = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let min = tail.iter().copied().fold(f64::INFINITY, f64::min);
             let maintained = max <= f64::from(spec.max_ages[h].get());
@@ -49,11 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // periodic sawtooth into a flat line.
     let window = 120usize;
     let trace1 = rename(
-        window_of(report.aoi_trace(rsu, c1), warmup, window),
+        window_of(aoi(rsu, c1), warmup, window),
         format!("content {c1} (Amax={})", spec.max_ages[c1].get()),
     );
     let trace2 = rename(
-        window_of(report.aoi_trace(rsu, c2), warmup, window),
+        window_of(aoi(rsu, c2), warmup, window),
         format!("content {c2} (Amax={})", spec.max_ages[c2].get()),
     );
     let plot = AsciiPlot::new(
@@ -94,19 +130,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .row([
             "selected contents max AoI",
             &fmt_f64(
-                report
-                    .aoi_trace(rsu, c1)
+                aoi(rsu, c1)
                     .max()
                     .unwrap_or(0.0)
-                    .max(report.aoi_trace(rsu, c2).max().unwrap_or(0.0)),
+                    .max(aoi(rsu, c2).max().unwrap_or(0.0)),
             ),
         ]);
     println!("{}", summary.render());
 
     // CSV of the full-resolution series the paper plots.
     println!("csv: slot,aoi_content_{c1},aoi_content_{c2},cumulative_reward");
-    let t1 = report.aoi_trace(rsu, c1);
-    let t2 = report.aoi_trace(rsu, c2);
+    let t1 = aoi(rsu, c1);
+    let t2 = aoi(rsu, c2);
     for ((p1, p2), pr) in t1
         .iter()
         .zip(t2.iter())

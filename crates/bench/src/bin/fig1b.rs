@@ -7,14 +7,26 @@
 //! (latency-greedy) and cost-greedy (never serve while idling is free).
 //!
 //! All three policies face the identical Poisson arrival trace.
+//!
+//! ```sh
+//! cargo run --release -p aoi-bench --bin fig1b [--out DIR]
+//! ```
+//!
+//! With `--out DIR` each policy's queue/cost series is persisted as a
+//! `simkit::persist` artifact (`DIR/fig1b-<policy>.trace.jsonl`).
 
-use aoi_cache::compare_service;
 use aoi_cache::presets::{fig1b_policies, fig1b_scenario};
+use aoi_cache::{compare_service, write_service_artifact};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = aoi_bench::take_out_flag(&mut args)?;
+    if let Some(arg) = args.first() {
+        return Err(format!("unrecognized argument: {arg}").into());
+    }
     let scenario = fig1b_scenario();
     println!(
         "Fig. 1b scenario: Poisson({}) arrivals, {} service levels, V = {}, horizon {}\n",
@@ -24,6 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.horizon
     );
     let reports = compare_service(&scenario, &fig1b_policies())?;
+    if let Some(dir) = &out {
+        for report in &reports {
+            let path = dir.join(format!("fig1b-{}.trace.jsonl", report.policy));
+            write_service_artifact(&scenario, report, &path)?;
+            println!("artifacts: wrote {}", path.display());
+        }
+        println!();
+    }
 
     let mut plot = AsciiPlot::new("Fig. 1b: UV latency Q[t]", 72, 14).y_label("queue length");
     for r in &reports {

@@ -4,12 +4,25 @@
 //! initial ages and popularity) and reports the reward / staleness / cost
 //! profile of each. Not a paper artifact (the paper reports no tables);
 //! this is the standard ablation for the design choices in DESIGN.md.
+//!
+//! ```sh
+//! cargo run --release -p aoi-bench --bin tab_policies [--out DIR]
+//! ```
+//!
+//! With `--out DIR` each policy's run spills its AoI traces to
+//! `DIR/tab-<i>-<policy>.trace.jsonl` as it executes — the table is then
+//! produced without ever holding a full trace in memory.
 
 use aoi_cache::presets::fig1a_scenario;
 use aoi_cache::{CachePolicyKind, CacheSimulation};
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = aoi_bench::take_out_flag(&mut args)?;
+    if let Some(arg) = args.first() {
+        return Err(format!("unrecognized argument: {arg}").into());
+    }
     let scenario = fig1a_scenario();
     let sim = CacheSimulation::new(scenario)?;
 
@@ -36,8 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "updates/slot",
         "cost/slot",
     ]);
-    for kind in kinds {
-        let r = sim.run(kind)?;
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let r = match &out {
+            Some(dir) => {
+                let path = dir.join(format!("tab-{i}-{}.trace.jsonl", kind.label()));
+                sim.run_artifact(kind, &path)?
+            }
+            None => sim.run(kind)?,
+        };
         eprintln!("ran {}", r.policy);
         table.row([
             r.policy.clone(),

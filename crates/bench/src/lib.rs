@@ -44,6 +44,31 @@ pub fn workers_flag_only() -> Result<Option<usize>, String> {
     Ok(workers)
 }
 
+/// Extracts every `--out DIR` flag from `args` (removing flag and value in
+/// place, last occurrence winning) and creates the directory. Binaries
+/// with the flag **persist their run artifacts** into `DIR` as
+/// `simkit::persist` JSONL files — traces spill to disk as they are
+/// produced, so even a `Full`-recording grid retains no trace in memory.
+///
+/// # Errors
+///
+/// Returns a message when the flag's value is missing or the directory
+/// cannot be created.
+pub fn take_out_flag(args: &mut Vec<String>) -> Result<Option<std::path::PathBuf>, String> {
+    let mut out = None;
+    while let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        let value = (pos < args.len()).then(|| args.remove(pos));
+        let dir = value.ok_or_else(|| "--out needs a directory path".to_string())?;
+        out = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --out directory {}: {e}", dir.display()))?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +106,19 @@ mod tests {
         let mut a = args(&["--workers", "2", "--workers", "5"]);
         assert_eq!(take_workers_flag(&mut a), Ok(Some(5)));
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn out_flag_is_extracted_and_creates_the_directory() {
+        let mut a = args(&["3"]);
+        assert_eq!(take_out_flag(&mut a), Ok(None));
+        let dir = std::env::temp_dir().join(format!("aoi-bench-out-{}", std::process::id()));
+        let dir_str = dir.display().to_string();
+        let mut a = args(&["--out", &dir_str, "3"]);
+        assert_eq!(take_out_flag(&mut a), Ok(Some(dir.clone())));
+        assert_eq!(a, args(&["3"]));
+        assert!(dir.is_dir());
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(take_out_flag(&mut args(&["--out"])).is_err());
     }
 }

@@ -214,16 +214,31 @@ impl Bencher {
 }
 
 /// Linear-interpolation percentile of the (unsorted) per-batch samples.
+///
+/// NaN batch times are skipped rather than fed to the comparator (a
+/// panicking comparator here would abort the whole bench harness); with
+/// no valid samples at all the percentile is reported as 0.
 fn percentile_of(samples: &mut [f64], p: f64) -> f64 {
-    if samples.is_empty() {
+    // `total_cmp` is a total order: -NaN sorts before every number and
+    // +NaN after, so the valid samples end up in one contiguous run.
+    samples.sort_by(f64::total_cmp);
+    let start = samples
+        .iter()
+        .position(|x| !x.is_nan())
+        .unwrap_or(samples.len());
+    let end = samples
+        .iter()
+        .rposition(|x| !x.is_nan())
+        .map_or(0, |i| i + 1);
+    let valid = &samples[start..end.max(start)];
+    if valid.is_empty() {
         return 0.0;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let rank = p / 100.0 * (samples.len() - 1) as f64;
+    let rank = p / 100.0 * (valid.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    samples[lo] * (1.0 - frac) + samples[hi] * frac
+    valid[lo] * (1.0 - frac) + valid[hi] * frac
 }
 
 struct Report {
@@ -370,6 +385,17 @@ mod tests {
         // p95 of 4 samples: rank 2.85 between 3 and 4.
         assert!((percentile_of(&mut xs, 95.0) - 3.85).abs() < 1e-12);
         assert_eq!(percentile_of(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_skip_nan_batch_times() {
+        // Regression: a NaN batch time used to panic the sort comparator
+        // and with it the whole bench harness.
+        let mut xs = vec![4.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0];
+        assert_eq!(percentile_of(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile_of(&mut xs, 50.0), 2.5);
+        assert_eq!(percentile_of(&mut xs, 100.0), 4.0);
+        assert_eq!(percentile_of(&mut [f64::NAN, f64::NAN], 50.0), 0.0);
     }
 
     #[test]

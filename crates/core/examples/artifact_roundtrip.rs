@@ -1,0 +1,77 @@
+//! CI smoke for the artifact round trip: a small `ExperimentPlan` run
+//! once in memory and once with an artifact directory, asserting that
+//! (a) the reports agree on every non-trace field, (b) every spilled
+//! cell artifact re-reads **bit-identically** to the in-memory cell's
+//! traces, and (c) every ensemble artifact re-reads bit-identically to
+//! the in-memory ensemble curves. CI executes this example both with the
+//! `parallel` feature and under `--no-default-features`, so both executor
+//! paths cover the spilling code.
+//!
+//! ```sh
+//! cargo run --release -p aoi-cache --example artifact_roundtrip
+//! cargo run --release -p aoi-cache --example artifact_roundtrip --no-default-features
+//! ```
+
+use aoi_cache::persist::read_artifact;
+use aoi_cache::presets::smoke_grid;
+use aoi_cache::ExperimentPlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let feature = if cfg!(feature = "parallel") {
+        "parallel"
+    } else {
+        "serial (no default features)"
+    };
+    println!("artifact round-trip smoke [{feature}]");
+
+    let dir = std::env::temp_dir().join(format!("aoi-artifact-smoke-{}", std::process::id()));
+    let in_memory = smoke_grid().run()?;
+    let spilled = smoke_grid().artifact_dir(&dir).run()?;
+
+    // The grid's results must not depend on whether artifacts were written.
+    assert_eq!(spilled.ensembles, in_memory.ensembles, "ensembles differ");
+    let mut samples = 0usize;
+    for (got, want) in spilled.cells.iter().zip(&in_memory.cells) {
+        let (got, want) = (got.outcome.cache().unwrap(), want.outcome.cache().unwrap());
+        assert!(
+            got.aoi_traces.iter().all(|t| t.is_empty()),
+            "spilling cells must retain no traces in memory"
+        );
+        assert_eq!(got.aoi_summaries, want.aoi_summaries, "summaries differ");
+        assert_eq!(got.cumulative_reward, want.cumulative_reward);
+        samples += want.aoi_traces.iter().map(|t| t.len()).sum::<usize>();
+    }
+
+    // Diff every cell artifact against the in-memory report, bit by bit.
+    for cell in &in_memory.cells {
+        let path = ExperimentPlan::cell_artifact_path(&dir, cell.id);
+        let artifact = read_artifact(&path)?;
+        let want = cell.outcome.cache().unwrap();
+        for (k, trace) in want.aoi_traces.iter().enumerate() {
+            assert_eq!(
+                &artifact.channels[k].series, trace,
+                "cell {:?} channel {k} not bit-identical",
+                cell.id
+            );
+            assert_eq!(artifact.channels[k].summary, Some(want.aoi_summaries[k]));
+        }
+    }
+    for ensemble in &in_memory.ensembles {
+        let path = ExperimentPlan::ensemble_artifact_path(&dir, ensemble.scenario, ensemble.policy);
+        let artifact = read_artifact(&path)?;
+        assert_eq!(
+            artifact.curves[0].curve, ensemble.curve,
+            "ensemble {} not bit-identical",
+            ensemble.label
+        );
+    }
+
+    std::fs::remove_dir_all(&dir)?;
+    println!(
+        "OK: {} cells ({samples} trace samples) and {} ensembles spilled, \
+         re-read and diffed bit-identically",
+        in_memory.cells.len(),
+        in_memory.ensembles.len()
+    );
+    Ok(())
+}

@@ -15,9 +15,11 @@ use crate::AoiCacheError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest, SharedArtifactWriter};
 use simkit::{
     executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
 };
+use std::path::Path;
 use vanet::Zipf;
 
 /// Configuration of a stage-1 cache-management experiment.
@@ -267,6 +269,53 @@ impl CacheSimulation {
     ///
     /// Propagates policy-construction errors.
     pub fn run(&self, kind: CachePolicyKind) -> Result<CacheRunReport, AoiCacheError> {
+        let policies = self.build_policies(kind)?;
+        self.run_with(policies, kind.label().to_string())
+    }
+
+    /// [`run`](CacheSimulation::run), but **spilling** every retained
+    /// trace sample to the artifact file at `path` slot by slot instead of
+    /// holding it in memory: the returned report's
+    /// [`aoi_traces`](CacheRunReport::aoi_traces) are empty (the samples
+    /// live on disk) while every other field — summaries, reward curves,
+    /// scalar statistics — is identical to an in-memory run's. Re-reading
+    /// the artifact ([`simkit::persist::read_artifact`]) reconstructs the
+    /// traces bit-identically to what an in-memory run would have
+    /// retained; the artifact also carries the reward and
+    /// cumulative-reward series, so it is self-contained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-construction errors and artifact write failures
+    /// ([`AoiCacheError::Persist`]).
+    pub fn run_artifact(
+        &self,
+        kind: CachePolicyKind,
+        path: &Path,
+    ) -> Result<CacheRunReport, AoiCacheError> {
+        let policies = self.build_policies(kind)?;
+        let manifest = Manifest {
+            artifact: ArtifactKind::Trace,
+            scenario: "cache".to_string(),
+            policy: kind.label().to_string(),
+            seed: Some(self.scenario.seed),
+            recording: self.recording,
+            config_hash: persist::config_hash(&self.scenario),
+        };
+        let writer = ArtifactWriter::create(path, &manifest)
+            .map_err(AoiCacheError::from)?
+            .shared();
+        let report = self.run_with_sink(policies, kind.label().to_string(), Some(&writer))?;
+        ArtifactWriter::finish_shared(writer).map_err(AoiCacheError::from)?;
+        Ok(report)
+    }
+
+    /// Builds one policy of `kind` per RSU from per-RSU deterministic RNG
+    /// streams (solving on the shared compiled kernels for MDP kinds).
+    fn build_policies(
+        &self,
+        kind: CachePolicyKind,
+    ) -> Result<Vec<Box<dyn CacheUpdatePolicy>>, AoiCacheError> {
         let compiled = if kind.uses_mdp() {
             Some(self.compiled()?)
         } else {
@@ -280,14 +329,12 @@ impl CacheSimulation {
             .map(|_| seeds.derive("policy-build"))
             .collect();
         let workers = executor::worker_count(self.specs.len(), kind.uses_mdp(), 1);
-        let policies: Vec<Box<dyn CacheUpdatePolicy>> =
-            executor::parallel_map(workers, &build_seeds, |k, seed| {
-                let mut rng = StdRng::seed_from_u64(*seed);
-                kind.build_with(compiled.map(|c| &c[k]), &mut rng)
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
-        self.run_with(policies, kind.label().to_string())
+        executor::parallel_map(workers, &build_seeds, |k, seed| {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            kind.build_with(compiled.map(|c| &c[k]), &mut rng)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()
     }
 
     /// Runs the experiment with caller-supplied per-RSU policies.
@@ -298,8 +345,19 @@ impl CacheSimulation {
     /// match the RSU count.
     pub fn run_with(
         &self,
+        policies: Vec<Box<dyn CacheUpdatePolicy>>,
+        label: String,
+    ) -> Result<CacheRunReport, AoiCacheError> {
+        self.run_with_sink(policies, label, None)
+    }
+
+    /// The shared run body: an in-memory run when `artifact` is `None`,
+    /// a spilling run streaming into the artifact's channels otherwise.
+    fn run_with_sink(
+        &self,
         mut policies: Vec<Box<dyn CacheUpdatePolicy>>,
         label: String,
+        artifact: Option<&SharedArtifactWriter>,
     ) -> Result<CacheRunReport, AoiCacheError> {
         if policies.len() != self.specs.len() {
             return Err(AoiCacheError::BadParameter {
@@ -323,15 +381,19 @@ impl CacheSimulation {
 
         // Everything the slot loop touches is allocated up front (the
         // recorders pre-size their retained buffers to the exact retained
-        // length); the loop body itself performs zero heap allocation per
-        // slot — see `core/tests/alloc_free.rs`.
-        let mut aoi_recorders: Vec<TraceRecorder> = (0..n_rsus)
-            .flat_map(|k| {
-                (0..per_rsu).map(move |h| {
-                    TraceRecorder::new(format!("rsu{k}/content{h}"), self.recording, horizon)
-                })
-            })
-            .collect();
+        // length, or register their artifact channel); the loop body
+        // itself performs zero heap allocation per slot — see
+        // `core/tests/alloc_free.rs`, which covers the spilling path too.
+        let mut aoi_recorders: Vec<TraceRecorder> = Vec::with_capacity(n_rsus * per_rsu);
+        for k in 0..n_rsus {
+            for h in 0..per_rsu {
+                let name = format!("rsu{k}/content{h}");
+                aoi_recorders.push(match artifact {
+                    Some(writer) => TraceRecorder::to_artifact(name, self.recording, writer)?,
+                    None => TraceRecorder::new(name, self.recording, horizon),
+                });
+            }
+        }
         let mut reward_series = TimeSeries::with_capacity("reward", horizon);
         let mut updates = 0u64;
         let mut violation_content_slots = 0u64;
@@ -398,6 +460,14 @@ impl CacheSimulation {
         }
         let content_slots = (horizon * n_rsus * per_rsu) as u64;
         let cumulative_reward = reward_series.cumulative();
+        if let Some(writer) = artifact {
+            // The headline curves stay in the report either way (they are
+            // O(horizon)); writing them too makes the artifact
+            // self-contained.
+            let mut writer = writer.borrow_mut();
+            writer.series(&reward_series)?;
+            writer.series(&cumulative_reward)?;
+        }
         Ok(CacheRunReport {
             policy: label,
             recording: self.recording,

@@ -24,6 +24,8 @@ pub enum AoiCacheError {
     Controller(lyapunov::LyapunovError),
     /// An error bubbled up from the network substrate.
     Network(vanet::VanetError),
+    /// An error while writing or reading a run artifact.
+    Persist(simkit::persist::PersistError),
 }
 
 impl fmt::Display for AoiCacheError {
@@ -36,6 +38,7 @@ impl fmt::Display for AoiCacheError {
             AoiCacheError::Solver(e) => write!(f, "mdp solver: {e}"),
             AoiCacheError::Controller(e) => write!(f, "lyapunov controller: {e}"),
             AoiCacheError::Network(e) => write!(f, "network model: {e}"),
+            AoiCacheError::Persist(e) => write!(f, "run artifact: {e}"),
         }
     }
 }
@@ -46,6 +49,7 @@ impl Error for AoiCacheError {
             AoiCacheError::Solver(e) => Some(e),
             AoiCacheError::Controller(e) => Some(e),
             AoiCacheError::Network(e) => Some(e),
+            AoiCacheError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -66,6 +70,12 @@ impl From<lyapunov::LyapunovError> for AoiCacheError {
 impl From<vanet::VanetError> for AoiCacheError {
     fn from(e: vanet::VanetError) -> Self {
         AoiCacheError::Network(e)
+    }
+}
+
+impl From<simkit::persist::PersistError> for AoiCacheError {
+    fn from(e: simkit::persist::PersistError) -> Self {
+        AoiCacheError::Persist(e)
     }
 }
 

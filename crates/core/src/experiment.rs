@@ -49,14 +49,16 @@
 //! ```
 
 use crate::cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
-use crate::joint_sim::{run_joint_recorded, JointReport, JointScenario};
+use crate::joint_sim::{run_joint_artifact, run_joint_recorded, JointReport, JointScenario};
 use crate::policy::CachePolicyKind;
 use crate::service::ServicePolicyKind;
 use crate::service_sim::{run_service, ServiceRunReport, ServiceScenario};
 use crate::AoiCacheError;
 use serde::{Deserialize, Serialize};
 use simkit::executor;
+use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest};
 use simkit::{CurveAccumulator, CurveSummary, RecordingMode, TimeSeries};
+use std::path::{Path, PathBuf};
 
 /// The policy/scenario axes of an experiment grid.
 ///
@@ -140,6 +142,16 @@ pub struct ExperimentPlan {
     /// are identical in all modes; [`RecordingMode::SummaryOnly`] shrinks
     /// each cell report from `O(horizon × contents)` to `O(horizon)`.
     pub recording: RecordingMode,
+    /// When set, the grid **persists its run artifacts** into this
+    /// directory: every cell spills its retained traces to
+    /// `cell-s<scenario>-r<replicate>-p<policy>.trace.jsonl` as they are
+    /// produced (so even [`RecordingMode::Full`] cells retain no trace in
+    /// memory), and each `(scenario, policy)` group writes its mean/CI
+    /// curve to `ensemble-s<scenario>-p<policy>.jsonl`. Every statistic
+    /// and ensemble curve is identical with or without artifacts; re-read
+    /// artifacts reconstruct the spilled traces bit-identically (see
+    /// [`simkit::persist`]).
+    pub artifacts: Option<PathBuf>,
 }
 
 impl ExperimentPlan {
@@ -153,6 +165,7 @@ impl ExperimentPlan {
             seeds: Vec::new(),
             workers: None,
             recording: RecordingMode::Full,
+            artifacts: None,
         }
     }
 
@@ -166,6 +179,7 @@ impl ExperimentPlan {
             seeds: Vec::new(),
             workers: None,
             recording: RecordingMode::Full,
+            artifacts: None,
         }
     }
 
@@ -176,6 +190,7 @@ impl ExperimentPlan {
             seeds: Vec::new(),
             workers: None,
             recording: RecordingMode::Full,
+            artifacts: None,
         }
     }
 
@@ -195,6 +210,29 @@ impl ExperimentPlan {
     pub fn recording(mut self, recording: RecordingMode) -> Self {
         self.recording = recording;
         self
+    }
+
+    /// Persists run artifacts into `dir` (created on demand): per-cell
+    /// trace artifacts, written **as the cells run** so no full trace is
+    /// ever resident, plus one ensemble artifact per `(scenario, policy)`
+    /// group. See [`artifacts`](ExperimentPlan::artifacts) for the layout.
+    #[must_use]
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifacts = Some(dir.into());
+        self
+    }
+
+    /// The artifact file of one cell under `dir`.
+    pub fn cell_artifact_path(dir: &Path, id: CellId) -> PathBuf {
+        dir.join(format!(
+            "cell-s{}-r{}-p{}.trace.jsonl",
+            id.scenario, id.replicate, id.policy
+        ))
+    }
+
+    /// The artifact file of one `(scenario, policy)` ensemble under `dir`.
+    pub fn ensemble_artifact_path(dir: &Path, scenario: usize, policy: usize) -> PathBuf {
+        dir.join(format!("ensemble-s{scenario}-p{policy}.jsonl"))
     }
 
     /// Forces the cell fan-out to exactly `workers` workers. `1` means
@@ -267,7 +305,17 @@ impl ExperimentPlan {
                 })
             }
             _ => Ok(()),
+        }?;
+        if let Some(dir) = &self.artifacts {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                AoiCacheError::Persist(persist::PersistError::Io {
+                    op: "create artifact directory",
+                    path: dir.display().to_string(),
+                    message: e.to_string(),
+                })
+            })?;
         }
+        Ok(())
     }
 
     /// Runs every cell of the grid — concurrently on the shared executor
@@ -358,6 +406,7 @@ impl ExperimentPlan {
         let workers = self
             .workers
             .unwrap_or_else(|| executor::worker_count(ids.len(), true, 1));
+        let artifacts = self.artifacts.as_deref();
 
         let outcomes: Vec<Result<CellOutcome, AoiCacheError>> = match &self.grid {
             ExperimentGrid::Cache {
@@ -390,7 +439,12 @@ impl ExperimentPlan {
                     let sim = keys
                         .binary_search(&(id.scenario, id.replicate))
                         .expect("batch provides a simulation for each of its cells");
-                    sims[sim].run(policies[id.policy]).map(CellOutcome::Cache)
+                    match artifacts {
+                        Some(dir) => sims[sim]
+                            .run_artifact(policies[id.policy], &Self::cell_artifact_path(dir, *id)),
+                        None => sims[sim].run(policies[id.policy]),
+                    }
+                    .map(CellOutcome::Cache)
                 })
             }
             ExperimentGrid::Service {
@@ -399,12 +453,28 @@ impl ExperimentPlan {
             } => executor::parallel_map(workers, ids, |_, id| {
                 let mut scenario = scenarios[id.scenario].clone();
                 scenario.seed = id.seed;
-                run_service(&scenario, policies[id.policy]).map(CellOutcome::Service)
+                let report = run_service(&scenario, policies[id.policy])?;
+                if let Some(dir) = artifacts {
+                    write_service_artifact(
+                        &scenario,
+                        &report,
+                        &Self::cell_artifact_path(dir, *id),
+                    )?;
+                }
+                Ok(CellOutcome::Service(report))
             }),
             ExperimentGrid::Joint { scenarios } => executor::parallel_map(workers, ids, |_, id| {
                 let mut scenario = scenarios[id.scenario].clone();
                 scenario.seed = id.seed;
-                run_joint_recorded(&scenario, self.recording).map(CellOutcome::Joint)
+                match artifacts {
+                    Some(dir) => run_joint_artifact(
+                        &scenario,
+                        self.recording,
+                        &Self::cell_artifact_path(dir, *id),
+                    ),
+                    None => run_joint_recorded(&scenario, self.recording),
+                }
+                .map(CellOutcome::Joint)
             }),
         };
         outcomes.into_iter().collect()
@@ -447,15 +517,75 @@ impl ExperimentPlan {
             let curve = group
                 .finish()
                 .expect("every group has one curve per replicate");
-            ensembles.push(EnsembleSummary {
+            let ensemble = EnsembleSummary {
                 scenario,
                 policy,
                 label: self.grid.policy_label(scenario, policy),
                 curve,
-            });
+            };
+            if let Some(dir) = &self.artifacts {
+                self.write_ensemble_artifact(dir, &ensemble)?;
+            }
+            ensembles.push(ensemble);
         }
         Ok(ensembles)
     }
+
+    /// Writes one `(scenario, policy)` group's mean/CI curve as its own
+    /// ensemble artifact.
+    fn write_ensemble_artifact(
+        &self,
+        dir: &Path,
+        ensemble: &EnsembleSummary,
+    ) -> Result<(), AoiCacheError> {
+        let manifest = Manifest {
+            artifact: ArtifactKind::Ensemble,
+            scenario: format!("s{}", ensemble.scenario),
+            policy: ensemble.label.clone(),
+            seed: None,
+            recording: self.recording,
+            config_hash: persist::config_hash(&self.grid),
+        };
+        let path = Self::ensemble_artifact_path(dir, ensemble.scenario, ensemble.policy);
+        let mut writer = ArtifactWriter::create(&path, &manifest).map_err(AoiCacheError::from)?;
+        writer
+            .curve(
+                &ensemble.label,
+                ensemble.scenario,
+                ensemble.policy,
+                &ensemble.curve,
+            )
+            .map_err(AoiCacheError::from)?;
+        writer.finish().map_err(AoiCacheError::from)
+    }
+}
+
+/// Writes one service run's report as a trace artifact (the queue and
+/// cost series a service run holds are already `O(horizon)`, so they are
+/// written after the run rather than streamed through a recorder sink).
+/// Used for every service cell of a grid with an artifact directory;
+/// public so standalone Fig. 1b-style runs persist the identical layout.
+///
+/// # Errors
+///
+/// Propagates artifact write failures ([`AoiCacheError::Persist`]).
+pub fn write_service_artifact(
+    scenario: &ServiceScenario,
+    report: &ServiceRunReport,
+    path: &Path,
+) -> Result<(), AoiCacheError> {
+    let manifest = Manifest {
+        artifact: ArtifactKind::Trace,
+        scenario: "service".to_string(),
+        policy: report.policy.clone(),
+        seed: Some(scenario.seed),
+        recording: RecordingMode::Full,
+        config_hash: persist::config_hash(scenario),
+    };
+    let mut writer = ArtifactWriter::create(path, &manifest).map_err(AoiCacheError::from)?;
+    writer.series(&report.queue).map_err(AoiCacheError::from)?;
+    writer.series(&report.cost).map_err(AoiCacheError::from)?;
+    writer.finish().map_err(AoiCacheError::from)
 }
 
 /// Identity of one grid cell.

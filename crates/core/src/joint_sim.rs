@@ -23,9 +23,11 @@ use lyapunov::Queue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest, SharedArtifactWriter};
 use simkit::{
     executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
 };
+use std::path::Path;
 use vanet::{Network, NetworkConfig, RsuId};
 
 /// Configuration of a joint two-stage experiment.
@@ -197,6 +199,51 @@ pub fn run_joint_recorded(
     scenario: &JointScenario,
     recording: RecordingMode,
 ) -> Result<JointReport, AoiCacheError> {
+    run_joint_sunk(scenario, recording, None)
+}
+
+/// [`run_joint_recorded`], but **spilling** every retained backlog sample
+/// to the artifact file at `path` slot by slot: the returned report's
+/// [`queues`](JointReport::queues) are empty (the samples live on disk)
+/// while every other field is identical to an in-memory run's. The
+/// artifact also carries the cache-reward and cumulative-reward series;
+/// re-reading it reconstructs each series bit-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`run_joint_recorded`], plus artifact write
+/// failures ([`AoiCacheError::Persist`]).
+pub fn run_joint_artifact(
+    scenario: &JointScenario,
+    recording: RecordingMode,
+    path: &Path,
+) -> Result<JointReport, AoiCacheError> {
+    scenario.validate()?;
+    let manifest = Manifest {
+        artifact: ArtifactKind::Trace,
+        scenario: "joint".to_string(),
+        policy: format!(
+            "{}+{}",
+            scenario.cache_policy.label(),
+            scenario.service_policy.label()
+        ),
+        seed: Some(scenario.seed),
+        recording,
+        config_hash: persist::config_hash(scenario),
+    };
+    let writer = ArtifactWriter::create(path, &manifest)
+        .map_err(AoiCacheError::from)?
+        .shared();
+    let report = run_joint_sunk(scenario, recording, Some(&writer))?;
+    ArtifactWriter::finish_shared(writer).map_err(AoiCacheError::from)?;
+    Ok(report)
+}
+
+fn run_joint_sunk(
+    scenario: &JointScenario,
+    recording: RecordingMode,
+    artifact: Option<&SharedArtifactWriter>,
+) -> Result<JointReport, AoiCacheError> {
     scenario.validate()?;
     let mut seeds = SeedSequence::new(scenario.seed);
     let mut network = Network::new(scenario.network)?;
@@ -283,9 +330,14 @@ pub fn run_joint_recorded(
     network.warm_up(scenario.warmup, &mut rng);
 
     let mut queues: Vec<Queue> = (0..n_rsus).map(|_| Queue::new()).collect();
-    let mut queue_recorders: Vec<TraceRecorder> = (0..n_rsus)
-        .map(|k| TraceRecorder::new(format!("rsu{k}/queue"), recording, scenario.horizon))
-        .collect();
+    let mut queue_recorders: Vec<TraceRecorder> = Vec::with_capacity(n_rsus);
+    for k in 0..n_rsus {
+        let name = format!("rsu{k}/queue");
+        queue_recorders.push(match artifact {
+            Some(writer) => TraceRecorder::to_artifact(name, recording, writer)?,
+            None => TraceRecorder::new(name, recording, scenario.horizon),
+        });
+    }
     let mut reward_series = TimeSeries::with_capacity("cache reward", scenario.horizon);
     let mut clock = SlotClock::new();
 
@@ -392,9 +444,15 @@ pub fn run_joint_recorded(
         queue_summaries.push(summary);
     }
     let horizon = scenario.horizon as f64;
+    let cumulative_cache_reward = reward_series.cumulative();
+    if let Some(writer) = artifact {
+        let mut writer = writer.borrow_mut();
+        writer.series(&reward_series)?;
+        writer.series(&cumulative_cache_reward)?;
+    }
     Ok(JointReport {
         recording,
-        cumulative_cache_reward: reward_series.cumulative(),
+        cumulative_cache_reward,
         cache_reward: reward_series,
         queues: queue_series,
         queue_summaries,

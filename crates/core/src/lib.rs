@@ -22,7 +22,12 @@
 //! runs and compared across policy menus — come from the
 //! [`experiment`] engine: an [`ExperimentPlan`] grid over scenarios ×
 //! policies × seed replicates whose cells run concurrently on the shared
-//! executor and aggregate into mean/CI summary curves.
+//! executor and aggregate into mean/CI summary curves. With
+//! [`ExperimentPlan::artifact_dir`] a grid **persists its artifacts**:
+//! cells spill their traces to disk as they run (no full trace stays
+//! resident, even in [`RecordingMode::Full`]) and each group's ensemble
+//! curve lands in its own [`simkit::persist`] file, re-readable
+//! bit-identically.
 //!
 //! ## Quickstart
 //!
@@ -73,13 +78,15 @@ pub use cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
 pub use catalog::{Catalog, ContentSpec};
 pub use error::AoiCacheError;
 pub use experiment::{
-    CellId, CellOutcome, CellReport, EnsembleSummary, ExperimentGrid, ExperimentPlan,
-    ExperimentReport,
+    write_service_artifact, CellId, CellOutcome, CellReport, EnsembleSummary, ExperimentGrid,
+    ExperimentPlan, ExperimentReport,
 };
 pub use freshness_service::{
     run_freshness_service, FreshnessReport, FreshnessScenario, ServingSource, SourcingMode,
 };
-pub use joint_sim::{run_joint, run_joint_recorded, JointReport, JointScenario};
+pub use joint_sim::{
+    run_joint, run_joint_artifact, run_joint_recorded, JointReport, JointScenario,
+};
 pub use mdp_model::{PopularityModel, RsuCacheMdp};
 pub use policy::{
     AgeThresholdPolicy, CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp,
@@ -93,6 +100,7 @@ pub use service::{
 pub use service_sim::{
     compare_service, run_service, run_service_with, ServiceRunReport, ServiceScenario,
 };
-// Trace-retention vocabulary, re-exported so simulator callers need not
-// depend on simkit directly.
-pub use simkit::{RecordingMode, Summary, TraceRecorder};
+// Trace-retention and artifact vocabulary, re-exported so simulator
+// callers need not depend on simkit directly.
+pub use simkit::persist;
+pub use simkit::{RecordingMode, Summary, TraceRecorder, TraceSink};

@@ -89,6 +89,39 @@ fn assert_horizon_free(kind: CachePolicyKind, recording: RecordingMode) {
     });
 }
 
+/// The spilling path must be horizon-free **in memory** too: streaming
+/// every retained sample to the artifact file costs file bytes, never
+/// heap — so a `Full`-mode spilled run allocates exactly as often at 64
+/// slots as at 512 (all setup: recorders, channel records, the writer's
+/// buffer), which is precisely the "no full traces resident" guarantee of
+/// `ExperimentPlan::artifact_dir` at the single-run level.
+fn assert_horizon_free_spilled(kind: CachePolicyKind, recording: RecordingMode) {
+    let dir = std::env::temp_dir().join(format!("aoi-alloc-free-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let short = sim(64, recording);
+    let long = sim(512, recording);
+    let path_a = dir.join("short.trace.jsonl");
+    let path_b = dir.join("long.trace.jsonl");
+    executor::serialized(|| {
+        let _ = short.run_artifact(kind, &path_a).unwrap();
+        let _ = long.run_artifact(kind, &path_b).unwrap();
+        let a = allocations_during(|| {
+            let _ = short.run_artifact(kind, &path_a).unwrap();
+        });
+        let b = allocations_during(|| {
+            let _ = long.run_artifact(kind, &path_b).unwrap();
+        });
+        assert_eq!(
+            a,
+            b,
+            "{} ({recording:?}, spilled): allocation count must not scale \
+             with the horizon (64 slots: {a}, 512 slots: {b})",
+            kind.label()
+        );
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// One test function for the whole binary (the same discipline as
 /// `mdp/tests/pool_per_solve.rs`): concurrently running tests would spawn
 /// harness threads into each other's measurement windows and shift the
@@ -114,4 +147,11 @@ fn simulation_hot_loop_is_allocation_free() {
     ] {
         assert_horizon_free(CachePolicyKind::Myopic, recording);
     }
+    // Spilling to a disk artifact keeps the loop heap-free as well — the
+    // retained `Full` trace goes to the file, not to resident memory.
+    assert_horizon_free_spilled(CachePolicyKind::Myopic, RecordingMode::Full);
+    assert_horizon_free_spilled(
+        CachePolicyKind::ValueIteration { gamma: 0.9 },
+        RecordingMode::Full,
+    );
 }

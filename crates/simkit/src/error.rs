@@ -26,6 +26,12 @@ pub enum SimkitError {
         /// Human-readable description of the valid range.
         valid: &'static str,
     },
+    /// Positionally aligned inputs disagreed where they must match (e.g.
+    /// replicate curves with different slot axes).
+    Mismatch {
+        /// Name of the quantity that must match across inputs.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimkitError {
@@ -35,6 +41,9 @@ impl fmt::Display for SimkitError {
             SimkitError::Empty { what } => write!(f, "{what} must not be empty"),
             SimkitError::OutOfRange { what, valid } => {
                 write!(f, "{what} out of range (expected {valid})")
+            }
+            SimkitError::Mismatch { what } => {
+                write!(f, "{what} must match across inputs")
             }
         }
     }
@@ -57,6 +66,10 @@ mod tests {
             valid: "0..=100",
         };
         assert_eq!(e.to_string(), "p out of range (expected 0..=100)");
+        let e = SimkitError::Mismatch {
+            what: "curve slot axes",
+        };
+        assert_eq!(e.to_string(), "curve slot axes must match across inputs");
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! * [`SeedSequence`] — deterministic fan-out of independent RNG streams so
 //!   that experiments are reproducible under a single `u64` seed,
 //! * [`TimeSeries`] — per-slot sample recorder with downsampling,
-//! * [`TraceRecorder`] / [`RecordingMode`] — pluggable trace retention
-//!   (full, decimated, or summary-only) with exact streaming statistics in
-//!   every mode,
+//! * [`TraceRecorder`] / [`RecordingMode`] / [`TraceSink`] — pluggable
+//!   trace retention (full, decimated, or summary-only) with exact
+//!   streaming statistics in every mode, recording to memory or straight
+//!   to a disk artifact,
+//! * [`persist`] — streaming run-artifact files (versioned JSONL with a
+//!   manifest, written slot-by-slot, re-read bit-identically),
 //! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
 //! * [`CurveSummary`] / [`summarize_curves`] / [`CurveAccumulator`] —
 //!   mean/CI aggregation of replicate curves (experiment ensembles),
@@ -52,6 +55,7 @@
 
 mod error;
 pub mod executor;
+pub mod persist;
 pub mod plot;
 pub mod recorder;
 mod rng;
@@ -61,7 +65,7 @@ pub mod table;
 mod time;
 
 pub use error::SimkitError;
-pub use recorder::{RecordingMode, TraceRecorder};
+pub use recorder::{RecordingMode, TraceRecorder, TraceSink};
 pub use rng::{sample_poisson, SeedSequence};
 pub use series::{SeriesPoint, TimeSeries};
 pub use stats::{

@@ -1,0 +1,1178 @@
+//! Streaming run-artifact persistence: traces, summaries and ensemble
+//! curves written to disk as they are produced.
+//!
+//! A run that keeps its [`RecordingMode::Full`] traces in memory costs
+//! `O(horizon × channels)` per cell; this module moves that bulk to disk
+//! **slot by slot** — an [`ArtifactWriter`] accepts samples as the
+//! simulation records them (see [`TraceRecorder::to_artifact`]), so a
+//! spilling run's resident trace memory is O(1) per channel in every
+//! recording mode while the on-disk artifact still holds the complete
+//! retained trace.
+//!
+//! ## Format (version 1)
+//!
+//! An artifact is a JSONL file: one self-describing JSON record per line.
+//! The first record is always the manifest; the last is a footer whose
+//! record counts let a reader detect truncation.
+//!
+//! | record | fields |
+//! |---|---|
+//! | `manifest` | `format` (version), `artifact` (`"trace"`/`"ensemble"`), `scenario`, `policy`, `seed` (or `null`), `recording`, `config_hash` |
+//! | `channel`  | `id` (sequential), `name`, `mode` |
+//! | `sample`   | `ch` (channel id), `slot`, `value` |
+//! | `summary`  | `ch`, `count`, `mean`, `std_dev`, `min`/`max` (or `null`), `sum` |
+//! | `curve`    | `label`, `scenario`, `policy`, `replicates`, `mean`/`lo`/`hi` (channel ids) |
+//! | `footer`   | `channels`, `curves`, `samples` |
+//!
+//! **Versioning rule:** additions within format 1 come as new record
+//! kinds or new fields — readers ignore both, so older readers keep
+//! working. Any change that alters the meaning of an existing field bumps
+//! `format`, and readers reject versions they do not know.
+//!
+//! Floats are written with Rust's shortest-round-trip `Display`, so a
+//! re-read [`TimeSeries`]/[`CurveSummary`] is **bit-identical** to the
+//! value that was written (`-0.0` included). Non-finite values are not
+//! representable in JSON and are rejected by the writer; optional
+//! statistics of empty channels are `null`, never `NaN`.
+//!
+//! ```no_run
+//! use simkit::persist::{read_artifact, ArtifactKind, ArtifactWriter, Manifest};
+//! use simkit::{RecordingMode, TimeSeries, TimeSlot};
+//!
+//! let manifest = Manifest {
+//!     artifact: ArtifactKind::Trace,
+//!     scenario: "demo".to_string(),
+//!     policy: "myopic".to_string(),
+//!     seed: Some(7),
+//!     recording: RecordingMode::Full,
+//!     config_hash: 0,
+//! };
+//! let mut writer = ArtifactWriter::create("demo.trace.jsonl".as_ref(), &manifest)?;
+//! let ch = writer.channel("aoi", RecordingMode::Full)?;
+//! for t in 0..1000 {
+//!     writer.sample(ch, TimeSlot::new(t), (t % 7) as f64)?;
+//! }
+//! writer.finish()?;
+//!
+//! let artifact = read_artifact("demo.trace.jsonl".as_ref())?;
+//! assert_eq!(artifact.channels[0].series.len(), 1000);
+//! # Ok::<(), simkit::persist::PersistError>(())
+//! ```
+
+use crate::recorder::RecordingMode;
+use crate::series::TimeSeries;
+use crate::stats::{CurveSummary, Summary};
+use crate::time::TimeSlot;
+use std::cell::RefCell;
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// The artifact format version this module writes and reads.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Errors produced while writing or reading run artifacts.
+///
+/// I/O failures are captured as plain data (operation, path, message) so
+/// the error stays `Clone + PartialEq` like every other error in the
+/// workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the writer/reader was doing.
+        op: &'static str,
+        /// The artifact path involved.
+        path: String,
+        /// The I/O error's message.
+        message: String,
+    },
+    /// A value that must be representable in JSON was NaN or infinite.
+    NonFinite {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+    /// A record could not be parsed or referenced inconsistent state.
+    Corrupt {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The file declares a format version this reader does not know.
+    Version {
+        /// The version found in the manifest.
+        found: u64,
+    },
+    /// The file ended before its footer — the writing process died or the
+    /// file was cut short.
+    Truncated,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, message } => {
+                write!(f, "artifact {op} failed for {path}: {message}")
+            }
+            PersistError::NonFinite { what } => {
+                write!(f, "{what} must be finite to be persisted")
+            }
+            PersistError::Corrupt { line, why } => {
+                write!(f, "corrupt artifact at line {line}: {why}")
+            }
+            PersistError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported artifact format {found} (this reader knows {FORMAT_VERSION})"
+                )
+            }
+            PersistError::Truncated => write!(f, "truncated artifact (no footer record)"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// What kind of data an artifact holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Per-slot trace channels of one simulation run.
+    Trace,
+    /// Mean/CI ensemble curves of one experiment group.
+    Ensemble,
+}
+
+impl ArtifactKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::Trace => "trace",
+            ArtifactKind::Ensemble => "ensemble",
+        }
+    }
+}
+
+/// The self-describing header of an artifact: what produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Whether the artifact holds run traces or ensemble curves.
+    pub artifact: ArtifactKind,
+    /// Which scenario family produced it (e.g. `"cache"`, `"joint"`).
+    pub scenario: String,
+    /// Display label of the policy (or policy pair) that ran.
+    pub policy: String,
+    /// The seed the run derived everything from; `None` for aggregate
+    /// artifacts that span several seeds.
+    pub seed: Option<u64>,
+    /// The trace-retention mode the run used.
+    pub recording: RecordingMode,
+    /// Hash of the producing configuration (see [`config_hash`]), so an
+    /// artifact can be matched to the exact scenario that produced it.
+    pub config_hash: u64,
+}
+
+/// FNV-1a hash of a configuration's `Debug` representation — a cheap,
+/// deterministic fingerprint for [`Manifest::config_hash`].
+pub fn config_hash(config: &impl fmt::Debug) -> u64 {
+    struct Fnv(u64);
+    impl fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for byte in s.bytes() {
+                self.0 ^= u64::from(byte);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut hasher = Fnv(0xcbf2_9ce4_8422_2325);
+    fmt::Write::write_fmt(&mut hasher, format_args!("{config:?}")).expect("Fnv never fails");
+    hasher.0
+}
+
+/// Handle of one channel within an [`ArtifactWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelId(usize);
+
+impl ChannelId {
+    /// The sequential index of this channel within its artifact.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An [`ArtifactWriter`] shared by several [`TraceRecorder`] sinks of one
+/// run (single-threaded: each run writes its own artifact from its own
+/// worker).
+///
+/// [`TraceRecorder`]: crate::TraceRecorder
+pub type SharedArtifactWriter = Rc<RefCell<ArtifactWriter>>;
+
+/// Streaming JSONL writer for one artifact file.
+///
+/// Samples are appended **slot by slot** with no per-sample heap
+/// allocation (the buffered writer and all channel state are set up
+/// front), which is what lets a `Full`-mode run spill its traces while
+/// retaining nothing in memory.
+///
+/// The first write error is latched: every later call (and
+/// [`finish`](ArtifactWriter::finish)) reports it, so infallible
+/// recording loops may ignore intermediate results and surface the error
+/// once at the end.
+#[derive(Debug)]
+pub struct ArtifactWriter {
+    out: io::BufWriter<fs::File>,
+    path: String,
+    channels: usize,
+    curves: usize,
+    samples: u64,
+    error: Option<PersistError>,
+}
+
+impl ArtifactWriter {
+    /// Creates the artifact file and writes its manifest record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the file cannot be created or
+    /// written.
+    pub fn create(path: &Path, manifest: &Manifest) -> Result<Self, PersistError> {
+        let display = path.display().to_string();
+        let file = fs::File::create(path).map_err(|e| PersistError::Io {
+            op: "create",
+            path: display.clone(),
+            message: e.to_string(),
+        })?;
+        let mut writer = ArtifactWriter {
+            out: io::BufWriter::new(file),
+            path: display,
+            channels: 0,
+            curves: 0,
+            samples: 0,
+            error: None,
+        };
+        writer.write_manifest(manifest)?;
+        Ok(writer)
+    }
+
+    /// Wraps this writer for sharing across the [`TraceRecorder`] sinks
+    /// of one run.
+    ///
+    /// [`TraceRecorder`]: crate::TraceRecorder
+    pub fn shared(self) -> SharedArtifactWriter {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Unwraps a [`SharedArtifactWriter`] and finishes the artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any other handle (a recorder sink) is still alive.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`finish`](ArtifactWriter::finish).
+    pub fn finish_shared(writer: SharedArtifactWriter) -> Result<(), PersistError> {
+        Rc::try_unwrap(writer)
+            .expect("all recorder sinks must be dropped before finishing the artifact")
+            .into_inner()
+            .finish()
+    }
+
+    fn fail(&mut self, error: PersistError) -> PersistError {
+        self.error = Some(error.clone());
+        error
+    }
+
+    fn guard(&self) -> Result<(), PersistError> {
+        match &self.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn io(&mut self, op: &'static str, result: io::Result<()>) -> Result<(), PersistError> {
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let error = PersistError::Io {
+                    op,
+                    path: self.path.clone(),
+                    message: e.to_string(),
+                };
+                Err(self.fail(error))
+            }
+        }
+    }
+
+    fn write_manifest(&mut self, manifest: &Manifest) -> Result<(), PersistError> {
+        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+            write!(
+                out,
+                "{{\"kind\":\"manifest\",\"format\":{FORMAT_VERSION},\"artifact\":\"{}\",\"scenario\":",
+                manifest.artifact.as_str()
+            )?;
+            write_json_str(out, &manifest.scenario)?;
+            write!(out, ",\"policy\":")?;
+            write_json_str(out, &manifest.policy)?;
+            match manifest.seed {
+                Some(seed) => write!(out, ",\"seed\":{seed}")?,
+                None => write!(out, ",\"seed\":null")?,
+            }
+            write!(out, ",\"recording\":")?;
+            write_mode(out, manifest.recording)?;
+            writeln!(out, ",\"config_hash\":\"{:016x}\"}}", manifest.config_hash)
+        })(&mut self.out);
+        self.io("write manifest", result)
+    }
+
+    /// Declares a new trace channel and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched error or an I/O failure.
+    pub fn channel(&mut self, name: &str, mode: RecordingMode) -> Result<ChannelId, PersistError> {
+        self.guard()?;
+        let id = self.channels;
+        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+            write!(out, "{{\"kind\":\"channel\",\"id\":{id},\"name\":")?;
+            write_json_str(out, name)?;
+            write!(out, ",\"mode\":")?;
+            write_mode(out, mode)?;
+            writeln!(out, "}}")
+        })(&mut self.out);
+        self.io("write channel", result)?;
+        self.channels += 1;
+        Ok(ChannelId(id))
+    }
+
+    /// Appends one sample to a channel. This is the streaming hot path:
+    /// it performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` was not returned by this writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched error, [`PersistError::NonFinite`] for a value
+    /// JSON cannot represent, or an I/O failure.
+    pub fn sample(
+        &mut self,
+        ch: ChannelId,
+        slot: TimeSlot,
+        value: f64,
+    ) -> Result<(), PersistError> {
+        self.guard()?;
+        assert!(ch.0 < self.channels, "unknown artifact channel");
+        if !value.is_finite() {
+            let error = PersistError::NonFinite {
+                what: "sample value",
+            };
+            return Err(self.fail(error));
+        }
+        let result = writeln!(
+            self.out,
+            "{{\"kind\":\"sample\",\"ch\":{},\"slot\":{},\"value\":{}}}",
+            ch.0,
+            slot.index(),
+            value
+        );
+        self.io("write sample", result)?;
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// Writes a channel's exact summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` was not returned by this writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched error, [`PersistError::NonFinite`] for
+    /// non-finite statistics, or an I/O failure.
+    pub fn summary(&mut self, ch: ChannelId, summary: &Summary) -> Result<(), PersistError> {
+        self.guard()?;
+        assert!(ch.0 < self.channels, "unknown artifact channel");
+        for (what, value) in [
+            ("summary mean", summary.mean),
+            ("summary std_dev", summary.std_dev),
+            ("summary sum", summary.sum),
+            ("summary min", summary.min.unwrap_or(0.0)),
+            ("summary max", summary.max.unwrap_or(0.0)),
+        ] {
+            if !value.is_finite() {
+                let error = PersistError::NonFinite { what };
+                return Err(self.fail(error));
+            }
+        }
+        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+            write!(
+                out,
+                "{{\"kind\":\"summary\",\"ch\":{},\"count\":{},\"mean\":{},\"std_dev\":{}",
+                ch.0, summary.count, summary.mean, summary.std_dev
+            )?;
+            match summary.min {
+                Some(min) => write!(out, ",\"min\":{min}")?,
+                None => write!(out, ",\"min\":null")?,
+            }
+            match summary.max {
+                Some(max) => write!(out, ",\"max\":{max}")?,
+                None => write!(out, ",\"max\":null")?,
+            }
+            writeln!(out, ",\"sum\":{}}}", summary.sum)
+        })(&mut self.out);
+        self.io("write summary", result)
+    }
+
+    /// Declares a channel named after `series` and bulk-writes all its
+    /// samples (for series a run already holds in memory, e.g. a headline
+    /// reward curve).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`channel`](ArtifactWriter::channel) and
+    /// [`sample`](ArtifactWriter::sample).
+    pub fn series(&mut self, series: &TimeSeries) -> Result<ChannelId, PersistError> {
+        let ch = self.channel(series.name(), RecordingMode::Full)?;
+        for point in series.iter() {
+            self.sample(ch, point.slot, point.value)?;
+        }
+        Ok(ch)
+    }
+
+    /// Writes one ensemble curve: its three band series (mean, CI lo, CI
+    /// hi) as channels plus the curve record tying them together.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`series`](ArtifactWriter::series).
+    pub fn curve(
+        &mut self,
+        label: &str,
+        scenario: usize,
+        policy: usize,
+        curve: &CurveSummary,
+    ) -> Result<(), PersistError> {
+        let mean = self.series(&curve.mean)?;
+        let lo = self.series(&curve.lo)?;
+        let hi = self.series(&curve.hi)?;
+        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+            write!(out, "{{\"kind\":\"curve\",\"label\":")?;
+            write_json_str(out, label)?;
+            writeln!(
+                out,
+                ",\"scenario\":{scenario},\"policy\":{policy},\"replicates\":{},\
+                 \"mean\":{},\"lo\":{},\"hi\":{}}}",
+                curve.replicates, mean.0, lo.0, hi.0
+            )
+        })(&mut self.out);
+        self.io("write curve", result)?;
+        self.curves += 1;
+        Ok(())
+    }
+
+    /// Writes the footer record and flushes the file. An artifact without
+    /// a footer is reported as [`PersistError::Truncated`] by the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched error (the first failure of any earlier write)
+    /// or an I/O failure of the footer/flush itself.
+    pub fn finish(mut self) -> Result<(), PersistError> {
+        self.guard()?;
+        let result = writeln!(
+            self.out,
+            "{{\"kind\":\"footer\",\"channels\":{},\"curves\":{},\"samples\":{}}}",
+            self.channels, self.curves, self.samples
+        );
+        self.io("write footer", result)?;
+        let flush = self.out.flush();
+        self.io("flush", flush)
+    }
+}
+
+/// One reconstructed trace channel of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelData {
+    /// The channel name (also the name of `series`).
+    pub name: String,
+    /// The recording mode the channel was written under.
+    pub mode: RecordingMode,
+    /// The channel's samples, bit-identical to what was written.
+    pub series: TimeSeries,
+    /// The channel's exact summary statistics, if one was written.
+    pub summary: Option<Summary>,
+}
+
+/// One reconstructed ensemble curve of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactCurve {
+    /// Display label of the group's policy.
+    pub label: String,
+    /// Scenario index within the producing experiment grid.
+    pub scenario: usize,
+    /// Policy index within the producing experiment grid.
+    pub policy: usize,
+    /// The mean/CI band curves, bit-identical to what was written.
+    pub curve: CurveSummary,
+}
+
+/// A fully reconstructed artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// The manifest the artifact was written under.
+    pub manifest: Manifest,
+    /// Every channel, in declaration (id) order.
+    pub channels: Vec<ChannelData>,
+    /// Every ensemble curve, in declaration order.
+    pub curves: Vec<ArtifactCurve>,
+}
+
+impl Artifact {
+    /// Looks a channel up by name (first match).
+    pub fn channel(&self, name: &str) -> Option<&ChannelData> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+}
+
+/// Reads an artifact back, reconstructing every series and curve
+/// bit-identically.
+///
+/// Unknown record kinds and unknown fields are ignored (see the module
+/// docs' versioning rule); unknown *format versions* are rejected.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] for filesystem failures,
+/// [`PersistError::Version`] for unknown formats,
+/// [`PersistError::Truncated`] when the footer is missing, and
+/// [`PersistError::Corrupt`] for unparseable or inconsistent records.
+pub fn read_artifact(path: &Path) -> Result<Artifact, PersistError> {
+    let display = path.display().to_string();
+    let file = fs::File::open(path).map_err(|e| PersistError::Io {
+        op: "open",
+        path: display.clone(),
+        message: e.to_string(),
+    })?;
+    let reader = io::BufReader::new(file);
+
+    struct PendingCurve {
+        label: String,
+        scenario: usize,
+        policy: usize,
+        replicates: usize,
+        mean: usize,
+        lo: usize,
+        hi: usize,
+    }
+
+    let corrupt = |line: usize, why: String| PersistError::Corrupt { line, why };
+    let mut manifest: Option<Manifest> = None;
+    let mut channels: Vec<ChannelData> = Vec::new();
+    let mut curves: Vec<PendingCurve> = Vec::new();
+    let mut samples = 0u64;
+    let mut footer: Option<(usize, usize, u64)> = None;
+
+    for (index, line) in reader.lines().enumerate() {
+        let number = index + 1;
+        let line = line.map_err(|e| PersistError::Io {
+            op: "read",
+            path: display.clone(),
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if footer.is_some() {
+            return Err(corrupt(number, "records after the footer".to_string()));
+        }
+        let record = parse_json(&line).map_err(|why| corrupt(number, why))?;
+        let kind = record
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt(number, "record without a \"kind\"".to_string()))?;
+        if manifest.is_none() && kind != "manifest" {
+            return Err(corrupt(
+                number,
+                "first record must be the manifest".to_string(),
+            ));
+        }
+        match kind {
+            "manifest" => {
+                if manifest.is_some() {
+                    return Err(corrupt(number, "duplicate manifest".to_string()));
+                }
+                let format = record
+                    .get("format")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| corrupt(number, "manifest without a format".to_string()))?;
+                if format != FORMAT_VERSION {
+                    return Err(PersistError::Version { found: format });
+                }
+                manifest = Some(parse_manifest(&record).map_err(|why| corrupt(number, why))?);
+            }
+            "channel" => {
+                let id = req_usize(&record, "id").map_err(|why| corrupt(number, why))?;
+                if id != channels.len() {
+                    return Err(corrupt(number, format!("channel id {id} out of order")));
+                }
+                let name = record
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| corrupt(number, "channel without a name".to_string()))?
+                    .to_string();
+                let mode = record
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .and_then(parse_mode)
+                    .ok_or_else(|| corrupt(number, "channel without a valid mode".to_string()))?;
+                channels.push(ChannelData {
+                    series: TimeSeries::new(name.clone()),
+                    name,
+                    mode,
+                    summary: None,
+                });
+            }
+            "sample" => {
+                let ch = req_usize(&record, "ch").map_err(|why| corrupt(number, why))?;
+                let slot = record
+                    .get("slot")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| corrupt(number, "sample without a slot".to_string()))?;
+                let value = req_f64(&record, "value").map_err(|why| corrupt(number, why))?;
+                let channel = channels
+                    .get_mut(ch)
+                    .ok_or_else(|| corrupt(number, format!("sample for unknown channel {ch}")))?;
+                if channel.series.last().is_some_and(|p| p.slot.index() > slot) {
+                    return Err(corrupt(number, "samples out of slot order".to_string()));
+                }
+                channel.series.push(TimeSlot::new(slot), value);
+                samples += 1;
+            }
+            "summary" => {
+                let ch = req_usize(&record, "ch").map_err(|why| corrupt(number, why))?;
+                let channel = channels
+                    .get_mut(ch)
+                    .ok_or_else(|| corrupt(number, format!("summary for unknown channel {ch}")))?;
+                if channel.summary.is_some() {
+                    return Err(corrupt(
+                        number,
+                        format!("duplicate summary for channel {ch}"),
+                    ));
+                }
+                channel.summary = Some(Summary {
+                    count: record
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| corrupt(number, "summary without a count".to_string()))?,
+                    mean: req_f64(&record, "mean").map_err(|why| corrupt(number, why))?,
+                    std_dev: req_f64(&record, "std_dev").map_err(|why| corrupt(number, why))?,
+                    min: opt_f64(&record, "min").map_err(|why| corrupt(number, why))?,
+                    max: opt_f64(&record, "max").map_err(|why| corrupt(number, why))?,
+                    sum: req_f64(&record, "sum").map_err(|why| corrupt(number, why))?,
+                });
+            }
+            "curve" => {
+                let label = record
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| corrupt(number, "curve without a label".to_string()))?
+                    .to_string();
+                let scenario =
+                    req_usize(&record, "scenario").map_err(|why| corrupt(number, why))?;
+                let policy = req_usize(&record, "policy").map_err(|why| corrupt(number, why))?;
+                let replicates =
+                    req_usize(&record, "replicates").map_err(|why| corrupt(number, why))?;
+                let mean = req_usize(&record, "mean").map_err(|why| corrupt(number, why))?;
+                let lo = req_usize(&record, "lo").map_err(|why| corrupt(number, why))?;
+                let hi = req_usize(&record, "hi").map_err(|why| corrupt(number, why))?;
+                for band in [mean, lo, hi] {
+                    if band >= channels.len() {
+                        return Err(corrupt(
+                            number,
+                            format!("curve band channel {band} unknown"),
+                        ));
+                    }
+                }
+                curves.push(PendingCurve {
+                    label,
+                    scenario,
+                    policy,
+                    replicates,
+                    mean,
+                    lo,
+                    hi,
+                });
+            }
+            "footer" => {
+                footer = Some((
+                    req_usize(&record, "channels").map_err(|why| corrupt(number, why))?,
+                    req_usize(&record, "curves").map_err(|why| corrupt(number, why))?,
+                    record
+                        .get("samples")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| corrupt(number, "footer without samples".to_string()))?,
+                ));
+                let (want_channels, want_curves, want_samples) = footer.expect("just set");
+                if want_channels != channels.len()
+                    || want_curves != curves.len()
+                    || want_samples != samples
+                {
+                    return Err(corrupt(
+                        number,
+                        format!(
+                            "footer counts ({want_channels} channels, {want_curves} curves, \
+                             {want_samples} samples) do not match the records read \
+                             ({} channels, {} curves, {samples} samples)",
+                            channels.len(),
+                            curves.len()
+                        ),
+                    ));
+                }
+            }
+            // Versioning rule: unknown record kinds within a known format
+            // are forward-compatible additions — skip them.
+            _ => {}
+        }
+    }
+
+    let manifest = manifest.ok_or(PersistError::Truncated)?;
+    if footer.is_none() {
+        return Err(PersistError::Truncated);
+    }
+    let curves = curves
+        .into_iter()
+        .map(|pending| ArtifactCurve {
+            label: pending.label,
+            scenario: pending.scenario,
+            policy: pending.policy,
+            curve: CurveSummary {
+                replicates: pending.replicates,
+                mean: channels[pending.mean].series.clone(),
+                lo: channels[pending.lo].series.clone(),
+                hi: channels[pending.hi].series.clone(),
+            },
+        })
+        .collect();
+    Ok(Artifact {
+        manifest,
+        channels,
+        curves,
+    })
+}
+
+fn parse_manifest(record: &Json) -> Result<Manifest, String> {
+    let artifact = match record.get("artifact").and_then(Json::as_str) {
+        Some("trace") => ArtifactKind::Trace,
+        Some("ensemble") => ArtifactKind::Ensemble,
+        other => return Err(format!("unknown artifact kind {other:?}")),
+    };
+    let seed = match record.get("seed") {
+        Some(Json::Null) | None => None,
+        Some(value) => Some(value.as_u64().ok_or("seed must be an integer or null")?),
+    };
+    let recording = record
+        .get("recording")
+        .and_then(Json::as_str)
+        .and_then(parse_mode)
+        .ok_or("manifest without a valid recording mode")?;
+    let config_hash = record
+        .get("config_hash")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("manifest without a valid config_hash")?;
+    Ok(Manifest {
+        artifact,
+        scenario: record
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("manifest without a scenario")?
+            .to_string(),
+        policy: record
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or("manifest without a policy")?
+            .to_string(),
+        seed,
+        recording,
+        config_hash,
+    })
+}
+
+fn req_f64(record: &Json, key: &str) -> Result<f64, String> {
+    record
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or invalid number \"{key}\""))
+}
+
+fn opt_f64(record: &Json, key: &str) -> Result<Option<f64>, String> {
+    match record.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(value) => value
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("invalid number \"{key}\"")),
+    }
+}
+
+fn req_usize(record: &Json, key: &str) -> Result<usize, String> {
+    record
+        .get(key)
+        .and_then(Json::as_u64)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| format!("missing or invalid integer \"{key}\""))
+}
+
+fn write_mode(out: &mut impl Write, mode: RecordingMode) -> io::Result<()> {
+    match mode {
+        RecordingMode::Full => write!(out, "\"full\""),
+        RecordingMode::Decimate(k) => write!(out, "\"decimate:{k}\""),
+        RecordingMode::SummaryOnly => write!(out, "\"summary-only\""),
+    }
+}
+
+fn parse_mode(text: &str) -> Option<RecordingMode> {
+    match text {
+        "full" => Some(RecordingMode::Full),
+        "summary-only" => Some(RecordingMode::SummaryOnly),
+        _ => {
+            let k = text.strip_prefix("decimate:")?.parse().ok()?;
+            Some(RecordingMode::Decimate(k))
+        }
+    }
+}
+
+fn write_json_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+/// Minimal JSON value for the reader. Numbers keep their raw token so
+/// `u64` fields (seeds, slots) round-trip exactly even beyond 2^53.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Hand-rolled JSON parser (the workspace's `serde` is an offline no-op
+/// stand-in); strict enough for artifact validation, tiny enough to audit.
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err("trailing characters after the record".to_string());
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("unexpected {other:?} in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("unexpected {other:?} in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                None => return Err("unterminated string".to_string()),
+                _ => unreachable!("loop stops only on quote or backslash"),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unterminated escape")?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let unit = self.hex4()?;
+                if (0xd800..0xdc00).contains(&unit) {
+                    // High surrogate: a low surrogate must follow.
+                    if !self.literal("\\u") {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                    let low = self.hex4()?;
+                    if !(0xdc00..0xe000).contains(&low) {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                    let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                    char::from_u32(code).ok_or("invalid surrogate pair")?
+                } else {
+                    char::from_u32(unit).ok_or("invalid \\u escape")?
+                }
+            }
+            other => return Err(format!("unknown escape '\\{}'", other as char)),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or("truncated \\u escape")?;
+        self.pos = end;
+        u32::from_str_radix(digits, 16).map_err(|_| "invalid \\u escape".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        raw.parse::<f64>()
+            .map_err(|_| format!("invalid number token {raw:?}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_records() {
+        let record = parse_json(
+            "{\"kind\":\"sample\",\"ch\":3,\"slot\":18446744073709551615,\"value\":-0.25}",
+        )
+        .unwrap();
+        assert_eq!(record.get("kind").and_then(Json::as_str), Some("sample"));
+        assert_eq!(record.get("ch").and_then(Json::as_u64), Some(3));
+        // u64 fields survive beyond 2^53.
+        assert_eq!(record.get("slot").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(record.get("value").and_then(Json::as_f64), Some(-0.25));
+    }
+
+    #[test]
+    fn json_parser_handles_strings_and_nesting() {
+        let v = parse_json("{\"a\":[1,null,true,false],\"b\":\"q\\\"\\u0041\\n\"}").unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("q\"A\n"));
+        match v.get("a") {
+            Some(Json::Arr(items)) => assert_eq!(items.len(), 4),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("{\"a\":\"unterminated").is_err());
+        assert!(parse_json("{\"a\":+-.}").is_err());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let mut buf = Vec::new();
+        write_json_str(&mut buf, "a\"b\\c\nd\u{1}é").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\u{1}é"));
+    }
+
+    #[test]
+    fn mode_strings_round_trip() {
+        for mode in [
+            RecordingMode::Full,
+            RecordingMode::Decimate(7),
+            RecordingMode::SummaryOnly,
+        ] {
+            let mut buf = Vec::new();
+            write_mode(&mut buf, mode).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let inner = text.trim_matches('"');
+            assert_eq!(parse_mode(inner), Some(mode), "{text}");
+        }
+        assert_eq!(parse_mode("decimate:nope"), None);
+        assert_eq!(parse_mode("whatever"), None);
+    }
+
+    #[test]
+    fn config_hash_is_deterministic_and_discriminating() {
+        #[derive(Debug)]
+        struct Cfg(#[allow(dead_code)] u32); // read via the Debug derive
+        assert_eq!(config_hash(&Cfg(7)), config_hash(&Cfg(7)));
+        assert_ne!(config_hash(&Cfg(7)), config_hash(&Cfg(8)));
+    }
+}

@@ -17,6 +17,15 @@
 //! [`RunningStats`] accumulator, so summary statistics are exact (computed
 //! from every sample, not just the retained ones) in every mode.
 //!
+//! Orthogonally to *how much* is retained, a [`TraceSink`] decides *where*
+//! retained samples go: [`TraceSink::Memory`] keeps them in the recorder's
+//! [`TimeSeries`] (the historical behaviour), while [`TraceSink::File`]
+//! streams each retained sample into a channel of a shared
+//! [`ArtifactWriter`](crate::persist::ArtifactWriter) — the run's resident
+//! trace memory is O(1) per channel even under [`RecordingMode::Full`],
+//! and the on-disk artifact reconstructs the series bit-identically (see
+//! [`crate::persist`]).
+//!
 //! ```
 //! use simkit::{RecordingMode, TimeSlot, TraceRecorder};
 //!
@@ -27,13 +36,15 @@
 //! let (series, summary) = rec.into_parts();
 //! assert!(series.is_empty());        // nothing retained...
 //! assert_eq!(summary.count, 1_000);  // ...but the stats saw every sample.
-//! assert_eq!(summary.max, 6.0);
+//! assert_eq!(summary.max, Some(6.0));
 //! ```
 
+use crate::persist::{ChannelId, PersistError, SharedArtifactWriter};
 use crate::series::TimeSeries;
 use crate::stats::{RunningStats, Summary};
 use crate::time::TimeSlot;
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 
 /// How much of a per-slot trace a simulation run retains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -64,18 +75,37 @@ impl RecordingMode {
     }
 }
 
+/// Where a [`TraceRecorder`]'s retained samples go.
+#[derive(Debug, Clone, Default)]
+pub enum TraceSink {
+    /// Retained samples accumulate in the recorder's in-memory
+    /// [`TimeSeries`] (the historical behaviour).
+    #[default]
+    Memory,
+    /// Retained samples stream into a channel of a shared artifact
+    /// writer; the recorder's in-memory series stays empty.
+    File {
+        /// The artifact the channel belongs to.
+        writer: SharedArtifactWriter,
+        /// This recorder's channel within the artifact.
+        channel: ChannelId,
+    },
+}
+
 /// A single trace channel recorded under a [`RecordingMode`].
 ///
 /// The retained samples (if any) land in a [`TimeSeries`] pre-allocated to
-/// exactly the retained length, so a full simulation run performs no heap
+/// exactly the retained length — or, with a [`TraceSink::File`] sink,
+/// stream straight to disk — so a full simulation run performs no heap
 /// allocation per recorded sample; the exact summary statistics accumulate
 /// in a [`RunningStats`] regardless of mode.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
     mode: RecordingMode,
     series: TimeSeries,
     stats: RunningStats,
     seen: u64,
+    sink: TraceSink,
 }
 
 impl TraceRecorder {
@@ -87,7 +117,37 @@ impl TraceRecorder {
             series: TimeSeries::with_capacity(name, mode.retained(horizon_hint)),
             stats: RunningStats::new(),
             seen: 0,
+            sink: TraceSink::Memory,
         }
+    }
+
+    /// Creates a recorder whose retained samples stream into a freshly
+    /// declared channel of `writer` instead of accumulating in memory.
+    ///
+    /// Mid-run write failures are latched inside the writer and surface
+    /// when the artifact is finished, so [`record`](TraceRecorder::record)
+    /// stays infallible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the channel-declaration write error.
+    pub fn to_artifact(
+        name: impl Into<String>,
+        mode: RecordingMode,
+        writer: &SharedArtifactWriter,
+    ) -> Result<Self, PersistError> {
+        let name = name.into();
+        let channel = writer.borrow_mut().channel(&name, mode)?;
+        Ok(TraceRecorder {
+            mode,
+            series: TimeSeries::new(name),
+            stats: RunningStats::new(),
+            seen: 0,
+            sink: TraceSink::File {
+                writer: Rc::clone(writer),
+                channel,
+            },
+        })
     }
 
     /// The retention policy of this channel.
@@ -96,17 +156,23 @@ impl TraceRecorder {
     }
 
     /// Records one sample: folds it into the summary statistics and retains
-    /// it in the series when the mode says so.
+    /// it (in the series or the artifact sink) when the mode says so.
     pub fn record(&mut self, slot: TimeSlot, value: f64) {
         self.stats.push(value);
-        match self.mode {
-            RecordingMode::Full => self.series.push(slot, value),
-            RecordingMode::Decimate(k) => {
-                if self.seen.is_multiple_of(k.max(1)) {
-                    self.series.push(slot, value);
+        let retain = match self.mode {
+            RecordingMode::Full => true,
+            RecordingMode::Decimate(k) => self.seen.is_multiple_of(k.max(1)),
+            RecordingMode::SummaryOnly => false,
+        };
+        if retain {
+            match &self.sink {
+                TraceSink::Memory => self.series.push(slot, value),
+                TraceSink::File { writer, channel } => {
+                    // The first failure is latched in the writer and
+                    // reported when the artifact is finished.
+                    let _ = writer.borrow_mut().sample(*channel, slot, value);
                 }
             }
-            RecordingMode::SummaryOnly => {}
         }
         self.seen += 1;
     }
@@ -132,8 +198,14 @@ impl TraceRecorder {
     }
 
     /// Consumes the recorder into its retained series and exact summary.
+    ///
+    /// With a [`TraceSink::File`] sink the summary is also appended to the
+    /// artifact (the returned series is empty — the samples live on disk).
     pub fn into_parts(self) -> (TimeSeries, Summary) {
         let summary = self.stats.summary();
+        if let TraceSink::File { writer, channel } = &self.sink {
+            let _ = writer.borrow_mut().summary(*channel, &summary);
+        }
         (self.series, summary)
     }
 }
@@ -230,8 +302,8 @@ mod tests {
         assert_eq!(series.len(), 3);
         assert_eq!(summary.count, 3);
         assert_eq!(summary.mean, 2.0);
-        assert_eq!(summary.min, 1.0);
-        assert_eq!(summary.max, 3.0);
+        assert_eq!(summary.min, Some(1.0));
+        assert_eq!(summary.max, Some(3.0));
     }
 
     #[test]

@@ -141,8 +141,8 @@ impl RunningStats {
             count: self.count,
             mean: self.mean(),
             std_dev: self.std_dev(),
-            min: self.min().unwrap_or(f64::NAN),
-            max: self.max().unwrap_or(f64::NAN),
+            min: self.min(),
+            max: self.max(),
             sum: self.sum,
         }
     }
@@ -173,10 +173,12 @@ pub struct Summary {
     pub mean: f64,
     /// Population standard deviation.
     pub std_dev: f64,
-    /// Minimum sample (NaN if empty).
-    pub min: f64,
-    /// Maximum sample (NaN if empty).
-    pub max: f64,
+    /// Minimum sample; `None` if no samples were seen (a NaN sentinel here
+    /// would poison `Display` output and JSON artifacts — `NaN` is not
+    /// valid JSON).
+    pub min: Option<f64>,
+    /// Maximum sample; `None` if no samples were seen.
+    pub max: Option<f64>,
     /// Sum of samples.
     pub sum: f64,
 }
@@ -185,9 +187,13 @@ impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.max
-        )
+            "n={} mean={:.4} sd={:.4}",
+            self.count, self.mean, self.std_dev
+        )?;
+        match (self.min, self.max) {
+            (Some(min), Some(max)) => write!(f, " min={min:.4} max={max:.4}"),
+            _ => write!(f, " min=n/a max=n/a"),
+        }
     }
 }
 
@@ -197,14 +203,17 @@ impl fmt::Display for Summary {
 ///
 /// # Errors
 ///
-/// Returns [`SimkitError::Empty`] for an empty slice and
-/// [`SimkitError::OutOfRange`] if `p` is outside `0..=100` or non-finite.
+/// Returns [`SimkitError::Empty`] for an empty slice,
+/// [`SimkitError::OutOfRange`] if `p` is outside `0..=100` or non-finite,
+/// and [`SimkitError::NonFinite`] if any sample is NaN (infinite samples
+/// are ordered normally).
 ///
 /// ```
 /// let xs = [1.0, 2.0, 3.0, 4.0];
 /// assert_eq!(simkit::percentile(&xs, 50.0).unwrap(), 2.5);
 /// assert_eq!(simkit::percentile(&xs, 0.0).unwrap(), 1.0);
 /// assert_eq!(simkit::percentile(&xs, 100.0).unwrap(), 4.0);
+/// assert!(simkit::percentile(&[1.0, f64::NAN], 50.0).is_err());
 /// ```
 pub fn percentile(samples: &[f64], p: f64) -> Result<f64, SimkitError> {
     if samples.is_empty() {
@@ -216,8 +225,11 @@ pub fn percentile(samples: &[f64], p: f64) -> Result<f64, SimkitError> {
             valid: "0.0..=100.0",
         });
     }
+    if samples.iter().any(|x| x.is_nan()) {
+        return Err(SimkitError::NonFinite { what: "samples" });
+    }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -426,8 +438,11 @@ impl CurveSummary {
 ///
 /// The result is bit-identical to collecting all curves and calling
 /// [`summarize_curves`] (which is itself implemented on this accumulator):
-/// curves are aligned by position, truncated to the shortest replicate
-/// pushed so far, and slots are taken from the first curve.
+/// curves are aligned by position, with the first curve fixing the slot
+/// axis. Every later curve must repeat that axis exactly — a replicate
+/// with a different length or different slots would silently be averaged
+/// against the wrong slots, so the mismatch is recorded and reported as an
+/// error by [`finish`](CurveAccumulator::finish).
 ///
 /// ```
 /// use simkit::{CurveAccumulator, TimeSeries, TimeSlot};
@@ -451,6 +466,7 @@ pub struct CurveAccumulator {
     slots: Vec<crate::time::TimeSlot>,
     stats: Vec<RunningStats>,
     replicates: usize,
+    mismatched: bool,
 }
 
 impl CurveAccumulator {
@@ -461,21 +477,25 @@ impl CurveAccumulator {
             slots: Vec::new(),
             stats: Vec::new(),
             replicates: 0,
+            mismatched: false,
         }
     }
 
     /// Folds one replicate curve into the per-slot statistics.
     ///
-    /// The first curve fixes the slot axis; later curves are aligned by
-    /// position, and a shorter curve truncates the aggregation to its
-    /// length (matching [`summarize_curves`] exactly).
+    /// The first curve fixes the slot axis; every later curve must have
+    /// the identical axis (same length, same slots). A mismatched curve —
+    /// e.g. a longer replicate whose tail would silently be dropped, or
+    /// equal-length curves sampled at different slots — is detected here
+    /// and turns [`finish`](CurveAccumulator::finish) into an error.
     pub fn push_curve(&mut self, curve: &TimeSeries) {
         if self.replicates == 0 {
             self.slots = curve.iter().map(|p| p.slot).collect();
             self.stats = vec![RunningStats::new(); curve.len()];
-        } else if curve.len() < self.stats.len() {
-            self.slots.truncate(curve.len());
-            self.stats.truncate(curve.len());
+        } else if curve.len() != self.stats.len()
+            || curve.iter().zip(&self.slots).any(|(p, s)| p.slot != *s)
+        {
+            self.mismatched = true;
         }
         for (stat, v) in self.stats.iter_mut().zip(curve.values()) {
             stat.push(v);
@@ -493,10 +513,16 @@ impl CurveAccumulator {
     /// # Errors
     ///
     /// Returns [`SimkitError::Empty`] when no curve was pushed or any
-    /// pushed curve had no samples.
+    /// pushed curve had no samples, and [`SimkitError::Mismatch`] when any
+    /// pushed curve disagreed with the first curve's slot axis.
     pub fn finish(self) -> Result<CurveSummary, SimkitError> {
         if self.replicates == 0 {
             return Err(SimkitError::Empty { what: "curves" });
+        }
+        if self.mismatched {
+            return Err(SimkitError::Mismatch {
+                what: "curve slot axes",
+            });
         }
         if self.stats.is_empty() {
             return Err(SimkitError::Empty {
@@ -534,15 +560,17 @@ impl CurveAccumulator {
 /// actually use, the normal 1.96 would claim far more precision than the
 /// data has. The band collapses onto the mean for a single replicate.)
 ///
-/// Curves are aligned by position and truncated to the shortest replicate;
-/// slots are taken from the first curve. Callers that can visit their
+/// Curves are aligned by position; the first curve fixes the slot axis and
+/// every other curve must repeat it exactly. Callers that can visit their
 /// curves one at a time should feed a [`CurveAccumulator`] directly (this
 /// function does exactly that) to avoid holding every curve at once.
 ///
 /// # Errors
 ///
 /// Returns [`SimkitError::Empty`] when `curves` is empty or any curve has
-/// no samples.
+/// no samples, and [`SimkitError::Mismatch`] when the curves' slot axes
+/// disagree (they would otherwise be silently averaged against the wrong
+/// slots).
 pub fn summarize_curves(
     name: impl Into<String>,
     curves: &[&TimeSeries],
@@ -630,6 +658,24 @@ mod tests {
         assert!(percentile(&[1.0], -1.0).is_err());
         assert!(percentile(&[1.0], 101.0).is_err());
         assert!(percentile(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn percentile_rejects_nan_samples_without_panicking() {
+        // Regression: this used to panic inside the sort comparator.
+        assert_eq!(
+            percentile(&[1.0, f64::NAN], 50.0),
+            Err(SimkitError::NonFinite { what: "samples" })
+        );
+        assert_eq!(
+            percentile(&[f64::NAN, f64::NAN], 95.0),
+            Err(SimkitError::NonFinite { what: "samples" })
+        );
+        // Infinities are ordered, not rejected.
+        assert_eq!(
+            percentile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 50.0).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -727,14 +773,25 @@ mod tests {
     }
 
     #[test]
-    fn summarize_truncates_to_shortest() {
+    fn summarize_rejects_mismatched_axes() {
+        // A shorter later curve would average the wrong slots together.
         let a = curve(&[1.0, 2.0, 3.0]);
         let b = curve(&[1.0, 2.0]);
-        let s = summarize_curves("x", &[&a, &b]).unwrap();
-        assert_eq!(s.mean.len(), 2);
-        // Shorter-first ordering truncates identically.
-        let t = summarize_curves("x", &[&b, &a]).unwrap();
-        assert_eq!(t.mean.len(), 2);
+        let err = SimkitError::Mismatch {
+            what: "curve slot axes",
+        };
+        assert_eq!(summarize_curves("x", &[&a, &b]), Err(err.clone()));
+        // A *longer* later curve used to silently drop its tail.
+        let mut acc = CurveAccumulator::new("x");
+        acc.push_curve(&b);
+        acc.push_curve(&a);
+        assert_eq!(acc.finish(), Err(err.clone()));
+        // Equal lengths sampled at different slots are just as wrong.
+        let mut shifted = TimeSeries::new("c");
+        for (i, v) in [1.0, 2.0, 3.0].iter().enumerate() {
+            shifted.push(TimeSlot::new(10 + i as u64), *v);
+        }
+        assert_eq!(summarize_curves("x", &[&a, &shifted]), Err(err));
     }
 
     #[test]
@@ -780,6 +837,19 @@ mod tests {
         let text = s.summary().to_string();
         assert!(text.contains("n=3"));
         assert!(text.contains("mean=2.0000"));
+        assert!(text.contains("min=1.0000"));
+    }
+
+    #[test]
+    fn empty_summary_has_no_nan() {
+        // Regression: an empty channel's summary carried NaN min/max,
+        // which poisoned Display output and JSON artifacts.
+        let s = RunningStats::new().summary();
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        let text = s.to_string();
+        assert!(text.contains("min=n/a max=n/a"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 
     #[test]

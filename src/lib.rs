@@ -94,21 +94,23 @@ pub use vanet;
 /// Convenient glob-import surface: the types used by virtually every
 /// experiment.
 pub mod prelude {
+    pub use aoi_cache::persist::{read_artifact, Artifact, ArtifactWriter, Manifest};
     pub use aoi_cache::presets::{
         fig1a_ensemble, fig1a_policy, fig1a_scenario, fig1b_ensemble, fig1b_policies,
         fig1b_scenario, joint_scenario, smoke_grid,
     };
     pub use aoi_cache::{
-        compare_service, run_joint, run_service, Age, AgeVector, AoiCacheError, CachePolicyKind,
-        CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy, Catalog, CellOutcome,
-        CellReport, CompiledRsuMdp, EnsembleSummary, ExperimentGrid, ExperimentPlan,
-        ExperimentReport, JointReport, JointScenario, PopularityModel, RewardModel, RsuCacheMdp,
-        RsuSpec, ServiceLevel, ServicePolicy, ServicePolicyKind, ServiceRunReport, ServiceScenario,
+        compare_service, run_joint, run_joint_artifact, run_service, Age, AgeVector, AoiCacheError,
+        CachePolicyKind, CacheRunReport, CacheScenario, CacheSimulation, CacheUpdatePolicy,
+        Catalog, CellOutcome, CellReport, CompiledRsuMdp, EnsembleSummary, ExperimentGrid,
+        ExperimentPlan, ExperimentReport, JointReport, JointScenario, PopularityModel, RewardModel,
+        RsuCacheMdp, RsuSpec, ServiceLevel, ServicePolicy, ServicePolicyKind, ServiceRunReport,
+        ServiceScenario,
     };
     pub use lyapunov::{DecisionOption, DriftPlusPenalty, Queue, ServiceController};
     pub use mdp::solver::{PolicyIteration, QLearning, ValueIteration};
     pub use mdp::{CompiledMdp, FiniteMdp, Policy, TabularMdp};
-    pub use simkit::{SeedSequence, TimeSeries, TimeSlot};
+    pub use simkit::{RecordingMode, SeedSequence, TimeSeries, TimeSlot};
     pub use vanet::{Network, NetworkConfig, Road, RsuLayout, Zipf};
 }
 
