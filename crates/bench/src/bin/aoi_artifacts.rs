@@ -1,0 +1,601 @@
+//! `aoi-artifacts` — offline toolbox for `simkit::persist` run artifacts.
+//!
+//! Every `--out` directory the experiment binaries produce is a set of
+//! self-describing JSONL artifacts (plain or compressed — readers detect
+//! the encoding from the file's first bytes). This tool works on those
+//! files **without re-running anything**:
+//!
+//! * `inspect PATH...` — manifest, channel and footer summary per artifact;
+//! * `render DIR` — re-create the Fig. 1a / Fig. 1b style plots offline
+//!   from the artifacts under `DIR`;
+//! * `verify PATH... [--config-hash HEX]` — full structural check (intact
+//!   footer / compressed end marker and checksum), optional config-hash
+//!   match, and a **re-read bit-identity** check: the artifact is
+//!   re-serialized and read back, and both in-memory forms must be equal
+//!   (this exercises the shortest-round-trip float encoding end to end);
+//! * `diff DIR_A DIR_B` — compare two artifact directories record by
+//!   record (pairing `x.jsonl` with `x.jsonl.z`, so a compressed and a
+//!   plain run of the same grid diff as equal).
+//!
+//! `verify` and `diff` exit non-zero on any failure/difference, so CI can
+//! assert round trips and resume bit-identity end to end.
+//!
+//! ```sh
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- inspect out/fig1a
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- render out
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- verify out --config-hash 1a2b…
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- diff out-cold out-resumed
+//! ```
+
+use aoi_cache::persist::{read_artifact, Artifact, ArtifactKind, ArtifactWriter, PersistError};
+use simkit::plot::AsciiPlot;
+use simkit::table::{fmt_f64, Table};
+use simkit::TimeSeries;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "aoi-artifacts — offline toolbox for simkit::persist run artifacts
+
+Usage:
+  aoi-artifacts inspect PATH...                 manifest/channel/footer summary
+  aoi-artifacts render DIR                      re-create figure plots offline
+  aoi-artifacts verify PATH... [--config-hash HEX]
+                                                footer + hash + re-read bit-identity
+  aoi-artifacts diff DIR_A DIR_B                compare two artifact directories
+
+PATH may be an artifact file or a directory (searched recursively for
+*.jsonl / *.jsonl.z). verify and diff exit 1 on failure/difference.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!(
+            "aoi-artifacts: unknown subcommand '{other}'\n\n{USAGE}"
+        )),
+        None => Err(format!(
+            "aoi-artifacts: a subcommand is required\n\n{USAGE}"
+        )),
+    };
+    match result {
+        Ok(clean) if clean => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Expands each argument into artifact files: a file stands for itself, a
+/// directory for every `*.jsonl` / `*.jsonl.z` under it (recursively),
+/// sorted for deterministic output.
+fn discover(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    fn walk(dir: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                walk(&path, into)?;
+            } else if is_artifact_name(&path) {
+                into.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for arg in paths {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            walk(&path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path);
+        } else {
+            return Err(format!("no such file or directory: {arg}"));
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err("no artifact files found".to_string());
+    }
+    Ok(files)
+}
+
+fn is_artifact_name(path: &Path) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    name.ends_with(".jsonl") || name.ends_with(".jsonl.z")
+}
+
+/// The encoding-independent name diffs pair files by (`.z` stripped).
+fn logical_name(path: &Path) -> String {
+    let name = path.to_string_lossy();
+    name.strip_suffix(".z").unwrap_or(&name).to_string()
+}
+
+fn encoding_of(path: &Path) -> &'static str {
+    let mut prefix = [0u8; 4];
+    let read = std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read(&mut f, &mut prefix))
+        .unwrap_or(0);
+    if aoi_cache::persist::compress::is_compressed(&prefix[..read]) {
+        "compressed"
+    } else {
+        "plain"
+    }
+}
+
+// --- inspect ---------------------------------------------------------------
+
+fn cmd_inspect(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() {
+        return Err("inspect: needs at least one PATH".to_string());
+    }
+    for path in discover(args)? {
+        let artifact = read_artifact(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let samples: usize = artifact.channels.iter().map(|c| c.series.len()).sum();
+        let m = &artifact.manifest;
+        println!(
+            "{} ({} bytes, {})",
+            path.display(),
+            bytes,
+            encoding_of(&path)
+        );
+        println!(
+            "  {:?} artifact | scenario {} | policy {} | seed {} | recording {:?} | config {:016x}",
+            m.artifact,
+            m.scenario,
+            m.policy,
+            m.seed.map_or("-".to_string(), |s| s.to_string()),
+            m.recording,
+            m.config_hash
+        );
+        println!(
+            "  {} channels, {samples} samples, {} curves",
+            artifact.channels.len(),
+            artifact.curves.len()
+        );
+        let mut table = Table::new(["channel", "mode", "samples", "mean", "min", "max"]);
+        for ch in &artifact.channels {
+            let (mean, min, max) = match &ch.summary {
+                Some(s) => (
+                    fmt_f64(s.mean),
+                    s.min.map_or("n/a".into(), fmt_f64),
+                    s.max.map_or("n/a".into(), fmt_f64),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            table.row([
+                ch.name.clone(),
+                format!("{:?}", ch.mode),
+                ch.series.len().to_string(),
+                mean,
+                min,
+                max,
+            ]);
+        }
+        println!("{}", indent(&table.render()));
+        for curve in &artifact.curves {
+            println!(
+                "  curve {} (s{} p{}): {} replicates, {} slots, final mean {}",
+                curve.label,
+                curve.scenario,
+                curve.policy,
+                curve.curve.replicates,
+                curve.curve.mean.len(),
+                fmt_f64(curve.curve.final_mean())
+            );
+        }
+        println!();
+    }
+    Ok(true)
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// --- render ----------------------------------------------------------------
+
+fn cmd_render(args: &[String]) -> Result<bool, String> {
+    let [dir] = args else {
+        return Err("render: needs exactly one DIR".to_string());
+    };
+    let mut ensembles: Vec<(PathBuf, Artifact)> = Vec::new();
+    let mut traces: Vec<(PathBuf, Artifact)> = Vec::new();
+    for path in discover(std::slice::from_ref(dir))? {
+        let artifact = read_artifact(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        match artifact.manifest.artifact {
+            ArtifactKind::Ensemble => ensembles.push((path, artifact)),
+            ArtifactKind::Trace => traces.push((path, artifact)),
+        }
+    }
+
+    // Ensemble artifacts: one mean-curve plot per directory, every
+    // policy's curve as a series — the offline twin of the ensemble bin.
+    let mut by_dir: BTreeMap<PathBuf, Vec<&Artifact>> = BTreeMap::new();
+    for (path, artifact) in &ensembles {
+        let parent = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        by_dir.entry(parent).or_default().push(artifact);
+    }
+    for (parent, group) in by_dir {
+        let mut table = Table::new(["policy", "final mean", "± 95% CI", "replicates"]);
+        let mut plot = AsciiPlot::new(format!("ensemble means — {}", parent.display()), 72, 16)
+            .x_label("slot");
+        let mut series = Vec::new();
+        for artifact in &group {
+            for curve in &artifact.curves {
+                table.row([
+                    curve.label.clone(),
+                    fmt_f64(curve.curve.final_mean()),
+                    fmt_f64(curve.curve.final_ci_half_width()),
+                    curve.curve.replicates.to_string(),
+                ]);
+                series.push(aoi_bench::rename(
+                    curve.curve.mean.downsample(120),
+                    curve.label.clone(),
+                ));
+            }
+        }
+        for s in &series {
+            plot = plot.series(s);
+        }
+        println!("{}", table.render());
+        println!("{}", plot.render());
+    }
+
+    // Service traces (Fig. 1b): one latency plot per directory, the queue
+    // channel of every policy's artifact as a series.
+    let mut service_dirs: BTreeMap<PathBuf, Vec<&Artifact>> = BTreeMap::new();
+    for (path, artifact) in &traces {
+        if artifact.manifest.scenario == "service" {
+            let parent = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+            service_dirs.entry(parent).or_default().push(artifact);
+        }
+    }
+    for (parent, group) in service_dirs {
+        let mut plot = AsciiPlot::new(format!("UV latency Q[t] — {}", parent.display()), 72, 14)
+            .y_label("queue length");
+        let series: Vec<TimeSeries> = group
+            .iter()
+            .filter_map(|a| {
+                let ch = a.channel("queue")?;
+                Some(aoi_bench::rename(
+                    ch.series.downsample(72),
+                    a.manifest.policy.clone(),
+                ))
+            })
+            .collect();
+        for s in &series {
+            plot = plot.series(s);
+        }
+        println!("{}", plot.render());
+    }
+
+    // Cache/joint traces (Fig. 1a): per artifact, the AoI sawtooth of the
+    // two liveliest channels plus the cumulative reward curve.
+    for (path, artifact) in &traces {
+        if artifact.manifest.scenario == "service" {
+            continue;
+        }
+        render_trace(path, artifact);
+    }
+    Ok(true)
+}
+
+/// Renders one cache/joint trace artifact: AoI/backlog window of the two
+/// largest-amplitude channels (the visually informative sawtooths, as the
+/// fig1a bin selects) and the cumulative curve.
+fn render_trace(path: &Path, artifact: &Artifact) {
+    let m = &artifact.manifest;
+    println!(
+        "{} — scenario {}, policy {}, seed {}",
+        path.display(),
+        m.scenario,
+        m.policy,
+        m.seed.map_or("-".to_string(), |s| s.to_string())
+    );
+    let cumulative = artifact
+        .channels
+        .iter()
+        .find(|c| c.name.contains("(cumulative)"));
+    let mut lively: Vec<(&str, &TimeSeries, f64)> = artifact
+        .channels
+        .iter()
+        .filter(|c| !c.name.contains("reward") && !c.series.is_empty())
+        .map(|c| {
+            let max = c.series.max().unwrap_or(0.0);
+            let min = c.series.min().unwrap_or(0.0);
+            (c.name.as_str(), &c.series, max - min)
+        })
+        .collect();
+    lively.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite amplitudes"));
+    if !lively.is_empty() {
+        let horizon = lively[0].1.len();
+        let (warmup, window) = aoi_bench::figure_window(horizon);
+        let mut plot = AsciiPlot::new(
+            format!("per-slot traces, slots {warmup}..{}", warmup + window),
+            72,
+            12,
+        );
+        let series: Vec<TimeSeries> = lively
+            .iter()
+            .take(2)
+            .map(|(name, s, _)| aoi_bench::window_of(s, warmup, window, *name))
+            .collect();
+        for s in &series {
+            plot = plot.series(s);
+        }
+        println!("{}", plot.render());
+    }
+    if let Some(ch) = cumulative {
+        let plot = AsciiPlot::new("cumulative reward", 72, 10)
+            .series(&aoi_bench::rename(
+                ch.series.downsample(72),
+                ch.name.clone(),
+            ))
+            .y_label("reward");
+        println!("{}", plot.render());
+    }
+}
+
+// --- verify ----------------------------------------------------------------
+
+fn cmd_verify(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut want_hash: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--config-hash" {
+            let hex = iter
+                .next()
+                .ok_or_else(|| "verify: --config-hash needs a hex value".to_string())?;
+            want_hash = Some(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| format!("verify: invalid config hash '{hex}'"))?,
+            );
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    if paths.is_empty() {
+        return Err("verify: needs at least one PATH".to_string());
+    }
+    let mut failures = 0usize;
+    let files = discover(&paths)?;
+    for (i, path) in files.iter().enumerate() {
+        match verify_one(path, want_hash, i) {
+            Ok(summary) => println!("OK   {}: {summary}", path.display()),
+            Err(why) => {
+                println!("FAIL {}: {why}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "{} artifacts verified, {failures} failed",
+        files.len() - failures
+    );
+    Ok(failures == 0)
+}
+
+/// Structural + bit-identity verification of one artifact (see the module
+/// docs). Returns a one-line summary on success.
+fn verify_one(path: &Path, want_hash: Option<u64>, nonce: usize) -> Result<String, String> {
+    // 1. A full read validates structure: manifest, record consistency,
+    //    footer counts, and (for compressed files) end marker + checksum.
+    let artifact = read_artifact(path).map_err(|e| e.to_string())?;
+    // 2. Optional configuration pin.
+    if let Some(want) = want_hash {
+        if artifact.manifest.config_hash != want {
+            return Err(format!(
+                "config hash {:016x} does not match required {want:016x}",
+                artifact.manifest.config_hash
+            ));
+        }
+    }
+    // 3. Re-read bit-identity: serialize the reconstruction and read it
+    //    back; both in-memory forms must be equal.
+    let tmp = std::env::temp_dir().join(format!(
+        "aoi-artifacts-verify-{}-{nonce}.jsonl",
+        std::process::id()
+    ));
+    let result = rewrite(&artifact, &tmp)
+        .map_err(|e| format!("re-serialization failed: {e}"))
+        .and_then(|()| {
+            let reread = read_artifact(&tmp).map_err(|e| format!("re-read failed: {e}"))?;
+            if reread != artifact {
+                return Err("re-read artifact is not bit-identical".to_string());
+            }
+            Ok(())
+        });
+    let _ = std::fs::remove_file(&tmp);
+    result?;
+    let samples: usize = artifact.channels.iter().map(|c| c.series.len()).sum();
+    Ok(format!(
+        "{:?}, {} channels, {samples} samples, {} curves, config {:016x}, re-read bit-identical",
+        artifact.manifest.artifact,
+        artifact.channels.len(),
+        artifact.curves.len(),
+        artifact.manifest.config_hash
+    ))
+}
+
+/// Re-serializes a reconstructed artifact with its original channel
+/// layout: channels in id order (samples, then the summary if one was
+/// written), then each curve record referencing its original band
+/// channels.
+fn rewrite(artifact: &Artifact, path: &Path) -> Result<(), PersistError> {
+    let mut writer = ArtifactWriter::create(path, &artifact.manifest)?;
+    let mut ids = Vec::with_capacity(artifact.channels.len());
+    for ch in &artifact.channels {
+        let id = writer.channel(&ch.name, ch.mode)?;
+        for p in ch.series.iter() {
+            writer.sample(id, p.slot, p.value)?;
+        }
+        if let Some(summary) = &ch.summary {
+            writer.summary(id, summary)?;
+        }
+        ids.push(id);
+    }
+    for curve in &artifact.curves {
+        writer.curve_ref(
+            &curve.label,
+            curve.scenario,
+            curve.policy,
+            curve.curve.replicates,
+            [
+                ids[curve.bands[0]],
+                ids[curve.bands[1]],
+                ids[curve.bands[2]],
+            ],
+        )?;
+    }
+    writer.finish()
+}
+
+// --- diff ------------------------------------------------------------------
+
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let [a_root, b_root] = args else {
+        return Err("diff: needs exactly DIR_A DIR_B".to_string());
+    };
+    let index = |root: &String| -> Result<BTreeMap<String, PathBuf>, String> {
+        let files = discover(std::slice::from_ref(root))?;
+        Ok(files
+            .into_iter()
+            .map(|path| {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .to_string();
+                (logical_name(Path::new(&rel)), path)
+            })
+            .collect())
+    };
+    let a_files = index(a_root)?;
+    let b_files = index(b_root)?;
+    let names: Vec<&String> = a_files.keys().chain(b_files.keys()).collect();
+    let mut names: Vec<&String> = names;
+    names.sort();
+    names.dedup();
+
+    let mut differences = 0usize;
+    let mut compared = 0usize;
+    for name in names {
+        match (a_files.get(name), b_files.get(name)) {
+            (Some(_), None) => {
+                println!("DIFF {name}: only in {a_root}");
+                differences += 1;
+            }
+            (None, Some(_)) => {
+                println!("DIFF {name}: only in {b_root}");
+                differences += 1;
+            }
+            (Some(a_path), Some(b_path)) => {
+                compared += 1;
+                match (read_artifact(a_path), read_artifact(b_path)) {
+                    (Ok(a), Ok(b)) => match describe_difference(&a, &b) {
+                        None => println!("same {name}"),
+                        Some(why) => {
+                            println!("DIFF {name}: {why}");
+                            differences += 1;
+                        }
+                    },
+                    (Err(e), _) => {
+                        println!("DIFF {name}: unreadable in {a_root}: {e}");
+                        differences += 1;
+                    }
+                    (_, Err(e)) => {
+                        println!("DIFF {name}: unreadable in {b_root}: {e}");
+                        differences += 1;
+                    }
+                }
+            }
+            (None, None) => unreachable!("name came from one of the indexes"),
+        }
+    }
+    println!("{compared} artifacts compared, {differences} differences");
+    Ok(differences == 0)
+}
+
+/// First meaningful difference between two reconstructed artifacts, or
+/// `None` when they are bit-identical.
+fn describe_difference(a: &Artifact, b: &Artifact) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    if a.manifest != b.manifest {
+        return Some(format!(
+            "manifests differ ({:?} vs {:?})",
+            a.manifest, b.manifest
+        ));
+    }
+    if a.channels.len() != b.channels.len() {
+        return Some(format!(
+            "channel counts differ ({} vs {})",
+            a.channels.len(),
+            b.channels.len()
+        ));
+    }
+    for (i, (ca, cb)) in a.channels.iter().zip(&b.channels).enumerate() {
+        if ca == cb {
+            continue;
+        }
+        if ca.name != cb.name || ca.mode != cb.mode {
+            return Some(format!(
+                "channel {i} declaration differs ({}/{:?} vs {}/{:?})",
+                ca.name, ca.mode, cb.name, cb.mode
+            ));
+        }
+        if ca.summary != cb.summary {
+            return Some(format!("channel {i} ({}) summaries differ", ca.name));
+        }
+        if ca.series.len() != cb.series.len() {
+            return Some(format!(
+                "channel {i} ({}) lengths differ ({} vs {})",
+                ca.name,
+                ca.series.len(),
+                cb.series.len()
+            ));
+        }
+        for (j, (pa, pb)) in ca.series.iter().zip(cb.series.iter()).enumerate() {
+            if pa != pb {
+                return Some(format!(
+                    "channel {i} ({}) sample {j} differs ({:?}@{} vs {:?}@{})",
+                    ca.name,
+                    pa.value,
+                    pa.slot.index(),
+                    pb.value,
+                    pb.slot.index()
+                ));
+            }
+        }
+    }
+    if a.curves.len() != b.curves.len() {
+        return Some(format!(
+            "curve counts differ ({} vs {})",
+            a.curves.len(),
+            b.curves.len()
+        ));
+    }
+    for (i, (ca, cb)) in a.curves.iter().zip(&b.curves).enumerate() {
+        if ca != cb {
+            return Some(format!("curve {i} ({}) differs", ca.label));
+        }
+    }
+    Some("artifacts differ".to_string())
+}

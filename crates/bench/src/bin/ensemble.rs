@@ -9,7 +9,8 @@
 //! confidence bands and a per-policy summary table.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin ensemble [n_seeds] [--workers N] [--out DIR]
+//! cargo run --release -p aoi-bench --bin ensemble -- \
+//!     [n_seeds] [--workers N] [--out DIR] [--compress] [--resume] [--horizon N]
 //! ```
 //!
 //! `--workers N` pins the cell fan-out to exactly `N` workers (`1` runs
@@ -22,40 +23,52 @@
 //! recording mode — and each `(scenario, policy)` group writes its mean/CI
 //! curve to `ensemble-s<scenario>-p<policy>.jsonl`. Artifacts re-read
 //! bit-identically (`simkit::persist`); the rendered figures are identical
-//! with or without the flag.
+//! with or without the flag. `--compress` writes every artifact through
+//! the streaming codec (`.z` files, typically 3–6× smaller); `--resume`
+//! skips any cell whose artifact from a previous run still verifies
+//! (intact footer, matching configuration) and recomputes the rest — the
+//! final figures are bit-identical to a cold run.
 
 use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
-use aoi_cache::{EnsembleSummary, ExperimentPlan};
+use aoi_cache::{EnsembleSummary, ExperimentPlan, ResumeReport};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
-use std::path::PathBuf;
 
-/// Applies the `--workers N` / `--out DIR` overrides to a plan.
-fn configure(
-    plan: ExperimentPlan,
-    workers: Option<usize>,
-    out: &Option<PathBuf>,
-    tag: &str,
-) -> ExperimentPlan {
-    let plan = match workers {
+/// Applies the shared command-line overrides to a preset plan.
+fn configure(plan: ExperimentPlan, args: &aoi_bench::CliArgs, tag: &str) -> ExperimentPlan {
+    let plan = match args.workers {
         Some(n) => plan.workers(n),
         None => plan,
     };
-    match out {
-        Some(dir) => plan.artifact_dir(dir.join(tag)),
+    let plan = match args.horizon {
+        Some(h) => plan.horizon(h),
+        None => plan,
+    };
+    match &args.out {
+        Some(dir) => plan
+            .artifact_dir(dir.join(tag))
+            .compress(args.compression)
+            .resume(args.resume),
         None => plan,
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let workers = aoi_bench::take_workers_flag(&mut args)?;
-    let out = aoi_bench::take_out_flag(&mut args)?;
-    if args.len() > 1 {
-        return Err(format!("unrecognized argument: {}", args[1]).into());
+    let args = aoi_bench::CliSpec {
+        bin: "ensemble",
+        about: "Figs. 1a/1b as multi-seed mean ± CI ensembles (streamed experiment engine)",
+        workers: true,
+        out: true,
+        resume: true,
+        horizon: true,
+        positional: Some(aoi_bench::Positional {
+            name: "n_seeds",
+            help: "seed replicates per policy (default 5)",
+        }),
     }
-    let n_seeds: u64 = match args.first() {
+    .parse()?;
+    let n_seeds: u64 = match &args.positional {
         Some(arg) => arg
             .parse()
             .map_err(|_| format!("unrecognized argument: {arg}"))?,
@@ -63,14 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // --- Fig. 1a ensemble: cache policies × seeds -----------------------
-    let plan = configure(fig1a_ensemble(n_seeds), workers, &out, "fig1a");
+    let plan = configure(fig1a_ensemble(n_seeds), &args, "fig1a");
     println!(
         "Fig. 1a ensemble: {} cells ({} policies x {} seeds)\n",
         plan.n_cells(),
         plan.n_cells() / plan.n_replicates(),
         plan.n_replicates()
     );
-    let cache = plan.run_ensembles()?;
+    let (cache, resume) = plan.run_ensembles_resumable()?;
+    print_resume(&resume, args.resume);
     print_summary(&cache, "final cumulative reward");
     plot_means(
         &cache,
@@ -79,24 +93,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Fig. 1b ensemble: service policies × arrival traces ------------
-    let plan = configure(fig1b_ensemble(n_seeds), workers, &out, "fig1b");
+    let plan = configure(fig1b_ensemble(n_seeds), &args, "fig1b");
     println!(
         "\nFig. 1b ensemble: {} cells ({} policies x {} arrival traces)\n",
         plan.n_cells(),
         plan.n_cells() / plan.n_replicates(),
         plan.n_replicates()
     );
-    let service = plan.run_ensembles()?;
+    let (service, resume) = plan.run_ensembles_resumable()?;
+    print_resume(&resume, args.resume);
     print_summary(&service, "final backlog");
     plot_means(&service, "request backlog (ensemble mean over traces)", 120);
 
-    if let Some(dir) = &out {
+    if let Some(dir) = &args.out {
         println!(
             "\nartifacts: per-cell traces and per-group ensemble curves under {}",
             dir.display()
         );
     }
     Ok(())
+}
+
+fn print_resume(resume: &ResumeReport, resuming: bool) {
+    if resuming {
+        println!("resume: {resume}\n");
+    }
 }
 
 fn print_summary(ensembles: &[EnsembleSummary], what: &str) {
@@ -115,12 +136,7 @@ fn print_summary(ensembles: &[EnsembleSummary], what: &str) {
 fn plot_means(ensembles: &[EnsembleSummary], title: &str, max_points: usize) {
     let renamed: Vec<TimeSeries> = ensembles
         .iter()
-        .map(|e| {
-            let down = e.curve.mean.downsample(max_points);
-            let mut named = TimeSeries::with_capacity(e.label.clone(), down.len());
-            named.extend(down.iter().map(|p| (p.slot, p.value)));
-            named
-        })
+        .map(|e| aoi_bench::rename(e.curve.mean.downsample(max_points), e.label.clone()))
         .collect();
     let mut plot = AsciiPlot::new(title, 72, 16).x_label("slot");
     for series in &renamed {

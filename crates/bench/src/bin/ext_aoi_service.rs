@@ -11,6 +11,11 @@ use aoi_cache::{run_freshness_service, FreshnessScenario, SourcingMode};
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    aoi_bench::CliSpec::bare(
+        "ext_aoi_service",
+        "Eq. 4 AoI requirement enforced via virtual queues",
+    )
+    .parse()?;
     let scenario = FreshnessScenario::default();
     println!(
         "cache refresh period {} (mean cache age {:.1}), age target {}, V = {}\n",

@@ -7,6 +7,11 @@ use aoi_cache::{run_joint, CachePolicyKind, ServicePolicyKind};
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    aoi_bench::CliSpec::bare(
+        "ext_joint",
+        "two-stage joint runs on the vehicular-network substrate",
+    )
+    .parse()?;
     let base = joint_scenario();
     println!(
         "network: {:.0} m road, {} regions, {} RSUs, horizon {}\n",

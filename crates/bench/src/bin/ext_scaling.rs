@@ -10,6 +10,7 @@ use simkit::table::{fmt_f64, Table};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    aoi_bench::CliSpec::bare("ext_scaling", "exact vs learning solver scaling ladder").parse()?;
     let mut table = Table::new([
         "contents/RSU",
         "age cap",

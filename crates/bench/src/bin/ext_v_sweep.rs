@@ -20,7 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let vs: Vec<f64> = (0..9).map(|i| 2f64.powi(i)).collect();
 
-    let workers = aoi_bench::workers_flag_only()?
+    let args = aoi_bench::CliSpec {
+        workers: true,
+        ..aoi_bench::CliSpec::bare("ext_v_sweep", "Lyapunov V tradeoff curve (Eq. 5)")
+    }
+    .parse()?;
+    let workers = args
+        .workers
         .unwrap_or_else(|| executor::worker_count(vs.len(), true, 1));
     let points: Vec<TradeoffPoint> = executor::parallel_map(workers, &vs, |_, &v| {
         let report =

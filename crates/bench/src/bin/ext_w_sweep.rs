@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Points are independent; the shared executor fans them out and
     // returns them in input (ascending-w) order. `--workers N` pins the
     // fan-out; the default sizes from the host.
-    let workers = aoi_bench::workers_flag_only()?
+    let args = aoi_bench::CliSpec {
+        workers: true,
+        ..aoi_bench::CliSpec::bare("ext_w_sweep", "Eq. 1 weight w tradeoff curve")
+    }
+    .parse()?;
+    let workers = args
+        .workers
         .unwrap_or_else(|| executor::worker_count(ws.len(), true, 1));
     let rows: Vec<(f64, f64, f64, f64)> = executor::parallel_map(workers, &ws, |_, &w| {
         let scenario = CacheScenario { weight: w, ..base };

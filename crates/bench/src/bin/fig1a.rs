@@ -11,37 +11,47 @@
 //! curve, an ASCII rendering of both, and CSV for external plotting.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin fig1a [--out DIR]
+//! cargo run --release -p aoi-bench --bin fig1a [--out DIR] [--compress] [--horizon N]
 //! ```
 //!
 //! With `--out DIR` the run **spills** its AoI traces to
 //! `DIR/fig1a.trace.jsonl` slot by slot (no full trace stays in memory,
 //! even in `Full` recording mode) and the figure below is rendered from
 //! the **re-read** artifact — the round trip is bit-identical.
+//! `--compress` streams the artifact through the
+//! `simkit::persist::compress` codec instead (`fig1a.trace.jsonl.z`).
 
 use aoi_cache::persist::read_artifact;
 use aoi_cache::presets::{fig1a_policy, fig1a_scenario};
-use aoi_cache::CacheSimulation;
+use aoi_cache::{CacheScenario, CacheSimulation};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out = aoi_bench::take_out_flag(&mut args)?;
-    if let Some(arg) = args.first() {
-        return Err(format!("unrecognized argument: {arg}").into());
+    let args = aoi_bench::CliSpec {
+        bin: "fig1a",
+        about: "Fig. 1a — AoI traces and cumulative reward of the proposed MDP policy",
+        workers: false,
+        out: true,
+        resume: false,
+        horizon: true,
+        positional: None,
     }
-    let scenario = fig1a_scenario();
+    .parse()?;
+    let scenario = CacheScenario {
+        horizon: args.horizon.unwrap_or(fig1a_scenario().horizon),
+        ..fig1a_scenario()
+    };
     println!(
         "Fig. 1a scenario: {} RSUs x {} contents, horizon {}, seed {}\n",
         scenario.n_rsus, scenario.regions_per_rsu, scenario.horizon, scenario.seed
     );
     let sim = CacheSimulation::new(scenario)?;
-    let (report, artifact) = match &out {
+    let (report, artifact) = match &args.out {
         Some(dir) => {
-            let path = dir.join("fig1a.trace.jsonl");
-            let report = sim.run_artifact(fig1a_policy(), &path)?;
+            let path = args.compression.apply_to(&dir.join("fig1a.trace.jsonl"));
+            let report = sim.run_artifact_with(fig1a_policy(), &path, args.compression)?;
             let artifact = read_artifact(&path)?;
             println!(
                 "artifacts: traces spilled to and re-read from {}\n",
@@ -67,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // largest sawtooth amplitude — the visually informative traces.
     let rsu = 0usize;
     let spec = &sim.specs()[rsu];
-    let warmup = 100usize;
+    let (warmup, window) = aoi_bench::figure_window(scenario.horizon);
     let mut candidates: Vec<(usize, f64)> = (0..spec.popularity.len())
         .filter_map(|h| {
             let tail: Vec<f64> = aoi(rsu, h).values().skip(warmup).collect();
@@ -81,15 +91,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c1 = candidates.first().map_or(0, |c| c.0);
     let c2 = candidates.get(1).map_or(1, |c| c.0);
 
-    // A full-resolution window: stride-downsampling would alias the
-    // periodic sawtooth into a flat line.
-    let window = 120usize;
-    let trace1 = rename(
-        window_of(aoi(rsu, c1), warmup, window),
+    let trace1 = aoi_bench::window_of(
+        aoi(rsu, c1),
+        warmup,
+        window,
         format!("content {c1} (Amax={})", spec.max_ages[c1].get()),
     );
-    let trace2 = rename(
-        window_of(aoi(rsu, c2), warmup, window),
+    let trace2 = aoi_bench::window_of(
+        aoi(rsu, c2),
+        warmup,
+        window,
         format!("content {c2} (Amax={})", spec.max_ages[c2].get()),
     );
     let plot = AsciiPlot::new(
@@ -105,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .y_label("AoI (slots)");
     println!("{}", plot.render());
 
-    let reward = rename(
+    let reward = aoi_bench::rename(
         report.cumulative_reward.downsample(72),
         "cumulative reward".to_string(),
     );
@@ -158,21 +169,4 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
-}
-
-fn rename(series: TimeSeries, name: String) -> TimeSeries {
-    let mut out = TimeSeries::with_capacity(name, series.len());
-    for p in series.iter() {
-        out.push(p.slot, p.value);
-    }
-    out
-}
-
-/// Extracts `len` consecutive full-resolution points starting at `start`.
-fn window_of(series: &TimeSeries, start: usize, len: usize) -> TimeSeries {
-    let mut out = TimeSeries::with_capacity(series.name(), len);
-    for p in series.iter().skip(start).take(len) {
-        out.push(p.slot, p.value);
-    }
-    out
 }

@@ -9,25 +9,33 @@
 //! All three policies face the identical Poisson arrival trace.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin fig1b [--out DIR]
+//! cargo run --release -p aoi-bench --bin fig1b [--out DIR] [--compress] [--horizon N]
 //! ```
 //!
 //! With `--out DIR` each policy's queue/cost series is persisted as a
-//! `simkit::persist` artifact (`DIR/fig1b-<policy>.trace.jsonl`).
+//! `simkit::persist` artifact (`DIR/fig1b-<policy>.trace.jsonl`;
+//! `--compress` writes `.z` files through the streaming codec).
 
 use aoi_cache::presets::{fig1b_policies, fig1b_scenario};
-use aoi_cache::{compare_service, write_service_artifact};
+use aoi_cache::{compare_service, write_service_artifact_with, ServiceScenario};
 use simkit::plot::AsciiPlot;
 use simkit::table::{fmt_f64, Table};
-use simkit::TimeSeries;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out = aoi_bench::take_out_flag(&mut args)?;
-    if let Some(arg) = args.first() {
-        return Err(format!("unrecognized argument: {arg}").into());
+    let args = aoi_bench::CliSpec {
+        bin: "fig1b",
+        about: "Fig. 1b — UV latency under the proposed service rule and two baselines",
+        workers: false,
+        out: true,
+        resume: false,
+        horizon: true,
+        positional: None,
     }
-    let scenario = fig1b_scenario();
+    .parse()?;
+    let scenario = ServiceScenario {
+        horizon: args.horizon.unwrap_or(fig1b_scenario().horizon),
+        ..fig1b_scenario()
+    };
     println!(
         "Fig. 1b scenario: Poisson({}) arrivals, {} service levels, V = {}, horizon {}\n",
         scenario.arrival_rate,
@@ -36,10 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.horizon
     );
     let reports = compare_service(&scenario, &fig1b_policies())?;
-    if let Some(dir) = &out {
+    if let Some(dir) = &args.out {
         for report in &reports {
-            let path = dir.join(format!("fig1b-{}.trace.jsonl", report.policy));
-            write_service_artifact(&scenario, report, &path)?;
+            let path = args
+                .compression
+                .apply_to(&dir.join(format!("fig1b-{}.trace.jsonl", report.policy)));
+            write_service_artifact_with(&scenario, report, &path, args.compression)?;
             println!("artifacts: wrote {}", path.display());
         }
         println!();
@@ -47,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut plot = AsciiPlot::new("Fig. 1b: UV latency Q[t]", 72, 14).y_label("queue length");
     for r in &reports {
-        let named = rename(r.queue.downsample(72), r.policy.clone());
+        let named = aoi_bench::rename(r.queue.downsample(72), r.policy.clone());
         plot = plot.series(&named);
     }
     println!("{}", plot.render());
@@ -88,12 +98,4 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("csv: {},{}", i, row.join(","));
     }
     Ok(())
-}
-
-fn rename(series: TimeSeries, name: String) -> TimeSeries {
-    let mut out = TimeSeries::with_capacity(name, series.len());
-    for p in series.iter() {
-        out.push(p.slot, p.value);
-    }
-    out
 }

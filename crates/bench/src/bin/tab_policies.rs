@@ -6,23 +6,29 @@
 //! this is the standard ablation for the design choices in DESIGN.md.
 //!
 //! ```sh
-//! cargo run --release -p aoi-bench --bin tab_policies [--out DIR]
+//! cargo run --release -p aoi-bench --bin tab_policies [--out DIR] [--compress]
 //! ```
 //!
 //! With `--out DIR` each policy's run spills its AoI traces to
 //! `DIR/tab-<i>-<policy>.trace.jsonl` as it executes — the table is then
-//! produced without ever holding a full trace in memory.
+//! produced without ever holding a full trace in memory (`--compress`
+//! writes `.z` files through the streaming codec).
 
 use aoi_cache::presets::fig1a_scenario;
 use aoi_cache::{CachePolicyKind, CacheSimulation};
 use simkit::table::{fmt_f64, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out = aoi_bench::take_out_flag(&mut args)?;
-    if let Some(arg) = args.first() {
-        return Err(format!("unrecognized argument: {arg}").into());
+    let args = aoi_bench::CliSpec {
+        bin: "tab_policies",
+        about: "cache-policy comparison table at the paper's Fig. 1a scale",
+        workers: false,
+        out: true,
+        resume: false,
+        horizon: false,
+        positional: None,
     }
+    .parse()?;
     let scenario = fig1a_scenario();
     let sim = CacheSimulation::new(scenario)?;
 
@@ -50,10 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cost/slot",
     ]);
     for (i, kind) in kinds.into_iter().enumerate() {
-        let r = match &out {
+        let r = match &args.out {
             Some(dir) => {
-                let path = dir.join(format!("tab-{i}-{}.trace.jsonl", kind.label()));
-                sim.run_artifact(kind, &path)?
+                let path = args
+                    .compression
+                    .apply_to(&dir.join(format!("tab-{i}-{}.trace.jsonl", kind.label())));
+                sim.run_artifact_with(kind, &path, args.compression)?
             }
             None => sim.run(kind)?,
         };

@@ -1,124 +1,361 @@
-//! Shared helpers for the experiment binaries.
+//! Shared helpers for the experiment binaries: one command-line parser
+//! for the flags every bin repeats, plus the series-shaping helpers the
+//! figure renderers share.
+//!
+//! Each binary declares a [`CliSpec`] — which of the common flags it
+//! accepts (`--workers`, `--out`, `--compress`, `--resume`, `--horizon`)
+//! and at most one positional argument — and calls
+//! [`CliSpec::parse`]. The spec renders one consistent `--help` text per
+//! bin and produces one consistent error-message style, instead of the
+//! hand-rolled per-bin loops the flags used to be parsed with.
 
 #![forbid(unsafe_code)]
 
-/// Extracts every `--workers N` flag from `args` (removing flag and value
-/// in place, last occurrence winning) and validates `N >= 1`; the
-/// remaining entries are the binary's positional arguments.
-///
-/// `N == 1` means fully serial execution; larger values pin the executor
-/// fan-out. `0` is rejected — it would match neither documented mode.
-///
-/// # Errors
-///
-/// Returns a message when the flag's value is missing, not an integer, or
-/// zero.
-pub fn take_workers_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
-    let mut workers = None;
-    while let Some(pos) = args.iter().position(|a| a == "--workers") {
-        args.remove(pos);
-        let value = (pos < args.len()).then(|| args.remove(pos));
-        let n: usize = value
-            .as_deref()
-            .and_then(|v| v.parse().ok())
-            .filter(|n| *n >= 1)
-            .ok_or_else(|| "--workers needs a positive integer".to_string())?;
-        workers = Some(n);
+use aoi_cache::persist::Compression;
+use simkit::TimeSeries;
+use std::path::PathBuf;
+
+/// Returns `series` re-labeled `name` (a [`TimeSeries`] name is fixed at
+/// construction; the figure bins re-label downsampled or windowed series
+/// for plot legends).
+pub fn rename(series: TimeSeries, name: impl Into<String>) -> TimeSeries {
+    let mut out = TimeSeries::with_capacity(name, series.len());
+    for p in series.iter() {
+        out.push(p.slot, p.value);
     }
-    Ok(workers)
+    out
 }
 
-/// [`take_workers_flag`] for binaries that take no positional arguments:
-/// parses the whole command line, erroring on anything but `--workers N`.
-///
-/// # Errors
-///
-/// Returns a message for an invalid `--workers` value or any leftover
-/// argument.
-pub fn workers_flag_only() -> Result<Option<usize>, String> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let workers = take_workers_flag(&mut args)?;
-    if let Some(arg) = args.first() {
-        return Err(format!("unrecognized argument: {arg}"));
+/// Extracts `len` consecutive full-resolution points starting at `start`,
+/// labeled `name` (stride-downsampling would alias the periodic AoI
+/// sawtooths the figures plot into flat lines).
+pub fn window_of(
+    series: &TimeSeries,
+    start: usize,
+    len: usize,
+    name: impl Into<String>,
+) -> TimeSeries {
+    let mut out = TimeSeries::with_capacity(name, len);
+    for p in series.iter().skip(start).take(len) {
+        out.push(p.slot, p.value);
     }
-    Ok(workers)
+    out
 }
 
-/// Extracts every `--out DIR` flag from `args` (removing flag and value in
-/// place, last occurrence winning) and creates the directory. Binaries
-/// with the flag **persist their run artifacts** into `DIR` as
-/// `simkit::persist` JSONL files — traces spill to disk as they are
-/// produced, so even a `Full`-recording grid retains no trace in memory.
+/// The Fig. 1a-style rendering window at a given horizon: `(warmup,
+/// window)` — nominally slots 100..220, clamped so a shrunk `--horizon`
+/// still leaves a non-empty window. Shared by the live `fig1a` bin and
+/// the offline `aoi-artifacts render` so the two figures cannot diverge.
+pub fn figure_window(horizon: usize) -> (usize, usize) {
+    let warmup = 100usize.min(horizon / 2);
+    (warmup, 120usize.min(horizon - warmup))
+}
+
+/// One optional positional argument of a binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Positional {
+    /// Display name in the usage line (e.g. `"n_seeds"`).
+    pub name: &'static str,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+}
+
+/// Which of the shared command-line flags a binary accepts.
 ///
-/// # Errors
-///
-/// Returns a message when the flag's value is missing or the directory
-/// cannot be created.
-pub fn take_out_flag(args: &mut Vec<String>) -> Result<Option<std::path::PathBuf>, String> {
-    let mut out = None;
-    while let Some(pos) = args.iter().position(|a| a == "--out") {
-        args.remove(pos);
-        let value = (pos < args.len()).then(|| args.remove(pos));
-        let dir = value.ok_or_else(|| "--out needs a directory path".to_string())?;
-        out = Some(std::path::PathBuf::from(dir));
+/// ```no_run
+/// let args = aoi_bench::CliSpec {
+///     bin: "ensemble",
+///     about: "ensemble figures",
+///     workers: true,
+///     out: true,
+///     resume: true,
+///     horizon: true,
+///     positional: Some(aoi_bench::Positional {
+///         name: "n_seeds",
+///         help: "seed replicates per policy (default 5)",
+///     }),
+/// }
+/// .parse()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CliSpec {
+    /// Binary name shown in usage/error text.
+    pub bin: &'static str,
+    /// One-line description shown by `--help`.
+    pub about: &'static str,
+    /// Accept `--workers N` (executor fan-out override; `1` = serial).
+    pub workers: bool,
+    /// Accept `--out DIR` (persist run artifacts into `DIR`) and, with
+    /// it, `--compress` (write the artifacts through the
+    /// `simkit::persist::compress` codec, `.z` files).
+    pub out: bool,
+    /// Accept `--resume` (skip cells whose `--out` artifact verifies).
+    pub resume: bool,
+    /// Accept `--horizon N` (override every scenario's horizon).
+    pub horizon: bool,
+    /// At most one positional argument.
+    pub positional: Option<Positional>,
+}
+
+impl CliSpec {
+    /// A spec accepting no flag at all (every bin still gets `--help`).
+    pub const fn bare(bin: &'static str, about: &'static str) -> Self {
+        CliSpec {
+            bin,
+            about,
+            workers: false,
+            out: false,
+            resume: false,
+            horizon: false,
+            positional: None,
+        }
     }
-    if let Some(dir) = &out {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create --out directory {}: {e}", dir.display()))?;
+
+    /// Parses the process arguments against this spec. `--help`/`-h`
+    /// prints the usage text and exits. The `--out` directory is created.
+    ///
+    /// # Errors
+    ///
+    /// Returns one-line messages (shared style across every bin) for
+    /// unknown flags, missing or invalid values, flag combinations
+    /// (`--compress`/`--resume` without `--out`), or a surplus positional.
+    pub fn parse(&self) -> Result<CliArgs, String> {
+        match self.parse_from(std::env::args().skip(1).collect()) {
+            // `--help` surfaces from parse_from as the usage text.
+            Err(text) if text == self.usage() => {
+                println!("{text}");
+                std::process::exit(0);
+            }
+            other => other,
+        }
     }
-    Ok(out)
+
+    /// [`parse`](CliSpec::parse) over an explicit argument vector
+    /// (testable; no `--help` side effect — the caller sees it as an
+    /// error listing the usage).
+    pub fn parse_from(&self, args: Vec<String>) -> Result<CliArgs, String> {
+        let mut parsed = CliArgs {
+            workers: None,
+            out: None,
+            compression: Compression::None,
+            resume: false,
+            horizon: None,
+            positional: None,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(self.usage()),
+                "--workers" if self.workers => {
+                    let n: usize = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| self.error("--workers needs a positive integer"))?;
+                    parsed.workers = Some(n);
+                }
+                "--out" if self.out => {
+                    let dir = iter
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| self.error("--out needs a directory path"))?;
+                    parsed.out = Some(PathBuf::from(dir));
+                }
+                "--compress" if self.out => parsed.compression = Compression::Deflate,
+                "--resume" if self.resume => parsed.resume = true,
+                "--horizon" if self.horizon => {
+                    let n: usize = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| self.error("--horizon needs a positive integer"))?;
+                    parsed.horizon = Some(n);
+                }
+                _ if arg.starts_with('-') => {
+                    return Err(self.error(&format!("unrecognized flag '{arg}'")));
+                }
+                _ => match (self.positional, &parsed.positional) {
+                    (Some(_), None) => parsed.positional = Some(arg),
+                    _ => return Err(self.error(&format!("unrecognized argument '{arg}'"))),
+                },
+            }
+        }
+        if parsed.compression == Compression::Deflate && parsed.out.is_none() {
+            return Err(self.error("--compress needs --out DIR"));
+        }
+        if parsed.resume && parsed.out.is_none() {
+            return Err(self.error("--resume needs --out DIR"));
+        }
+        if let Some(dir) = &parsed.out {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                self.error(&format!(
+                    "cannot create --out directory {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        }
+        Ok(parsed)
+    }
+
+    fn error(&self, why: &str) -> String {
+        format!("{}: {why} (try --help)", self.bin)
+    }
+
+    /// The `--help` text: usage line plus one row per accepted flag.
+    pub fn usage(&self) -> String {
+        let mut text = format!("{} — {}\n\nUsage: {}", self.bin, self.about, self.bin);
+        if let Some(p) = self.positional {
+            text.push_str(&format!(" [{}]", p.name));
+        }
+        text.push_str(" [FLAGS]\n\nFlags:\n");
+        if let Some(p) = self.positional {
+            text.push_str(&format!("  {:<14} {}\n", p.name, p.help));
+        }
+        if self.workers {
+            text.push_str("  --workers N    pin the executor fan-out to N workers (1 = serial)\n");
+        }
+        if self.out {
+            text.push_str(
+                "  --out DIR      persist run artifacts (simkit::persist JSONL) into DIR\n",
+            );
+            text.push_str("  --compress     write --out artifacts compressed (.z files)\n");
+        }
+        if self.resume {
+            text.push_str("  --resume       skip cells whose --out artifact already verifies\n");
+        }
+        if self.horizon {
+            text.push_str("  --horizon N    override every scenario's horizon (quick runs/CI)\n");
+        }
+        text.push_str("  --help         show this text\n");
+        text
+    }
+}
+
+/// The parsed shared flags of a binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// `--workers N`, when accepted and given.
+    pub workers: Option<usize>,
+    /// `--out DIR`, when accepted and given (the directory exists).
+    pub out: Option<PathBuf>,
+    /// [`Compression::Deflate`] when `--compress` was given.
+    pub compression: Compression,
+    /// Whether `--resume` was given.
+    pub resume: bool,
+    /// `--horizon N`, when accepted and given.
+    pub horizon: Option<usize>,
+    /// The positional argument, when accepted and given.
+    pub positional: Option<String>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn spec() -> CliSpec {
+        CliSpec {
+            bin: "demo",
+            about: "test spec",
+            workers: true,
+            out: true,
+            resume: true,
+            horizon: true,
+            positional: Some(Positional {
+                name: "n",
+                help: "a number",
+            }),
+        }
+    }
+
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn absent_flag_leaves_args_untouched() {
-        let mut a = args(&["3"]);
-        assert_eq!(take_workers_flag(&mut a), Ok(None));
-        assert_eq!(a, args(&["3"]));
+    fn empty_args_parse_to_defaults() {
+        let parsed = spec().parse_from(Vec::new()).unwrap();
+        assert_eq!(parsed.workers, None);
+        assert_eq!(parsed.out, None);
+        assert_eq!(parsed.compression, Compression::None);
+        assert!(!parsed.resume);
+        assert_eq!(parsed.horizon, None);
+        assert_eq!(parsed.positional, None);
     }
 
     #[test]
-    fn flag_is_extracted_anywhere() {
-        let mut a = args(&["--workers", "4", "3"]);
-        assert_eq!(take_workers_flag(&mut a), Ok(Some(4)));
-        assert_eq!(a, args(&["3"]));
-        let mut a = args(&["3", "--workers", "1"]);
-        assert_eq!(take_workers_flag(&mut a), Ok(Some(1)));
-        assert_eq!(a, args(&["3"]));
-    }
-
-    #[test]
-    fn rejects_zero_missing_and_garbage_values() {
-        assert!(take_workers_flag(&mut args(&["--workers", "0"])).is_err());
-        assert!(take_workers_flag(&mut args(&["--workers"])).is_err());
-        assert!(take_workers_flag(&mut args(&["--workers", "many"])).is_err());
-    }
-
-    #[test]
-    fn last_occurrence_wins() {
-        let mut a = args(&["--workers", "2", "--workers", "5"]);
-        assert_eq!(take_workers_flag(&mut a), Ok(Some(5)));
-        assert!(a.is_empty());
-    }
-
-    #[test]
-    fn out_flag_is_extracted_and_creates_the_directory() {
-        let mut a = args(&["3"]);
-        assert_eq!(take_out_flag(&mut a), Ok(None));
-        let dir = std::env::temp_dir().join(format!("aoi-bench-out-{}", std::process::id()));
+    fn flags_parse_in_any_order() {
+        let dir = std::env::temp_dir().join(format!("aoi-bench-cli-{}", std::process::id()));
         let dir_str = dir.display().to_string();
-        let mut a = args(&["--out", &dir_str, "3"]);
-        assert_eq!(take_out_flag(&mut a), Ok(Some(dir.clone())));
-        assert_eq!(a, args(&["3"]));
-        assert!(dir.is_dir());
+        let parsed = spec()
+            .parse_from(args(&[
+                "7",
+                "--workers",
+                "4",
+                "--out",
+                &dir_str,
+                "--compress",
+                "--resume",
+                "--horizon",
+                "200",
+            ]))
+            .unwrap();
+        assert_eq!(parsed.workers, Some(4));
+        assert_eq!(parsed.out.as_deref(), Some(dir.as_path()));
+        assert!(dir.is_dir(), "--out must create the directory");
+        assert_eq!(parsed.compression, Compression::Deflate);
+        assert!(parsed.resume);
+        assert_eq!(parsed.horizon, Some(200));
+        assert_eq!(parsed.positional.as_deref(), Some("7"));
         std::fs::remove_dir_all(&dir).unwrap();
-        assert!(take_out_flag(&mut args(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn errors_share_one_style() {
+        for bad in [
+            args(&["--workers"]),
+            args(&["--workers", "0"]),
+            args(&["--workers", "many"]),
+            args(&["--horizon", "0"]),
+            args(&["--out"]),
+            args(&["--nope"]),
+            args(&["1", "2"]),
+            args(&["--compress"]),
+            args(&["--resume"]),
+        ] {
+            let err = spec().parse_from(bad.clone()).unwrap_err();
+            assert!(
+                err.starts_with("demo: ") && err.contains("(try --help)"),
+                "style of {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unaccepted_flags_are_rejected() {
+        let bare = CliSpec::bare("bare", "no flags");
+        for flag in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+            assert!(
+                bare.parse_from(args(&[flag, "1"])).is_err(),
+                "{flag} must be rejected by a bare spec"
+            );
+        }
+        assert!(bare.parse_from(args(&["extra"])).is_err());
+        assert!(bare.parse_from(Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn help_lists_exactly_the_accepted_flags() {
+        let full = spec().usage();
+        for needle in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+            assert!(full.contains(needle), "{needle} missing from {full}");
+        }
+        let bare = CliSpec::bare("bare", "no flags").usage();
+        for needle in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+            assert!(!bare.contains(needle), "{needle} leaked into {bare}");
+        }
+        assert!(bare.contains("--help"));
+        // --help surfaces as an Err carrying the usage text.
+        assert_eq!(spec().parse_from(args(&["--help"])).unwrap_err(), full);
     }
 }

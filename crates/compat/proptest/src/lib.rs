@@ -237,7 +237,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact count or a (half-open or
+    /// Length specification for [`vec()`]: an exact count or a (half-open or
     /// inclusive) range.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SizeRange {

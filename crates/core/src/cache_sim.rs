@@ -15,7 +15,9 @@ use crate::AoiCacheError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest, SharedArtifactWriter};
+use simkit::persist::{
+    self, ArtifactKind, ArtifactWriter, Compression, Manifest, SharedArtifactWriter,
+};
 use simkit::{
     executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
 };
@@ -293,6 +295,26 @@ impl CacheSimulation {
         kind: CachePolicyKind,
         path: &Path,
     ) -> Result<CacheRunReport, AoiCacheError> {
+        self.run_artifact_with(kind, path, Compression::None)
+    }
+
+    /// [`run_artifact`](CacheSimulation::run_artifact) under an explicit
+    /// artifact encoding. With [`Compression::Deflate`] the samples stream
+    /// through the codec of [`simkit::persist::compress`] (the caller
+    /// picks the path — conventionally with the `.z` suffix, see
+    /// [`Compression::apply_to`]); the per-sample write path stays
+    /// allocation-free and [`simkit::persist::read_artifact`] reads both
+    /// encodings transparently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_artifact`](CacheSimulation::run_artifact).
+    pub fn run_artifact_with(
+        &self,
+        kind: CachePolicyKind,
+        path: &Path,
+        compression: Compression,
+    ) -> Result<CacheRunReport, AoiCacheError> {
         let policies = self.build_policies(kind)?;
         let manifest = Manifest {
             artifact: ArtifactKind::Trace,
@@ -302,7 +324,7 @@ impl CacheSimulation {
             recording: self.recording,
             config_hash: persist::config_hash(&self.scenario),
         };
-        let writer = ArtifactWriter::create(path, &manifest)
+        let writer = ArtifactWriter::create_with(path, &manifest, compression)
             .map_err(AoiCacheError::from)?
             .shared();
         let report = self.run_with_sink(policies, kind.label().to_string(), Some(&writer))?;

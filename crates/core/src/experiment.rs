@@ -21,7 +21,8 @@
 //!   cell alone, for *any* worker count (including the serial fallback
 //!   without the `parallel` feature).
 //! * **Single-run compatibility** — the single-run APIs
-//!   ([`CacheSimulation::run`], [`run_service`], [`run_joint`]) are exactly
+//!   ([`CacheSimulation::run`], [`run_service`], [`crate::run_joint`]) are
+//!   exactly
 //!   the cell bodies the engine calls, so a one-cell plan and a direct call
 //!   produce equal reports.
 //!
@@ -49,15 +50,16 @@
 //! ```
 
 use crate::cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
-use crate::joint_sim::{run_joint_artifact, run_joint_recorded, JointReport, JointScenario};
+use crate::joint_sim::{run_joint_artifact_with, run_joint_recorded, JointReport, JointScenario};
 use crate::policy::CachePolicyKind;
 use crate::service::ServicePolicyKind;
 use crate::service_sim::{run_service, ServiceRunReport, ServiceScenario};
 use crate::AoiCacheError;
 use serde::{Deserialize, Serialize};
 use simkit::executor;
-use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest};
+use simkit::persist::{self, ArtifactKind, ArtifactWriter, Compression, Manifest};
 use simkit::{CurveAccumulator, CurveSummary, RecordingMode, TimeSeries};
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The policy/scenario axes of an experiment grid.
@@ -152,6 +154,22 @@ pub struct ExperimentPlan {
     /// artifacts reconstruct the spilled traces bit-identically (see
     /// [`simkit::persist`]).
     pub artifacts: Option<PathBuf>,
+    /// The encoding artifacts are written under. With
+    /// [`Compression::Deflate`] every artifact streams through the codec
+    /// of [`simkit::persist::compress`] and file names gain a `.z` suffix;
+    /// results and re-read bit-identity are unaffected.
+    pub compression: Compression,
+    /// When `true` (and [`artifacts`](ExperimentPlan::artifacts) is set),
+    /// [`run_ensembles`](ExperimentPlan::run_ensembles) **resumes** a
+    /// previous run of the same plan from its artifact directory: any cell
+    /// whose artifact already exists and verifies — intact footer,
+    /// matching config hash and seed — is *skipped*, its headline curve
+    /// re-read from disk instead of recomputed; every other cell
+    /// (missing, truncated, corrupt, foreign or stale artifact) is re-run
+    /// and its artifact rewritten. Because re-read curves are bit-identical
+    /// to computed ones, the final ensembles are bit-identical whether the
+    /// grid ran cold, warm, or half-interrupted.
+    pub resume: bool,
 }
 
 impl ExperimentPlan {
@@ -166,6 +184,8 @@ impl ExperimentPlan {
             workers: None,
             recording: RecordingMode::Full,
             artifacts: None,
+            compression: Compression::None,
+            resume: false,
         }
     }
 
@@ -180,6 +200,8 @@ impl ExperimentPlan {
             workers: None,
             recording: RecordingMode::Full,
             artifacts: None,
+            compression: Compression::None,
+            resume: false,
         }
     }
 
@@ -191,6 +213,8 @@ impl ExperimentPlan {
             workers: None,
             recording: RecordingMode::Full,
             artifacts: None,
+            compression: Compression::None,
+            resume: false,
         }
     }
 
@@ -222,17 +246,82 @@ impl ExperimentPlan {
         self
     }
 
-    /// The artifact file of one cell under `dir`.
-    pub fn cell_artifact_path(dir: &Path, id: CellId) -> PathBuf {
-        dir.join(format!(
-            "cell-s{}-r{}-p{}.trace.jsonl",
-            id.scenario, id.replicate, id.policy
-        ))
+    /// Sets the artifact encoding (see
+    /// [`compression`](ExperimentPlan::compression)). A `Full`-mode figure
+    /// grid typically shrinks 3–6× under [`Compression::Deflate`]; every
+    /// result and re-read series is identical under either encoding.
+    #[must_use]
+    pub fn compress(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
     }
 
-    /// The artifact file of one `(scenario, policy)` ensemble under `dir`.
+    /// Enables resuming from an existing artifact directory (see
+    /// [`resume`](ExperimentPlan::resume)). Honored by
+    /// [`run_ensembles`](ExperimentPlan::run_ensembles) /
+    /// [`run_ensembles_resumable`](ExperimentPlan::run_ensembles_resumable);
+    /// the batch engine ([`run`](ExperimentPlan::run)) rejects it, because
+    /// its full per-cell reports cannot be reconstructed from artifacts.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Overrides the horizon of **every** scenario in the grid — the knob
+    /// CI smokes and quick local runs use to shrink a preset plan without
+    /// redefining it.
+    #[must_use]
+    pub fn horizon(mut self, horizon: usize) -> Self {
+        match &mut self.grid {
+            ExperimentGrid::Cache { scenarios, .. } => {
+                for s in scenarios {
+                    s.horizon = horizon;
+                }
+            }
+            ExperimentGrid::Service { scenarios, .. } => {
+                for s in scenarios {
+                    s.horizon = horizon;
+                }
+            }
+            ExperimentGrid::Joint { scenarios } => {
+                for s in scenarios {
+                    s.horizon = horizon;
+                }
+            }
+        }
+        self
+    }
+
+    /// The artifact file of one cell under `dir` (plain encoding).
+    pub fn cell_artifact_path(dir: &Path, id: CellId) -> PathBuf {
+        Self::cell_artifact_path_with(dir, id, Compression::None)
+    }
+
+    /// The artifact file of one cell under `dir`, with the encoding's
+    /// conventional suffix (`.z` under [`Compression::Deflate`]).
+    pub fn cell_artifact_path_with(dir: &Path, id: CellId, compression: Compression) -> PathBuf {
+        compression.apply_to(&dir.join(format!(
+            "cell-s{}-r{}-p{}.trace.jsonl",
+            id.scenario, id.replicate, id.policy
+        )))
+    }
+
+    /// The artifact file of one `(scenario, policy)` ensemble under `dir`
+    /// (plain encoding).
     pub fn ensemble_artifact_path(dir: &Path, scenario: usize, policy: usize) -> PathBuf {
-        dir.join(format!("ensemble-s{scenario}-p{policy}.jsonl"))
+        Self::ensemble_artifact_path_with(dir, scenario, policy, Compression::None)
+    }
+
+    /// The artifact file of one `(scenario, policy)` ensemble under `dir`,
+    /// with the encoding's conventional suffix.
+    pub fn ensemble_artifact_path_with(
+        dir: &Path,
+        scenario: usize,
+        policy: usize,
+        compression: Compression,
+    ) -> PathBuf {
+        compression.apply_to(&dir.join(format!("ensemble-s{scenario}-p{policy}.jsonl")))
     }
 
     /// Forces the cell fan-out to exactly `workers` workers. `1` means
@@ -324,10 +413,19 @@ impl ExperimentPlan {
     ///
     /// # Errors
     ///
-    /// Returns [`AoiCacheError::BadParameter`] for an empty grid and
+    /// Returns [`AoiCacheError::BadParameter`] for an empty grid or a plan
+    /// with [`resume`](ExperimentPlan::resume) set (the batch engine
+    /// materializes full per-cell reports, which artifacts do not carry —
+    /// resume via [`run_ensembles`](ExperimentPlan::run_ensembles)), and
     /// propagates the first scenario/solver error any cell hits.
     pub fn run(&self) -> Result<ExperimentReport, AoiCacheError> {
         self.validate()?;
+        if self.resume {
+            return Err(AoiCacheError::BadParameter {
+                what: "resume",
+                valid: "the streamed engine (run_ensembles) with an artifact directory",
+            });
+        }
         if self.workers == Some(1) {
             // A 1-worker plan promises fully serial execution: suppress
             // the nested automatic fan-outs (per-RSU compiles/solves,
@@ -366,11 +464,50 @@ impl ExperimentPlan {
     /// [`run`](ExperimentPlan::run)`()?.ensembles` for any worker count —
     /// waves only bound memory, never change results.
     ///
+    /// With [`resume`](ExperimentPlan::resume) set, cells whose artifact
+    /// already verifies are skipped (their headline curves load from
+    /// disk); use
+    /// [`run_ensembles_resumable`](ExperimentPlan::run_ensembles_resumable)
+    /// to also learn which cells were skipped, recomputed or invalidated.
+    ///
     /// # Errors
     ///
-    /// Same conditions as [`run`](ExperimentPlan::run).
+    /// Same conditions as
+    /// [`run_ensembles_resumable`](ExperimentPlan::run_ensembles_resumable).
     pub fn run_ensembles(&self) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+        Ok(self.run_ensembles_resumable()?.0)
+    }
+
+    /// [`run_ensembles`](ExperimentPlan::run_ensembles), also returning
+    /// the [`ResumeReport`] describing what the [`resume`] flag did: which
+    /// cells were skipped (artifact existed and verified), which were
+    /// recomputed cold (no artifact), and which were invalidated (an
+    /// artifact existed but failed verification — truncated, corrupt,
+    /// foreign format or mismatched configuration — and was re-run).
+    /// Without [`resume`] every cell is recomputed and the report lists
+    /// all of them as such.
+    ///
+    /// Every invalidation re-runs the cell; a cell is **never** silently
+    /// skipped on a bad artifact. The resumed ensembles are bit-identical
+    /// to a cold run's.
+    ///
+    /// [`resume`]: ExperimentPlan::resume
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](ExperimentPlan::run), plus
+    /// [`AoiCacheError::BadParameter`] when [`resume`] is set without an
+    /// artifact directory.
+    pub fn run_ensembles_resumable(
+        &self,
+    ) -> Result<(Vec<EnsembleSummary>, ResumeReport), AoiCacheError> {
         self.validate()?;
+        if self.resume && self.artifacts.is_none() {
+            return Err(AoiCacheError::BadParameter {
+                what: "resume",
+                valid: "a plan with an artifact directory (artifact_dir)",
+            });
+        }
         if self.workers == Some(1) {
             executor::serialized(|| self.run_ensemble_waves())
         } else {
@@ -378,24 +515,148 @@ impl ExperimentPlan {
         }
     }
 
-    fn run_ensemble_waves(&self) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
+    fn run_ensemble_waves(&self) -> Result<(Vec<EnsembleSummary>, ResumeReport), AoiCacheError> {
         let mut groups = self.group_accumulators();
+        let mut resume = ResumeReport::default();
         let n_policies = self.grid.n_policies();
         let all_ids = self.cell_ids();
+        let resume_dir = self.artifacts.as_deref().filter(|_| self.resume);
         for rep in 0..self.n_replicates() {
             let wave: Vec<CellId> = all_ids
                 .iter()
                 .filter(|id| id.replicate == rep)
                 .copied()
                 .collect();
-            let outcomes = self.run_cell_batch(&wave)?;
-            for (id, outcome) in wave.iter().zip(&outcomes) {
-                groups[id.scenario * n_policies + id.policy].push_curve(outcome.headline_curve());
+            // Partition the wave: cells whose artifact verifies are
+            // *skipped* (their headline curve loads from disk), the rest
+            // run. The per-cell verifications are independent reads, so
+            // they fan out on the executor like the cells themselves; the
+            // results come back in wave order, and curves are folded into
+            // the groups in wave order either way, so the accumulation —
+            // and with it every ensemble — is bit-identical to a cold run.
+            let checks: Vec<Option<CellResume>> = match resume_dir {
+                Some(dir) => {
+                    let workers = self
+                        .workers
+                        .unwrap_or_else(|| executor::worker_count(wave.len(), true, 1));
+                    executor::parallel_map(workers, &wave, |_, id| {
+                        Some(self.check_cell_artifact(dir, *id))
+                    })
+                }
+                None => (0..wave.len()).map(|_| None).collect(),
+            };
+            let mut loaded: Vec<Option<TimeSeries>> = vec![None; wave.len()];
+            let mut to_run: Vec<CellId> = Vec::with_capacity(wave.len());
+            let mut run_slots: Vec<usize> = Vec::with_capacity(wave.len());
+            for (slot, (id, check)) in wave.iter().zip(checks).enumerate() {
+                match check {
+                    Some(CellResume::Valid(curve)) => {
+                        loaded[slot] = Some(curve);
+                        resume.skipped.push(*id);
+                    }
+                    Some(CellResume::Invalid(why)) => {
+                        to_run.push(*id);
+                        run_slots.push(slot);
+                        resume.invalidated.push((*id, why));
+                    }
+                    Some(CellResume::Missing) | None => {
+                        to_run.push(*id);
+                        run_slots.push(slot);
+                        resume.recomputed.push(*id);
+                    }
+                }
             }
-            // `outcomes` drops here: the wave's reports are gone, only the
-            // per-group slot statistics remain.
+            let outcomes = self.run_cell_batch(&to_run)?;
+            let mut computed: Vec<Option<CellOutcome>> = vec![None; wave.len()];
+            for (slot, outcome) in run_slots.into_iter().zip(outcomes) {
+                computed[slot] = Some(outcome);
+            }
+            for (slot, id) in wave.iter().enumerate() {
+                let group = &mut groups[id.scenario * n_policies + id.policy];
+                match (&loaded[slot], &computed[slot]) {
+                    (Some(curve), _) => group.push_curve(curve),
+                    (None, Some(outcome)) => group.push_curve(outcome.headline_curve()),
+                    (None, None) => unreachable!("every wave cell is loaded or computed"),
+                }
+            }
+            // The wave's outcomes drop here: only the per-group slot
+            // statistics remain.
         }
-        self.finish_groups(groups)
+        Ok((self.finish_groups(groups)?, resume))
+    }
+
+    /// The artifact channel holding a cell's headline curve (what
+    /// [`CellOutcome::headline_curve`] returns for the grid's workload).
+    fn headline_channel(&self) -> &'static str {
+        match &self.grid {
+            ExperimentGrid::Cache { .. } => "reward (cumulative)",
+            ExperimentGrid::Service { .. } => "queue",
+            ExperimentGrid::Joint { .. } => "cache reward (cumulative)",
+        }
+    }
+
+    /// The `config_hash` a fresh artifact of cell `id` would be written
+    /// under — must replicate exactly what the cell runners hash.
+    fn expected_cell_hash(&self, id: CellId) -> u64 {
+        match &self.grid {
+            ExperimentGrid::Cache { scenarios, .. } => {
+                let mut scenario = scenarios[id.scenario];
+                scenario.seed = id.seed;
+                persist::config_hash(&scenario)
+            }
+            ExperimentGrid::Service { scenarios, .. } => {
+                let mut scenario = scenarios[id.scenario].clone();
+                scenario.seed = id.seed;
+                persist::config_hash(&scenario)
+            }
+            ExperimentGrid::Joint { scenarios } => {
+                let mut scenario = scenarios[id.scenario].clone();
+                scenario.seed = id.seed;
+                persist::config_hash(&scenario)
+            }
+        }
+    }
+
+    /// Verifies one cell's on-disk artifact for resume: it must read back
+    /// completely (intact footer / compressed end marker), carry the exact
+    /// configuration hash and seed this plan would write, and hold the
+    /// headline curve. Anything less forces a recompute — a bad artifact
+    /// is never silently skipped.
+    fn check_cell_artifact(&self, dir: &Path, id: CellId) -> CellResume {
+        let path = Self::cell_artifact_path_with(dir, id, self.compression);
+        if !path.exists() {
+            return CellResume::Missing;
+        }
+        let artifact = match persist::read_artifact(&path) {
+            Ok(artifact) => artifact,
+            Err(e) => return CellResume::Invalid(e.to_string()),
+        };
+        if artifact.manifest.artifact != ArtifactKind::Trace {
+            return CellResume::Invalid("not a trace artifact".to_string());
+        }
+        if artifact.manifest.seed != Some(id.seed) {
+            return CellResume::Invalid(format!(
+                "seed mismatch (artifact {:?}, cell {})",
+                artifact.manifest.seed, id.seed
+            ));
+        }
+        let want = self.expected_cell_hash(id);
+        if artifact.manifest.config_hash != want {
+            return CellResume::Invalid(format!(
+                "config hash mismatch (artifact {:016x}, plan {want:016x}) — \
+                 the scenario changed since the artifact was written",
+                artifact.manifest.config_hash
+            ));
+        }
+        match artifact.channel(self.headline_channel()) {
+            Some(channel) if !channel.series.is_empty() => {
+                CellResume::Valid(channel.series.clone())
+            }
+            _ => CellResume::Invalid(format!(
+                "missing headline channel \"{}\"",
+                self.headline_channel()
+            )),
+        }
     }
 
     /// Runs one batch of cells (the whole grid for
@@ -440,8 +701,11 @@ impl ExperimentPlan {
                         .binary_search(&(id.scenario, id.replicate))
                         .expect("batch provides a simulation for each of its cells");
                     match artifacts {
-                        Some(dir) => sims[sim]
-                            .run_artifact(policies[id.policy], &Self::cell_artifact_path(dir, *id)),
+                        Some(dir) => sims[sim].run_artifact_with(
+                            policies[id.policy],
+                            &Self::cell_artifact_path_with(dir, *id, self.compression),
+                            self.compression,
+                        ),
                         None => sims[sim].run(policies[id.policy]),
                     }
                     .map(CellOutcome::Cache)
@@ -455,10 +719,11 @@ impl ExperimentPlan {
                 scenario.seed = id.seed;
                 let report = run_service(&scenario, policies[id.policy])?;
                 if let Some(dir) = artifacts {
-                    write_service_artifact(
+                    write_service_artifact_with(
                         &scenario,
                         &report,
-                        &Self::cell_artifact_path(dir, *id),
+                        &Self::cell_artifact_path_with(dir, *id, self.compression),
+                        self.compression,
                     )?;
                 }
                 Ok(CellOutcome::Service(report))
@@ -467,10 +732,11 @@ impl ExperimentPlan {
                 let mut scenario = scenarios[id.scenario].clone();
                 scenario.seed = id.seed;
                 match artifacts {
-                    Some(dir) => run_joint_artifact(
+                    Some(dir) => run_joint_artifact_with(
                         &scenario,
                         self.recording,
-                        &Self::cell_artifact_path(dir, *id),
+                        &Self::cell_artifact_path_with(dir, *id, self.compression),
+                        self.compression,
                     ),
                     None => run_joint_recorded(&scenario, self.recording),
                 }
@@ -546,8 +812,14 @@ impl ExperimentPlan {
             recording: self.recording,
             config_hash: persist::config_hash(&self.grid),
         };
-        let path = Self::ensemble_artifact_path(dir, ensemble.scenario, ensemble.policy);
-        let mut writer = ArtifactWriter::create(&path, &manifest).map_err(AoiCacheError::from)?;
+        let path = Self::ensemble_artifact_path_with(
+            dir,
+            ensemble.scenario,
+            ensemble.policy,
+            self.compression,
+        );
+        let mut writer = ArtifactWriter::create_with(&path, &manifest, self.compression)
+            .map_err(AoiCacheError::from)?;
         writer
             .curve(
                 &ensemble.label,
@@ -574,6 +846,21 @@ pub fn write_service_artifact(
     report: &ServiceRunReport,
     path: &Path,
 ) -> Result<(), AoiCacheError> {
+    write_service_artifact_with(scenario, report, path, Compression::None)
+}
+
+/// [`write_service_artifact`] under an explicit artifact encoding (see
+/// [`simkit::persist::compress`]).
+///
+/// # Errors
+///
+/// Same conditions as [`write_service_artifact`].
+pub fn write_service_artifact_with(
+    scenario: &ServiceScenario,
+    report: &ServiceRunReport,
+    path: &Path,
+    compression: Compression,
+) -> Result<(), AoiCacheError> {
     let manifest = Manifest {
         artifact: ArtifactKind::Trace,
         scenario: "service".to_string(),
@@ -582,10 +869,75 @@ pub fn write_service_artifact(
         recording: RecordingMode::Full,
         config_hash: persist::config_hash(scenario),
     };
-    let mut writer = ArtifactWriter::create(path, &manifest).map_err(AoiCacheError::from)?;
+    let mut writer =
+        ArtifactWriter::create_with(path, &manifest, compression).map_err(AoiCacheError::from)?;
     writer.series(&report.queue).map_err(AoiCacheError::from)?;
     writer.series(&report.cost).map_err(AoiCacheError::from)?;
     writer.finish().map_err(AoiCacheError::from)
+}
+
+/// What the resume check decided about one cell's on-disk artifact.
+enum CellResume {
+    /// No artifact at the cell's path: compute it cold.
+    Missing,
+    /// The artifact verified; its headline curve, re-read bit-identically.
+    Valid(TimeSeries),
+    /// An artifact exists but failed verification (the reason is the
+    /// human-readable `why`): recompute and rewrite it.
+    Invalid(String),
+}
+
+/// What a resumed run did with each cell (see
+/// [`ExperimentPlan::run_ensembles_resumable`]): skipped cells reused
+/// their verified artifacts; recomputed cells had none; invalidated cells
+/// had an artifact that failed verification and were re-run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResumeReport {
+    /// Cells whose artifact existed and verified — not re-run.
+    pub skipped: Vec<CellId>,
+    /// Cells with no artifact — run cold.
+    pub recomputed: Vec<CellId>,
+    /// Cells whose artifact failed verification (with the reason) — re-run
+    /// and rewritten, never silently skipped.
+    pub invalidated: Vec<(CellId, String)>,
+}
+
+impl ResumeReport {
+    /// Total cells the report accounts for.
+    pub fn n_cells(&self) -> usize {
+        self.skipped.len() + self.recomputed.len() + self.invalidated.len()
+    }
+
+    /// `true` when every cell was re-run (nothing reusable was found).
+    pub fn is_cold(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// `true` when every cell was skipped (a fully warm re-run).
+    pub fn is_warm(&self) -> bool {
+        self.recomputed.is_empty() && self.invalidated.is_empty()
+    }
+}
+
+impl fmt::Display for ResumeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells: {} skipped (verified artifacts), {} recomputed, {} invalidated",
+            self.n_cells(),
+            self.skipped.len(),
+            self.recomputed.len(),
+            self.invalidated.len()
+        )?;
+        for (id, why) in &self.invalidated {
+            write!(
+                f,
+                "\n  s{}-r{}-p{}: {why}",
+                id.scenario, id.replicate, id.policy
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Identity of one grid cell.

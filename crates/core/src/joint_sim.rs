@@ -23,7 +23,9 @@ use lyapunov::Queue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simkit::persist::{self, ArtifactKind, ArtifactWriter, Manifest, SharedArtifactWriter};
+use simkit::persist::{
+    self, ArtifactKind, ArtifactWriter, Compression, Manifest, SharedArtifactWriter,
+};
 use simkit::{
     executor, RecordingMode, SeedSequence, SlotClock, Summary, TimeSeries, TraceRecorder,
 };
@@ -218,6 +220,22 @@ pub fn run_joint_artifact(
     recording: RecordingMode,
     path: &Path,
 ) -> Result<JointReport, AoiCacheError> {
+    run_joint_artifact_with(scenario, recording, path, Compression::None)
+}
+
+/// [`run_joint_artifact`] under an explicit artifact encoding (see
+/// [`simkit::persist::compress`]); both encodings re-read transparently
+/// and bit-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`run_joint_artifact`].
+pub fn run_joint_artifact_with(
+    scenario: &JointScenario,
+    recording: RecordingMode,
+    path: &Path,
+    compression: Compression,
+) -> Result<JointReport, AoiCacheError> {
     scenario.validate()?;
     let manifest = Manifest {
         artifact: ArtifactKind::Trace,
@@ -231,7 +249,7 @@ pub fn run_joint_artifact(
         recording,
         config_hash: persist::config_hash(scenario),
     };
-    let writer = ArtifactWriter::create(path, &manifest)
+    let writer = ArtifactWriter::create_with(path, &manifest, compression)
         .map_err(AoiCacheError::from)?
         .shared();
     let report = run_joint_sunk(scenario, recording, Some(&writer))?;

@@ -78,14 +78,15 @@ pub use cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
 pub use catalog::{Catalog, ContentSpec};
 pub use error::AoiCacheError;
 pub use experiment::{
-    write_service_artifact, CellId, CellOutcome, CellReport, EnsembleSummary, ExperimentGrid,
-    ExperimentPlan, ExperimentReport,
+    write_service_artifact, write_service_artifact_with, CellId, CellOutcome, CellReport,
+    EnsembleSummary, ExperimentGrid, ExperimentPlan, ExperimentReport, ResumeReport,
 };
 pub use freshness_service::{
     run_freshness_service, FreshnessReport, FreshnessScenario, ServingSource, SourcingMode,
 };
 pub use joint_sim::{
-    run_joint, run_joint_artifact, run_joint_recorded, JointReport, JointScenario,
+    run_joint, run_joint_artifact, run_joint_artifact_with, run_joint_recorded, JointReport,
+    JointScenario,
 };
 pub use mdp_model::{PopularityModel, RsuCacheMdp};
 pub use policy::{
@@ -103,4 +104,5 @@ pub use service_sim::{
 // Trace-retention and artifact vocabulary, re-exported so simulator
 // callers need not depend on simkit directly.
 pub use simkit::persist;
+pub use simkit::persist::Compression;
 pub use simkit::{RecordingMode, Summary, TraceRecorder, TraceSink};

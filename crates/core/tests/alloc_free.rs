@@ -11,6 +11,7 @@
 //! deterministic on any host (no pool threads), which also covers the
 //! `--no-default-features` build where that is the only path.
 
+use aoi_cache::persist::Compression;
 use aoi_cache::{CachePolicyKind, CacheScenario, CacheSimulation, RecordingMode};
 use simkit::executor;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -95,27 +96,31 @@ fn assert_horizon_free(kind: CachePolicyKind, recording: RecordingMode) {
 /// slots as at 512 (all setup: recorders, channel records, the writer's
 /// buffer), which is precisely the "no full traces resident" guarantee of
 /// `ExperimentPlan::artifact_dir` at the single-run level.
-fn assert_horizon_free_spilled(kind: CachePolicyKind, recording: RecordingMode) {
+fn assert_horizon_free_spilled(
+    kind: CachePolicyKind,
+    recording: RecordingMode,
+    compression: Compression,
+) {
     let dir = std::env::temp_dir().join(format!("aoi-alloc-free-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let short = sim(64, recording);
     let long = sim(512, recording);
-    let path_a = dir.join("short.trace.jsonl");
-    let path_b = dir.join("long.trace.jsonl");
+    let path_a = compression.apply_to(&dir.join("short.trace.jsonl"));
+    let path_b = compression.apply_to(&dir.join("long.trace.jsonl"));
     executor::serialized(|| {
-        let _ = short.run_artifact(kind, &path_a).unwrap();
-        let _ = long.run_artifact(kind, &path_b).unwrap();
+        let _ = short.run_artifact_with(kind, &path_a, compression).unwrap();
+        let _ = long.run_artifact_with(kind, &path_b, compression).unwrap();
         let a = allocations_during(|| {
-            let _ = short.run_artifact(kind, &path_a).unwrap();
+            let _ = short.run_artifact_with(kind, &path_a, compression).unwrap();
         });
         let b = allocations_during(|| {
-            let _ = long.run_artifact(kind, &path_b).unwrap();
+            let _ = long.run_artifact_with(kind, &path_b, compression).unwrap();
         });
         assert_eq!(
             a,
             b,
-            "{} ({recording:?}, spilled): allocation count must not scale \
-             with the horizon (64 slots: {a}, 512 slots: {b})",
+            "{} ({recording:?}, spilled, {compression:?}): allocation count \
+             must not scale with the horizon (64 slots: {a}, 512 slots: {b})",
             kind.label()
         );
     });
@@ -149,9 +154,21 @@ fn simulation_hot_loop_is_allocation_free() {
     }
     // Spilling to a disk artifact keeps the loop heap-free as well — the
     // retained `Full` trace goes to the file, not to resident memory.
-    assert_horizon_free_spilled(CachePolicyKind::Myopic, RecordingMode::Full);
+    assert_horizon_free_spilled(
+        CachePolicyKind::Myopic,
+        RecordingMode::Full,
+        Compression::None,
+    );
     assert_horizon_free_spilled(
         CachePolicyKind::ValueIteration { gamma: 0.9 },
         RecordingMode::Full,
+        Compression::None,
+    );
+    // ...and the streaming compressor's buffers are all sized at creation,
+    // so the compressed spilling path is per-sample allocation-free too.
+    assert_horizon_free_spilled(
+        CachePolicyKind::Myopic,
+        RecordingMode::Full,
+        Compression::Deflate,
     );
 }

@@ -13,7 +13,7 @@
 //! ## Compile-then-solve
 //!
 //! Every sweep-based solver runs its fixed-point iteration on a
-//! [`CompiledMdp`](crate::CompiledMdp) CSR kernel: the generic
+//! [`crate::CompiledMdp`] CSR kernel: the generic
 //! `solve(&impl FiniteMdp)` entry points compile the model once and forward
 //! to the corresponding `solve_compiled(&CompiledMdp)` method, which
 //! performs zero heap allocation per sweep and (with the `parallel`

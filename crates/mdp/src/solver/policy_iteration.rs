@@ -89,7 +89,7 @@ impl PolicyIteration {
     /// Runs policy iteration on a pre-compiled kernel.
     ///
     /// The whole solve — every evaluation sweep of every improvement round
-    /// — runs inside **one** [`run_sweeps`] loop (one persistent worker
+    /// — runs inside **one** `run_sweeps` loop (one persistent worker
     /// pool per solve, like value iteration and backward induction): the
     /// sweep backup evaluates the current policy's actions, and the
     /// coordinator epilogue detects evaluation convergence, improves the

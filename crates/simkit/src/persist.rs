@@ -4,7 +4,8 @@
 //! A run that keeps its [`RecordingMode::Full`] traces in memory costs
 //! `O(horizon × channels)` per cell; this module moves that bulk to disk
 //! **slot by slot** — an [`ArtifactWriter`] accepts samples as the
-//! simulation records them (see [`TraceRecorder::to_artifact`]), so a
+//! simulation records them (see
+//! [`TraceRecorder::to_artifact`](crate::TraceRecorder::to_artifact)), so a
 //! spilling run's resident trace memory is O(1) per channel in every
 //! recording mode while the on-disk artifact still holds the complete
 //! retained trace.
@@ -28,6 +29,18 @@
 //! kinds or new fields — readers ignore both, so older readers keep
 //! working. Any change that alters the meaning of an existing field bumps
 //! `format`, and readers reject versions they do not know.
+//!
+//! ## Compression
+//!
+//! The JSONL text is highly repetitive (~1 MB per `Full`-mode figure
+//! cell), so artifacts can be written through the streaming codec of
+//! [`compress`]: [`ArtifactWriter::create_with`] takes a
+//! [`Compression`] knob, compressed files conventionally carry a `.z`
+//! suffix (`run.trace.jsonl.z`), and [`read_artifact`] detects the
+//! encoding from the file's first bytes — both encodings re-read
+//! bit-identically through the same API. The per-sample write path stays
+//! allocation-free with compression enabled (the codec's buffers are
+//! sized at creation).
 //!
 //! Floats are written with Rust's shortest-round-trip `Display`, so a
 //! re-read [`TimeSeries`]/[`CurveSummary`] is **bit-identical** to the
@@ -59,10 +72,14 @@
 //! # Ok::<(), simkit::persist::PersistError>(())
 //! ```
 
+pub mod compress;
+
 use crate::recorder::RecordingMode;
 use crate::series::TimeSeries;
 use crate::stats::{CurveSummary, Summary};
 use crate::time::TimeSlot;
+pub use compress::Compression;
+use compress::{CompressWriter, DecompressReader};
 use std::cell::RefCell;
 use std::fmt;
 use std::fs;
@@ -222,7 +239,7 @@ pub type SharedArtifactWriter = Rc<RefCell<ArtifactWriter>>;
 /// once at the end.
 #[derive(Debug)]
 pub struct ArtifactWriter {
-    out: io::BufWriter<fs::File>,
+    out: ArtifactSink,
     path: String,
     channels: usize,
     curves: usize,
@@ -230,22 +247,86 @@ pub struct ArtifactWriter {
     error: Option<PersistError>,
 }
 
+/// Where an [`ArtifactWriter`]'s bytes go: straight to the buffered file,
+/// or through the streaming compressor first.
+#[derive(Debug)]
+enum ArtifactSink {
+    Plain(io::BufWriter<fs::File>),
+    Deflate(CompressWriter<io::BufWriter<fs::File>>),
+    /// Placeholder left behind by [`ArtifactSink::finish`]; never written.
+    Finished,
+}
+
+impl Write for ArtifactSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ArtifactSink::Plain(w) => w.write(buf),
+            ArtifactSink::Deflate(w) => w.write(buf),
+            ArtifactSink::Finished => unreachable!("write after finish"),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ArtifactSink::Plain(w) => w.flush(),
+            ArtifactSink::Deflate(w) => w.flush(),
+            ArtifactSink::Finished => unreachable!("flush after finish"),
+        }
+    }
+}
+
+impl ArtifactSink {
+    /// Completes the stream (end marker + checksum for the compressed
+    /// encoding) and flushes everything to the file.
+    fn finish(&mut self) -> io::Result<()> {
+        match std::mem::replace(self, ArtifactSink::Finished) {
+            ArtifactSink::Plain(mut w) => w.flush(),
+            // CompressWriter::finish flushes the inner writer itself.
+            ArtifactSink::Deflate(w) => w.finish().map(|_| ()),
+            ArtifactSink::Finished => Ok(()),
+        }
+    }
+}
+
 impl ArtifactWriter {
-    /// Creates the artifact file and writes its manifest record.
+    /// Creates the artifact file (plain JSONL) and writes its manifest
+    /// record. Equivalent to [`create_with`](ArtifactWriter::create_with)
+    /// under [`Compression::None`].
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] when the file cannot be created or
     /// written.
     pub fn create(path: &Path, manifest: &Manifest) -> Result<Self, PersistError> {
+        Self::create_with(path, manifest, Compression::None)
+    }
+
+    /// Creates the artifact file under the chosen encoding and writes its
+    /// manifest record. The caller picks the path — compressed artifacts
+    /// conventionally append [`compress::SUFFIX`] (see
+    /// [`Compression::apply_to`]) but readers go by content, not name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the file cannot be created or
+    /// written.
+    pub fn create_with(
+        path: &Path,
+        manifest: &Manifest,
+        compression: Compression,
+    ) -> Result<Self, PersistError> {
         let display = path.display().to_string();
         let file = fs::File::create(path).map_err(|e| PersistError::Io {
             op: "create",
             path: display.clone(),
             message: e.to_string(),
         })?;
+        let buffered = io::BufWriter::new(file);
         let mut writer = ArtifactWriter {
-            out: io::BufWriter::new(file),
+            out: match compression {
+                Compression::None => ArtifactSink::Plain(buffered),
+                Compression::Deflate => ArtifactSink::Deflate(CompressWriter::new(buffered)),
+            },
             path: display,
             channels: 0,
             curves: 0,
@@ -307,7 +388,7 @@ impl ArtifactWriter {
     }
 
     fn write_manifest(&mut self, manifest: &Manifest) -> Result<(), PersistError> {
-        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+        let result = (|out: &mut ArtifactSink| -> io::Result<()> {
             write!(
                 out,
                 "{{\"kind\":\"manifest\",\"format\":{FORMAT_VERSION},\"artifact\":\"{}\",\"scenario\":",
@@ -335,7 +416,7 @@ impl ArtifactWriter {
     pub fn channel(&mut self, name: &str, mode: RecordingMode) -> Result<ChannelId, PersistError> {
         self.guard()?;
         let id = self.channels;
-        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+        let result = (|out: &mut ArtifactSink| -> io::Result<()> {
             write!(out, "{{\"kind\":\"channel\",\"id\":{id},\"name\":")?;
             write_json_str(out, name)?;
             write!(out, ",\"mode\":")?;
@@ -409,7 +490,7 @@ impl ArtifactWriter {
                 return Err(self.fail(error));
             }
         }
-        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+        let result = (|out: &mut ArtifactSink| -> io::Result<()> {
             write!(
                 out,
                 "{{\"kind\":\"summary\",\"ch\":{},\"count\":{},\"mean\":{},\"std_dev\":{}",
@@ -460,14 +541,43 @@ impl ArtifactWriter {
         let mean = self.series(&curve.mean)?;
         let lo = self.series(&curve.lo)?;
         let hi = self.series(&curve.hi)?;
-        let result = (|out: &mut io::BufWriter<fs::File>| -> io::Result<()> {
+        self.curve_ref(label, scenario, policy, curve.replicates, [mean, lo, hi])
+    }
+
+    /// Writes the curve record alone, tying together three **already
+    /// written** band channels (mean, CI lo, CI hi) — what
+    /// [`curve`](ArtifactWriter::curve) emits after writing the bands
+    /// itself. Lets a reader-side tool re-serialize an [`Artifact`] with
+    /// its original channel layout (see [`ArtifactCurve::bands`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any band channel was not returned by this writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched error or an I/O failure.
+    pub fn curve_ref(
+        &mut self,
+        label: &str,
+        scenario: usize,
+        policy: usize,
+        replicates: usize,
+        bands: [ChannelId; 3],
+    ) -> Result<(), PersistError> {
+        self.guard()?;
+        let [mean, lo, hi] = bands;
+        for band in bands {
+            assert!(band.0 < self.channels, "unknown artifact channel");
+        }
+        let result = (|out: &mut ArtifactSink| -> io::Result<()> {
             write!(out, "{{\"kind\":\"curve\",\"label\":")?;
             write_json_str(out, label)?;
             writeln!(
                 out,
-                ",\"scenario\":{scenario},\"policy\":{policy},\"replicates\":{},\
+                ",\"scenario\":{scenario},\"policy\":{policy},\"replicates\":{replicates},\
                  \"mean\":{},\"lo\":{},\"hi\":{}}}",
-                curve.replicates, mean.0, lo.0, hi.0
+                mean.0, lo.0, hi.0
             )
         })(&mut self.out);
         self.io("write curve", result)?;
@@ -490,8 +600,8 @@ impl ArtifactWriter {
             self.channels, self.curves, self.samples
         );
         self.io("write footer", result)?;
-        let flush = self.out.flush();
-        self.io("flush", flush)
+        let finish = self.out.finish();
+        self.io("finish", finish)
     }
 }
 
@@ -517,6 +627,10 @@ pub struct ArtifactCurve {
     pub scenario: usize,
     /// Policy index within the producing experiment grid.
     pub policy: usize,
+    /// Channel indices of the mean / CI-lo / CI-hi band series within
+    /// [`Artifact::channels`] — lets a tool re-serialize the artifact with
+    /// its original layout ([`ArtifactWriter::curve_ref`]).
+    pub bands: [usize; 3],
     /// The mean/CI band curves, bit-identical to what was written.
     pub curve: CurveSummary,
 }
@@ -542,6 +656,10 @@ impl Artifact {
 /// Reads an artifact back, reconstructing every series and curve
 /// bit-identically.
 ///
+/// Works transparently on both encodings: a file that starts with the
+/// magic bytes of [`compress`] is streamed through the decompressor, any
+/// other file is read as plain JSONL — the file name plays no part.
+///
 /// Unknown record kinds and unknown fields are ignored (see the module
 /// docs' versioning rule); unknown *format versions* are rejected.
 ///
@@ -549,16 +667,27 @@ impl Artifact {
 ///
 /// Returns [`PersistError::Io`] for filesystem failures,
 /// [`PersistError::Version`] for unknown formats,
-/// [`PersistError::Truncated`] when the footer is missing, and
-/// [`PersistError::Corrupt`] for unparseable or inconsistent records.
+/// [`PersistError::Truncated`] when the footer is missing or a compressed
+/// stream was cut short, and [`PersistError::Corrupt`] for unparseable or
+/// inconsistent records (a failed checksum included).
 pub fn read_artifact(path: &Path) -> Result<Artifact, PersistError> {
     let display = path.display().to_string();
-    let file = fs::File::open(path).map_err(|e| PersistError::Io {
-        op: "open",
-        path: display.clone(),
+    let io_error = |op: &'static str, path: &str, e: &io::Error| PersistError::Io {
+        op,
+        path: path.to_string(),
         message: e.to_string(),
-    })?;
-    let reader = io::BufReader::new(file);
+    };
+    let file = fs::File::open(path).map_err(|e| io_error("open", &display, &e))?;
+    let mut plain = io::BufReader::new(file);
+    let head = plain
+        .fill_buf()
+        .map_err(|e| io_error("read", &display, &e))?;
+    let reader: Box<dyn BufRead> = if compress::is_compressed(head) {
+        let decoder = DecompressReader::new(plain).map_err(|e| io_error("read", &display, &e))?;
+        Box::new(io::BufReader::new(decoder))
+    } else {
+        Box::new(plain)
+    };
 
     struct PendingCurve {
         label: String,
@@ -579,10 +708,17 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, PersistError> {
 
     for (index, line) in reader.lines().enumerate() {
         let number = index + 1;
-        let line = line.map_err(|e| PersistError::Io {
-            op: "read",
-            path: display.clone(),
-            message: e.to_string(),
+        let line = line.map_err(|e| match e.kind() {
+            // The compressed stream ended before its end marker — the
+            // writer died mid-file, the same condition a missing footer
+            // signals for plain artifacts.
+            io::ErrorKind::UnexpectedEof => PersistError::Truncated,
+            // Corrupt tokens / checksum mismatch inside the codec.
+            io::ErrorKind::InvalidData => PersistError::Corrupt {
+                line: number,
+                why: e.to_string(),
+            },
+            _ => io_error("read", &display, &e),
         })?;
         if line.trim().is_empty() {
             continue;
@@ -750,6 +886,7 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, PersistError> {
             label: pending.label,
             scenario: pending.scenario,
             policy: pending.policy,
+            bands: [pending.mean, pending.lo, pending.hi],
             curve: CurveSummary {
                 replicates: pending.replicates,
                 mean: channels[pending.mean].series.clone(),

@@ -1,0 +1,189 @@
+//! Round-trip suite for the compressed artifact encoding: everything the
+//! plain JSONL format guarantees must hold through the codec — artifacts
+//! re-read bit-identically, damaged/truncated compressed files fail
+//! loudly, the encoding is detected from content rather than file names —
+//! plus property tests of the codec itself on arbitrary byte strings.
+
+use proptest::prelude::*;
+use simkit::persist::compress::{compress, decompress, Compression};
+use simkit::persist::{
+    config_hash, read_artifact, ArtifactKind, ArtifactWriter, Manifest, PersistError,
+};
+use simkit::{RecordingMode, TimeSlot, TraceRecorder};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per call (no tempfile crate in the offline
+/// workspace); removed by each test on success.
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "simkit-compress-{}-{tag}-{n}.jsonl.z",
+        std::process::id()
+    ))
+}
+
+fn manifest(recording: RecordingMode) -> Manifest {
+    Manifest {
+        artifact: ArtifactKind::Trace,
+        scenario: "compressed".to_string(),
+        policy: "test".to_string(),
+        seed: Some(3),
+        recording,
+        config_hash: config_hash(&("compressed", 7u32)),
+    }
+}
+
+/// Writes the same channels through a plain and a compressed writer and
+/// returns both paths.
+fn write_both(tag: &str, n: u64) -> (PathBuf, PathBuf) {
+    let plain = scratch(&format!("{tag}-plain"));
+    let packed = scratch(&format!("{tag}-packed"));
+    for (path, compression) in [(&plain, Compression::None), (&packed, Compression::Deflate)] {
+        let writer = ArtifactWriter::create_with(path, &manifest(RecordingMode::Full), compression)
+            .unwrap()
+            .shared();
+        let mut recorders: Vec<TraceRecorder> = (0..3)
+            .map(|k| {
+                TraceRecorder::to_artifact(format!("ch{k}"), RecordingMode::Full, &writer).unwrap()
+            })
+            .collect();
+        for i in 0..n {
+            for (k, rec) in recorders.iter_mut().enumerate() {
+                rec.record(TimeSlot::new(i), ((i * i) as f64).sin() * (k + 1) as f64);
+            }
+        }
+        for rec in recorders.drain(..) {
+            let (_, _summary) = rec.into_parts();
+        }
+        ArtifactWriter::finish_shared(writer).unwrap();
+    }
+    (plain, packed)
+}
+
+#[test]
+fn compressed_artifacts_reread_identically_to_plain() {
+    let (plain, packed) = write_both("parity", 500);
+    let a = read_artifact(&plain).unwrap();
+    let b = read_artifact(&packed).unwrap();
+    assert_eq!(a, b, "encodings must reconstruct the same artifact");
+    assert_eq!(b.channels.len(), 3);
+    assert_eq!(b.channels[0].series.len(), 500);
+    std::fs::remove_file(&plain).unwrap();
+    std::fs::remove_file(&packed).unwrap();
+}
+
+#[test]
+fn compression_shrinks_trace_artifacts_at_least_3x() {
+    let (plain, packed) = write_both("ratio", 2000);
+    let plain_len = std::fs::metadata(&plain).unwrap().len();
+    let packed_len = std::fs::metadata(&packed).unwrap().len();
+    assert!(
+        packed_len * 3 <= plain_len,
+        "expected >= 3x shrink, got {plain_len} -> {packed_len}"
+    );
+    std::fs::remove_file(&plain).unwrap();
+    std::fs::remove_file(&packed).unwrap();
+}
+
+#[test]
+fn encoding_is_detected_by_content_not_name() {
+    // A compressed stream with a name that claims plain JSONL (and vice
+    // versa) must still read correctly: the magic bytes decide.
+    let (plain, packed) = write_both("names", 50);
+    let misnamed_packed = plain.with_extension("misnamed.jsonl");
+    let misnamed_plain = packed.with_extension("misnamed.jsonl.z");
+    std::fs::rename(&packed, &misnamed_packed).unwrap();
+    std::fs::rename(&plain, &misnamed_plain).unwrap();
+    let a = read_artifact(&misnamed_plain).unwrap();
+    let b = read_artifact(&misnamed_packed).unwrap();
+    assert_eq!(a, b);
+    std::fs::remove_file(&misnamed_packed).unwrap();
+    std::fs::remove_file(&misnamed_plain).unwrap();
+}
+
+#[test]
+fn partially_written_compressed_artifact_is_truncated() {
+    let (plain, packed) = write_both("truncated", 300);
+    let bytes = std::fs::read(&packed).unwrap();
+    // Cut at several depths: inside the trailer, inside a block, inside
+    // the header. All must read as Truncated — never as silently shorter
+    // data.
+    for cut in [bytes.len() - 4, bytes.len() / 2, 6] {
+        std::fs::write(&packed, &bytes[..cut]).unwrap();
+        assert_eq!(
+            read_artifact(&packed),
+            Err(PersistError::Truncated),
+            "cut at {cut}"
+        );
+    }
+    std::fs::remove_file(&plain).unwrap();
+    std::fs::remove_file(&packed).unwrap();
+}
+
+#[test]
+fn corrupted_compressed_artifact_is_corrupt_not_wrong() {
+    let (plain, packed) = write_both("corrupt", 300);
+    let bytes = std::fs::read(&packed).unwrap();
+    // Flip a byte in the middle of the stream: either the block decodes
+    // to different bytes (checksum catches it at the end marker) or the
+    // token stream itself turns invalid. Both must surface as errors.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&packed, &flipped).unwrap();
+    assert!(
+        read_artifact(&packed).is_err(),
+        "corruption must never read back as data"
+    );
+    std::fs::remove_file(&plain).unwrap();
+    std::fs::remove_file(&packed).unwrap();
+}
+
+#[test]
+fn empty_compressed_artifact_roundtrips() {
+    // Manifest + footer only: the smallest valid compressed artifact.
+    let path = scratch("empty");
+    let writer =
+        ArtifactWriter::create_with(&path, &manifest(RecordingMode::Full), Compression::Deflate)
+            .unwrap();
+    writer.finish().unwrap();
+    let artifact = read_artifact(&path).unwrap();
+    assert!(artifact.channels.is_empty());
+    assert!(artifact.curves.is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The codec inverts on arbitrary byte strings.
+    #[test]
+    fn codec_roundtrips_arbitrary_bytes(data in proptest::collection::vec(0u8..=255, 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    /// ...including highly repetitive strings much larger than a token's
+    /// maximum match length (and, at the top end, larger than one block).
+    #[test]
+    fn codec_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(0u8..=255, 1..24),
+        repeats in 1usize..6000,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * repeats).collect();
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    /// Decoding never panics on arbitrary garbage — it errors or, for the
+    /// rare byte string that happens to parse, yields some bytes.
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(0u8..=255, 0..512)) {
+        let _ = decompress(&data);
+        let mut prefixed = b"AOZ1".to_vec();
+        prefixed.extend_from_slice(&data);
+        let _ = decompress(&prefixed);
+    }
+}
