@@ -15,16 +15,25 @@
 //!   (this exercises the shortest-round-trip float encoding end to end);
 //! * `diff DIR_A DIR_B` — compare two artifact directories record by
 //!   record (pairing `x.jsonl` with `x.jsonl.z`, so a compressed and a
-//!   plain run of the same grid diff as equal).
+//!   plain run of the same grid diff as equal);
+//! * `merge OUT_DIR SRC_DIR...` — fuse the partial artifact directories of
+//!   a distributed campaign into one: every **verified** cell artifact is
+//!   copied into `OUT_DIR` (conflicts between sources are resolved by the
+//!   rule *verified wins*; two verified copies must be identical, and a
+//!   config-hash or seed mismatch is an error), then every `(scenario,
+//!   policy)` ensemble artifact is **recomputed from the merged cells** —
+//!   byte-identical to what the experiment engine itself would write.
 //!
-//! `verify` and `diff` exit non-zero on any failure/difference, so CI can
-//! assert round trips and resume bit-identity end to end.
+//! `verify`, `diff` and `merge` exit non-zero on any
+//! failure/difference/conflict, so CI can assert round trips, resume
+//! bit-identity and campaign merges end to end.
 //!
 //! ```sh
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- inspect out/fig1a
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- render out
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- verify out --config-hash 1a2b…
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- diff out-cold out-resumed
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- merge out out-worker1 out-worker2
 //! ```
 
 use aoi_cache::persist::{read_artifact, Artifact, ArtifactKind, ArtifactWriter, PersistError};
@@ -43,9 +52,13 @@ Usage:
   aoi-artifacts verify PATH... [--config-hash HEX]
                                                 footer + hash + re-read bit-identity
   aoi-artifacts diff DIR_A DIR_B                compare two artifact directories
+  aoi-artifacts merge OUT_DIR SRC_DIR...        fuse partial campaign directories
+                                                (verified cells win; ensembles
+                                                recomputed from the merged cells)
 
 PATH may be an artifact file or a directory (searched recursively for
-*.jsonl / *.jsonl.z). verify and diff exit 1 on failure/difference.";
+*.jsonl / *.jsonl.z). verify, diff and merge exit 1 on
+failure/difference/conflict.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +67,7 @@ fn main() -> ExitCode {
         Some("render") => cmd_render(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -598,4 +612,229 @@ fn describe_difference(a: &Artifact, b: &Artifact) -> Option<String> {
         }
     }
     Some("artifacts differ".to_string())
+}
+
+// --- merge -----------------------------------------------------------------
+
+/// One merged cell artifact, retained for the ensemble recompute.
+struct MergedCell {
+    /// Directory the cell lives in, relative to its source root (and thus
+    /// to `OUT_DIR`).
+    rel_dir: PathBuf,
+    scenario: usize,
+    replicate: usize,
+    policy: usize,
+    artifact: Artifact,
+    /// Whether the winning file was compressed (`.z`); the recomputed
+    /// ensemble follows the cells' encoding.
+    compressed: bool,
+}
+
+/// Parses a cell artifact's logical file name
+/// (`cell-s<S>-r<R>-p<P>.trace.jsonl`) into its grid coordinates.
+fn parse_cell_name(name: &str) -> Option<(usize, usize, usize)> {
+    let rest = name.strip_prefix("cell-s")?.strip_suffix(".trace.jsonl")?;
+    let (s, rest) = rest.split_once("-r")?;
+    let (r, p) = rest.split_once("-p")?;
+    Some((s.parse().ok()?, r.parse().ok()?, p.parse().ok()?))
+}
+
+fn cmd_merge(args: &[String]) -> Result<bool, String> {
+    let [out_root, srcs @ ..] = args else {
+        return Err("merge: needs OUT_DIR SRC_DIR...".to_string());
+    };
+    if srcs.is_empty() {
+        return Err("merge: needs at least one SRC_DIR".to_string());
+    }
+    let out_path = Path::new(out_root);
+    for src in srcs {
+        if Path::new(src) == out_path {
+            return Err(format!("merge: OUT_DIR {src} is also a source"));
+        }
+    }
+
+    // Index every artifact of every source by its encoding-independent
+    // path relative to its source root, so the same cell from different
+    // workers' directories lands on one key.
+    let mut by_name: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+    for src in srcs {
+        for path in discover(std::slice::from_ref(src))? {
+            let rel = path
+                .strip_prefix(src)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .to_string();
+            by_name
+                .entry(logical_name(Path::new(&rel)))
+                .or_default()
+                .push(path);
+        }
+    }
+
+    let mut cells: Vec<MergedCell> = Vec::new();
+    let mut copied = 0usize;
+    let mut unmerged = 0usize;
+    for (name, candidates) in &by_name {
+        // A full read is the verification: structure, footer counts and
+        // (for compressed files) end marker + checksum.
+        let mut verified: Vec<(&PathBuf, Artifact)> = Vec::new();
+        let mut broken: Vec<String> = Vec::new();
+        for path in candidates {
+            match read_artifact(path) {
+                Ok(a) => verified.push((path, a)),
+                Err(e) => broken.push(format!("{}: {e}", path.display())),
+            }
+        }
+        let file_name = Path::new(name)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let Some((winner_path, winner)) = verified.first() else {
+            if file_name.starts_with("ensemble-") {
+                // Ensembles are recomputed from the merged cells below, so
+                // a torn per-worker ensemble copy costs nothing.
+                println!(
+                    "note {name}: dropped unreadable ensemble copies: {}",
+                    broken.join("; ")
+                );
+            } else {
+                println!("FAIL {name}: no verified candidate ({})", broken.join("; "));
+                unmerged += 1;
+            }
+            continue;
+        };
+        if winner.manifest.artifact == ArtifactKind::Ensemble {
+            // Ensemble artifacts are recomputed from the merged cells, so
+            // stale per-worker copies never leak into the merged view.
+            continue;
+        }
+        // Conflict rules: every verified copy of a cell must describe the
+        // same configuration and carry identical content — the cells are
+        // deterministic, so anything else means the sources belong to
+        // different campaigns.
+        for (path, other) in &verified[1..] {
+            if other.manifest.config_hash != winner.manifest.config_hash
+                || other.manifest.seed != winner.manifest.seed
+            {
+                return Err(format!(
+                    "merge: {name}: config mismatch between {} (config {:016x}, seed {:?}) \
+                     and {} (config {:016x}, seed {:?})",
+                    winner_path.display(),
+                    winner.manifest.config_hash,
+                    winner.manifest.seed,
+                    path.display(),
+                    other.manifest.config_hash,
+                    other.manifest.seed
+                ));
+            }
+            if other != winner {
+                return Err(format!(
+                    "merge: {name}: verified copies {} and {} are not identical",
+                    winner_path.display(),
+                    path.display()
+                ));
+            }
+        }
+        if !broken.is_empty() {
+            println!(
+                "note {name}: dropped unreadable copies: {}",
+                broken.join("; ")
+            );
+        }
+        // Copy the winner's raw bytes (bit-identity by construction).
+        let rel: PathBuf = winner_path
+            .strip_prefix(srcs.iter().find(|s| winner_path.starts_with(s)).unwrap())
+            .map(Path::to_path_buf)
+            .map_err(|e| e.to_string())?;
+        let dest = out_path.join(&rel);
+        if let Some(parent) = dest.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("merge: cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::copy(winner_path, &dest)
+            .map_err(|e| format!("merge: cannot copy {}: {e}", winner_path.display()))?;
+        copied += 1;
+        if let Some((scenario, replicate, policy)) = parse_cell_name(&file_name) {
+            cells.push(MergedCell {
+                rel_dir: rel.parent().unwrap_or(Path::new("")).to_path_buf(),
+                scenario,
+                replicate,
+                policy,
+                artifact: verified.swap_remove(0).1,
+                compressed: rel.to_string_lossy().ends_with(".z"),
+            });
+        }
+    }
+
+    // Recompute one ensemble artifact per (directory, scenario, policy)
+    // group, folding the cells' headline curves in replicate order — the
+    // exact sequence (and accumulator naming, and manifest hash rule) the
+    // experiment engine uses, so the result is byte-identical to an
+    // engine-written ensemble.
+    let mut groups: BTreeMap<(PathBuf, usize, usize), Vec<&MergedCell>> = BTreeMap::new();
+    for cell in &cells {
+        groups
+            .entry((cell.rel_dir.clone(), cell.scenario, cell.policy))
+            .or_default()
+            .push(cell);
+    }
+    let mut ensembles = 0usize;
+    for ((rel_dir, scenario, policy), mut group) in groups {
+        group.sort_by_key(|c| c.replicate);
+        let first = &group[0].artifact;
+        let label = first.manifest.policy.clone();
+        let channel_name =
+            aoi_cache::headline_channel_for(&first.manifest.scenario).ok_or_else(|| {
+                format!(
+                    "merge: cell s{scenario}-p{policy}: unknown scenario family {:?}",
+                    first.manifest.scenario
+                )
+            })?;
+        let mut acc = simkit::CurveAccumulator::new(aoi_cache::group_curve_name(scenario, &label));
+        let mut hashes = Vec::with_capacity(group.len());
+        for cell in &group {
+            let ch = cell.artifact.channel(channel_name).ok_or_else(|| {
+                format!(
+                    "merge: cell s{scenario}-r{}-p{policy}: missing headline channel \
+                     {channel_name:?}",
+                    cell.replicate
+                )
+            })?;
+            acc.push_curve(&ch.series);
+            hashes.push(cell.artifact.manifest.config_hash);
+        }
+        let curve = acc
+            .finish()
+            .map_err(|e| format!("merge: ensemble s{scenario}-p{policy}: {e}"))?;
+        let manifest = aoi_cache::persist::Manifest {
+            artifact: ArtifactKind::Ensemble,
+            scenario: format!("s{scenario}"),
+            policy: label.clone(),
+            seed: None,
+            recording: first.manifest.recording,
+            config_hash: aoi_cache::ensemble_manifest_hash(&hashes),
+        };
+        let compression = if group[0].compressed {
+            aoi_cache::persist::Compression::Deflate
+        } else {
+            aoi_cache::persist::Compression::None
+        };
+        let path = compression.apply_to(
+            &out_path
+                .join(&rel_dir)
+                .join(format!("ensemble-s{scenario}-p{policy}.jsonl")),
+        );
+        let write = || -> Result<(), PersistError> {
+            let mut writer = ArtifactWriter::create_with(&path, &manifest, compression)?;
+            writer.curve(&label, scenario, policy, &curve)?;
+            writer.finish()
+        };
+        write().map_err(|e| format!("merge: cannot write {}: {e}", path.display()))?;
+        ensembles += 1;
+    }
+    println!(
+        "{copied} cell artifacts merged into {out_root}, {ensembles} ensembles recomputed, \
+         {unmerged} unmerged"
+    );
+    Ok(unmerged == 0)
 }

@@ -10,7 +10,8 @@
 //!
 //! ```sh
 //! cargo run --release -p aoi-bench --bin ensemble -- \
-//!     [n_seeds] [--workers N] [--out DIR] [--compress] [--resume] [--horizon N]
+//!     [n_seeds] [--workers N] [--out DIR] [--compress] [--resume] [--horizon N] \
+//!     [--claim] [--worker-id ID] [--lease-ttl-ms N]
 //! ```
 //!
 //! `--workers N` pins the cell fan-out to exactly `N` workers (`1` runs
@@ -28,6 +29,15 @@
 //! skips any cell whose artifact from a previous run still verifies
 //! (intact footer, matching configuration) and recomputes the rest — the
 //! final figures are bit-identical to a cold run.
+//!
+//! `--claim` (with `--resume`) turns the run into **one worker of a
+//! distributed campaign**: before recomputing a cell the worker claims
+//! the cell's lease file beside its artifact, so K `ensemble --resume
+//! --claim` processes sharing one `--out` directory partition the grid
+//! with no coordinator. A SIGKILLed worker's leases expire after
+//! `--lease-ttl-ms` (default 30000) and its unfinished cells are taken
+//! over; every worker's final figures are bit-identical to a cold
+//! single-process run. See the README's "Distributed campaigns" section.
 
 use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
 use aoi_cache::{EnsembleSummary, ExperimentPlan, ResumeReport};
@@ -46,21 +56,37 @@ fn configure(plan: ExperimentPlan, args: &aoi_bench::CliArgs, tag: &str) -> Expe
         None => plan,
     };
     match &args.out {
-        Some(dir) => plan
-            .artifact_dir(dir.join(tag))
-            .compress(args.compression)
-            .resume(args.resume),
+        Some(dir) => {
+            let plan = plan
+                .artifact_dir(dir.join(tag))
+                .compress(args.compression)
+                .resume(args.resume)
+                .claim(args.claim);
+            let plan = match &args.worker_id {
+                Some(id) => plan.worker_id(id.clone()),
+                None => plan,
+            };
+            match args.lease_ttl_ms {
+                Some(ttl) => plan.lease_ttl_ms(ttl),
+                None => plan,
+            }
+        }
         None => plan,
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Test-only fault injection (SIMKIT_FAULT=kill:N / fail-writes:N /
+    // delay:N:MS / corrupt-tail:N): lets the crash-safety suite interrupt
+    // this bin mid-grid. Unset in normal use — and a no-op then.
+    simkit::faults::arm_from_env()?;
     let args = aoi_bench::CliSpec {
         bin: "ensemble",
         about: "Figs. 1a/1b as multi-seed mean ± CI ensembles (streamed experiment engine)",
         workers: true,
         out: true,
         resume: true,
+        claim: true,
         horizon: true,
         positional: Some(aoi_bench::Positional {
             name: "n_seeds",

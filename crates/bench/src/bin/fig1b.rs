@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: false,
         out: true,
         resume: false,
+        claim: false,
         horizon: true,
         positional: None,
     }

@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: false,
         out: true,
         resume: false,
+        claim: false,
         horizon: false,
         positional: None,
     }

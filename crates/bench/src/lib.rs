@@ -69,6 +69,7 @@ pub struct Positional {
 ///     workers: true,
 ///     out: true,
 ///     resume: true,
+///     claim: true,
 ///     horizon: true,
 ///     positional: Some(aoi_bench::Positional {
 ///         name: "n_seeds",
@@ -92,6 +93,10 @@ pub struct CliSpec {
     pub out: bool,
     /// Accept `--resume` (skip cells whose `--out` artifact verifies).
     pub resume: bool,
+    /// Accept `--claim` (run as one worker of a multi-process campaign:
+    /// claim cells via lease files beside the `--out` artifacts) and, with
+    /// it, `--worker-id ID` and `--lease-ttl-ms N`.
+    pub claim: bool,
     /// Accept `--horizon N` (override every scenario's horizon).
     pub horizon: bool,
     /// At most one positional argument.
@@ -107,6 +112,7 @@ impl CliSpec {
             workers: false,
             out: false,
             resume: false,
+            claim: false,
             horizon: false,
             positional: None,
         }
@@ -140,6 +146,9 @@ impl CliSpec {
             out: None,
             compression: Compression::None,
             resume: false,
+            claim: false,
+            worker_id: None,
+            lease_ttl_ms: None,
             horizon: None,
             positional: None,
         };
@@ -164,6 +173,22 @@ impl CliSpec {
                 }
                 "--compress" if self.out => parsed.compression = Compression::Deflate,
                 "--resume" if self.resume => parsed.resume = true,
+                "--claim" if self.claim => parsed.claim = true,
+                "--worker-id" if self.claim => {
+                    let id = iter
+                        .next()
+                        .filter(|v| !v.is_empty() && !v.starts_with("--"))
+                        .ok_or_else(|| self.error("--worker-id needs a non-empty id"))?;
+                    parsed.worker_id = Some(id);
+                }
+                "--lease-ttl-ms" if self.claim => {
+                    let n: u64 = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| self.error("--lease-ttl-ms needs a positive integer"))?;
+                    parsed.lease_ttl_ms = Some(n);
+                }
                 "--horizon" if self.horizon => {
                     let n: usize = iter
                         .next()
@@ -186,6 +211,12 @@ impl CliSpec {
         }
         if parsed.resume && parsed.out.is_none() {
             return Err(self.error("--resume needs --out DIR"));
+        }
+        if parsed.claim && !(parsed.resume && parsed.out.is_some()) {
+            return Err(self.error("--claim needs --resume and --out DIR"));
+        }
+        if !parsed.claim && (parsed.worker_id.is_some() || parsed.lease_ttl_ms.is_some()) {
+            return Err(self.error("--worker-id/--lease-ttl-ms need --claim"));
         }
         if let Some(dir) = &parsed.out {
             std::fs::create_dir_all(dir).map_err(|e| {
@@ -224,6 +255,15 @@ impl CliSpec {
         if self.resume {
             text.push_str("  --resume       skip cells whose --out artifact already verifies\n");
         }
+        if self.claim {
+            text.push_str(
+                "  --claim        run as one worker of a multi-process campaign: claim cells\n                 via lease files beside the --out artifacts (needs --resume)\n",
+            );
+            text.push_str("  --worker-id ID    lease owner id (default: derived from the pid)\n");
+            text.push_str(
+                "  --lease-ttl-ms N  lease time-to-live before a dead worker's cells are\n                    taken over (default 30000)\n",
+            );
+        }
         if self.horizon {
             text.push_str("  --horizon N    override every scenario's horizon (quick runs/CI)\n");
         }
@@ -243,6 +283,12 @@ pub struct CliArgs {
     pub compression: Compression,
     /// Whether `--resume` was given.
     pub resume: bool,
+    /// Whether `--claim` was given (implies `--resume` and `--out`).
+    pub claim: bool,
+    /// `--worker-id ID`, when accepted and given.
+    pub worker_id: Option<String>,
+    /// `--lease-ttl-ms N`, when accepted and given.
+    pub lease_ttl_ms: Option<u64>,
     /// `--horizon N`, when accepted and given.
     pub horizon: Option<usize>,
     /// The positional argument, when accepted and given.
@@ -260,6 +306,7 @@ mod tests {
             workers: true,
             out: true,
             resume: true,
+            claim: true,
             horizon: true,
             positional: Some(Positional {
                 name: "n",
@@ -322,6 +369,9 @@ mod tests {
             args(&["1", "2"]),
             args(&["--compress"]),
             args(&["--resume"]),
+            args(&["--claim"]),
+            args(&["--worker-id", "w1"]),
+            args(&["--lease-ttl-ms", "0"]),
         ] {
             let err = spec().parse_from(bad.clone()).unwrap_err();
             assert!(
@@ -332,9 +382,42 @@ mod tests {
     }
 
     #[test]
+    fn claim_flags_parse_and_validate() {
+        let dir = std::env::temp_dir().join(format!("aoi-bench-claim-{}", std::process::id()));
+        let dir_str = dir.display().to_string();
+        let parsed = spec()
+            .parse_from(args(&[
+                "--out",
+                &dir_str,
+                "--resume",
+                "--claim",
+                "--worker-id",
+                "w-test",
+                "--lease-ttl-ms",
+                "2500",
+            ]))
+            .unwrap();
+        assert!(parsed.claim);
+        assert_eq!(parsed.worker_id.as_deref(), Some("w-test"));
+        assert_eq!(parsed.lease_ttl_ms, Some(2500));
+        // --claim without --resume is rejected.
+        assert!(spec()
+            .parse_from(args(&["--out", &dir_str, "--claim"]))
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn unaccepted_flags_are_rejected() {
         let bare = CliSpec::bare("bare", "no flags");
-        for flag in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+        for flag in [
+            "--workers",
+            "--out",
+            "--compress",
+            "--resume",
+            "--claim",
+            "--horizon",
+        ] {
             assert!(
                 bare.parse_from(args(&[flag, "1"])).is_err(),
                 "{flag} must be rejected by a bare spec"
@@ -347,11 +430,27 @@ mod tests {
     #[test]
     fn help_lists_exactly_the_accepted_flags() {
         let full = spec().usage();
-        for needle in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+        for needle in [
+            "--workers",
+            "--out",
+            "--compress",
+            "--resume",
+            "--claim",
+            "--worker-id",
+            "--lease-ttl-ms",
+            "--horizon",
+        ] {
             assert!(full.contains(needle), "{needle} missing from {full}");
         }
         let bare = CliSpec::bare("bare", "no flags").usage();
-        for needle in ["--workers", "--out", "--compress", "--resume", "--horizon"] {
+        for needle in [
+            "--workers",
+            "--out",
+            "--compress",
+            "--resume",
+            "--claim",
+            "--horizon",
+        ] {
             assert!(!bare.contains(needle), "{needle} leaked into {bare}");
         }
         assert!(bare.contains("--help"));

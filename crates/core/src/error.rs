@@ -26,6 +26,8 @@ pub enum AoiCacheError {
     Network(vanet::VanetError),
     /// An error while writing or reading a run artifact.
     Persist(simkit::persist::PersistError),
+    /// An error in the lease protocol of a claim-mode campaign.
+    Lease(simkit::lease::LeaseError),
 }
 
 impl fmt::Display for AoiCacheError {
@@ -39,6 +41,7 @@ impl fmt::Display for AoiCacheError {
             AoiCacheError::Controller(e) => write!(f, "lyapunov controller: {e}"),
             AoiCacheError::Network(e) => write!(f, "network model: {e}"),
             AoiCacheError::Persist(e) => write!(f, "run artifact: {e}"),
+            AoiCacheError::Lease(e) => write!(f, "cell lease: {e}"),
         }
     }
 }
@@ -50,6 +53,7 @@ impl Error for AoiCacheError {
             AoiCacheError::Controller(e) => Some(e),
             AoiCacheError::Network(e) => Some(e),
             AoiCacheError::Persist(e) => Some(e),
+            AoiCacheError::Lease(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +80,12 @@ impl From<vanet::VanetError> for AoiCacheError {
 impl From<simkit::persist::PersistError> for AoiCacheError {
     fn from(e: simkit::persist::PersistError) -> Self {
         AoiCacheError::Persist(e)
+    }
+}
+
+impl From<simkit::lease::LeaseError> for AoiCacheError {
+    fn from(e: simkit::lease::LeaseError) -> Self {
+        AoiCacheError::Lease(e)
     }
 }
 

@@ -57,6 +57,7 @@ use crate::service_sim::{run_service, ServiceRunReport, ServiceScenario};
 use crate::AoiCacheError;
 use serde::{Deserialize, Serialize};
 use simkit::executor;
+use simkit::lease;
 use simkit::persist::{self, ArtifactKind, ArtifactWriter, Compression, Manifest};
 use simkit::{CurveAccumulator, CurveSummary, RecordingMode, TimeSeries};
 use std::fmt;
@@ -153,6 +154,12 @@ pub struct ExperimentPlan {
     /// and ensemble curve is identical with or without artifacts; re-read
     /// artifacts reconstruct the spilled traces bit-identically (see
     /// [`simkit::persist`]).
+    ///
+    /// Artifacts appear under their final names only when complete: every
+    /// writer streams to a writer-unique `*.tmp-<pid>-<seq>` file and renames
+    /// it into place on finish, so an interrupted run never leaves a
+    /// half-written file where the resume pass (or another worker) would
+    /// find it.
     pub artifacts: Option<PathBuf>,
     /// The encoding artifacts are written under. With
     /// [`Compression::Deflate`] every artifact streams through the codec
@@ -170,7 +177,32 @@ pub struct ExperimentPlan {
     /// to computed ones, the final ensembles are bit-identical whether the
     /// grid ran cold, warm, or half-interrupted.
     pub resume: bool,
+    /// When `true` (requires [`resume`](ExperimentPlan::resume) and an
+    /// artifact directory), the run becomes one **worker of a distributed
+    /// campaign**: before recomputing a cell it claims the cell's lease
+    /// file ([`simkit::lease`]) and skips cells whose lease another live
+    /// worker holds, so K independent processes sharing one directory
+    /// partition the grid with no coordinator. A crashed worker's leases
+    /// expire after [`lease_ttl_ms`](ExperimentPlan::lease_ttl_ms) and its
+    /// cells are taken over. The final ensembles are folded from the
+    /// on-disk cell artifacts and are bit-identical to a cold
+    /// single-process run.
+    pub claim: bool,
+    /// Owner id this worker claims leases under. `None` derives a
+    /// process-unique id (`w<pid>-<hex wall-clock>`); set it explicitly to
+    /// make crash-safety tests and logs deterministic.
+    pub worker_id: Option<String>,
+    /// Lease time-to-live in milliseconds for claim mode. A worker
+    /// heartbeats each held lease every `lease_ttl_ms / 3`, so a lease
+    /// only expires when its worker has been dead (or stalled) for a full
+    /// TTL. Lower values recover crashed cells faster; higher values
+    /// tolerate longer stalls without duplicated work.
+    pub lease_ttl_ms: u64,
 }
+
+/// Default claim-mode lease TTL (30 s — generous against slow cells, yet
+/// quick enough that a crashed worker's cells are recovered promptly).
+pub const DEFAULT_LEASE_TTL_MS: u64 = 30_000;
 
 impl ExperimentPlan {
     /// A stage-1 cache-management grid.
@@ -186,6 +218,9 @@ impl ExperimentPlan {
             artifacts: None,
             compression: Compression::None,
             resume: false,
+            claim: false,
+            worker_id: None,
+            lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
         }
     }
 
@@ -202,6 +237,9 @@ impl ExperimentPlan {
             artifacts: None,
             compression: Compression::None,
             resume: false,
+            claim: false,
+            worker_id: None,
+            lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
         }
     }
 
@@ -215,6 +253,9 @@ impl ExperimentPlan {
             artifacts: None,
             compression: Compression::None,
             resume: false,
+            claim: false,
+            worker_id: None,
+            lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
         }
     }
 
@@ -268,6 +309,32 @@ impl ExperimentPlan {
         self
     }
 
+    /// Enables claim mode (see [`claim`](ExperimentPlan::claim)): this run
+    /// becomes one worker of a multi-process campaign, claiming cells via
+    /// lease files before recomputing them. Requires
+    /// [`resume`](ExperimentPlan::resume) and an artifact directory.
+    #[must_use]
+    pub fn claim(mut self, claim: bool) -> Self {
+        self.claim = claim;
+        self
+    }
+
+    /// Sets the owner id this worker claims leases under (see
+    /// [`worker_id`](ExperimentPlan::worker_id)).
+    #[must_use]
+    pub fn worker_id(mut self, id: impl Into<String>) -> Self {
+        self.worker_id = Some(id.into());
+        self
+    }
+
+    /// Sets the claim-mode lease TTL (see
+    /// [`lease_ttl_ms`](ExperimentPlan::lease_ttl_ms)).
+    #[must_use]
+    pub fn lease_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.lease_ttl_ms = ttl_ms;
+        self
+    }
+
     /// Overrides the horizon of **every** scenario in the grid — the knob
     /// CI smokes and quick local runs use to shrink a preset plan without
     /// redefining it.
@@ -305,6 +372,17 @@ impl ExperimentPlan {
             "cell-s{}-r{}-p{}.trace.jsonl",
             id.scenario, id.replicate, id.policy
         )))
+    }
+
+    /// The lease file a claim-mode worker writes beside the artifact of
+    /// cell `id` while computing it (see [`simkit::lease`]). The name is
+    /// compression-independent: workers agree on the claim regardless of
+    /// their artifact encoding.
+    pub fn cell_lease_path(dir: &Path, id: CellId) -> PathBuf {
+        dir.join(format!(
+            "cell-s{}-r{}-p{}.lease",
+            id.scenario, id.replicate, id.policy
+        ))
     }
 
     /// The artifact file of one `(scenario, policy)` ensemble under `dir`
@@ -395,6 +473,18 @@ impl ExperimentPlan {
             }
             _ => Ok(()),
         }?;
+        if self.claim && !(self.resume && self.artifacts.is_some()) {
+            return Err(AoiCacheError::BadParameter {
+                what: "claim",
+                valid: "a plan with resume and an artifact directory",
+            });
+        }
+        if self.claim && self.lease_ttl_ms == 0 {
+            return Err(AoiCacheError::BadParameter {
+                what: "lease_ttl_ms",
+                valid: "a positive lease time-to-live",
+            });
+        }
         if let Some(dir) = &self.artifacts {
             std::fs::create_dir_all(dir).map_err(|e| {
                 AoiCacheError::Persist(persist::PersistError::Io {
@@ -508,6 +598,13 @@ impl ExperimentPlan {
                 valid: "a plan with an artifact directory (artifact_dir)",
             });
         }
+        if self.claim {
+            return if self.workers == Some(1) {
+                executor::serialized(|| self.run_claimed())
+            } else {
+                self.run_claimed()
+            };
+        }
         if self.workers == Some(1) {
             executor::serialized(|| self.run_ensemble_waves())
         } else {
@@ -566,6 +663,13 @@ impl ExperimentPlan {
                     }
                 }
             }
+            if let Some(dir) = resume_dir {
+                // Clear whatever sits where the recomputed artifacts will
+                // land (an unreadable file, even a directory) and sweep
+                // orphaned `*.tmp-<pid>-<seq>` files a crashed writer left for
+                // these cells, so the rewrite cannot fail on debris.
+                self.prepare_recompute(dir, &to_run)?;
+            }
             let outcomes = self.run_cell_batch(&to_run)?;
             let mut computed: Vec<Option<CellOutcome>> = vec![None; wave.len()];
             for (slot, outcome) in run_slots.into_iter().zip(outcomes) {
@@ -588,11 +692,12 @@ impl ExperimentPlan {
     /// The artifact channel holding a cell's headline curve (what
     /// [`CellOutcome::headline_curve`] returns for the grid's workload).
     fn headline_channel(&self) -> &'static str {
-        match &self.grid {
-            ExperimentGrid::Cache { .. } => "reward (cumulative)",
-            ExperimentGrid::Service { .. } => "queue",
-            ExperimentGrid::Joint { .. } => "cache reward (cumulative)",
-        }
+        let family = match &self.grid {
+            ExperimentGrid::Cache { .. } => "cache",
+            ExperimentGrid::Service { .. } => "service",
+            ExperimentGrid::Joint { .. } => "joint",
+        };
+        headline_channel_for(family).expect("every grid family has a headline channel")
     }
 
     /// The `config_hash` a fresh artifact of cell `id` would be written
@@ -657,6 +762,224 @@ impl ExperimentPlan {
                 self.headline_channel()
             )),
         }
+    }
+
+    /// The claim-mode engine: one worker of a distributed campaign (see
+    /// [`claim`](ExperimentPlan::claim)).
+    ///
+    /// Loops over the grid until every cell's artifact verifies: each pass
+    /// re-checks the unfinished cells in parallel, claims the lease of
+    /// every cell that needs recomputing, runs the claimed batch under a
+    /// heartbeat keeper, releases the leases, and sleeps briefly when the
+    /// only cells left are held by other live workers. Expired leases
+    /// (dead workers) are taken over; cells another worker completes while
+    /// this one waits are counted as stolen and skipped.
+    fn run_claimed(&self) -> Result<(Vec<EnsembleSummary>, ResumeReport), AoiCacheError> {
+        let dir = self
+            .artifacts
+            .clone()
+            .expect("validate() guarantees an artifact directory in claim mode");
+        let dir = dir.as_path();
+        let owner = self.effective_worker_id();
+        let ttl = std::time::Duration::from_millis(self.lease_ttl_ms);
+        let heartbeat_every = std::time::Duration::from_millis((self.lease_ttl_ms / 3).max(1));
+        let poll = std::time::Duration::from_millis((self.lease_ttl_ms / 4).clamp(5, 1_000));
+        let all_ids = self.cell_ids();
+        let mut resume = ResumeReport::default();
+        let mut done = vec![false; all_ids.len()];
+        let mut accounted = vec![false; all_ids.len()];
+        let mut saw_foreign_lease = vec![false; all_ids.len()];
+        loop {
+            let pending: Vec<usize> = (0..all_ids.len()).filter(|&i| !done[i]).collect();
+            if pending.is_empty() {
+                break;
+            }
+            let pending_ids: Vec<CellId> = pending.iter().map(|&i| all_ids[i]).collect();
+            let workers = self
+                .workers
+                .unwrap_or_else(|| executor::worker_count(pending_ids.len(), true, 1));
+            let checks: Vec<CellResume> = executor::parallel_map(workers, &pending_ids, |_, id| {
+                self.check_cell_artifact(dir, *id)
+            });
+            let mut claimed: Vec<(usize, lease::LeaseGuard)> = Vec::new();
+            let mut blocked = 0usize;
+            for (&i, check) in pending.iter().zip(checks) {
+                let id = all_ids[i];
+                match check {
+                    CellResume::Valid(_) => {
+                        done[i] = true;
+                        if !accounted[i] {
+                            accounted[i] = true;
+                            resume.skipped.push(id);
+                            if saw_foreign_lease[i] {
+                                resume.stolen.push(id);
+                            }
+                        }
+                    }
+                    needs_run => {
+                        let lease_path = Self::cell_lease_path(dir, id);
+                        let was_expired = lease::inspect(&lease_path)?
+                            .map(|info| info.expired_at(lease::wall_ms()))
+                            .unwrap_or(false);
+                        match lease::claim(&lease_path, &owner, ttl) {
+                            Ok(lease::Claim::Acquired(guard)) => {
+                                if !accounted[i] {
+                                    accounted[i] = true;
+                                    match needs_run {
+                                        CellResume::Invalid(why) => {
+                                            resume.invalidated.push((id, why))
+                                        }
+                                        _ => resume.recomputed.push(id),
+                                    }
+                                }
+                                resume.claimed.push(id);
+                                if was_expired {
+                                    resume.expired.push(id);
+                                }
+                                claimed.push((i, guard));
+                            }
+                            Ok(lease::Claim::Held { .. }) => {
+                                saw_foreign_lease[i] = true;
+                                blocked += 1;
+                            }
+                            Err(lease::LeaseError::Contended) => {
+                                saw_foreign_lease[i] = true;
+                                blocked += 1;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+            }
+            if !claimed.is_empty() {
+                // `pending` is in cell-id order, so the claimed batch is
+                // too — the precondition run_cell_batch's simulation
+                // sharing relies on.
+                let batch: Vec<CellId> = claimed.iter().map(|&(i, _)| all_ids[i]).collect();
+                self.prepare_recompute(dir, &batch)?;
+                let (slots, guards): (Vec<usize>, Vec<lease::LeaseGuard>) =
+                    claimed.into_iter().unzip();
+                let keeper = lease::Heartbeat::keep(guards, heartbeat_every);
+                let result = self.run_cell_batch(&batch);
+                let survivors = keeper.stop();
+                for guard in survivors {
+                    // A lost lease means another worker took the cell over
+                    // after a stall; its (bit-identical) artifact stands.
+                    match guard.release() {
+                        Ok(()) | Err(lease::LeaseError::Lost { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                // Propagate cell errors only after releasing every lease.
+                result?;
+                for slot in slots {
+                    done[slot] = true;
+                }
+            } else if blocked > 0 {
+                // Everything left is held by other live workers: wait for
+                // their artifacts to land (or their leases to expire).
+                std::thread::sleep(poll);
+            }
+        }
+        // Fold the ensembles from the on-disk cell artifacts, one
+        // replicate wave at a time. Within each (scenario, policy) group
+        // the curves arrive in replicate order — the same sequence a cold
+        // single-process run folds — and re-read curves are bit-identical
+        // to computed ones, so the ensembles (and their artifacts) are
+        // bit-identical to a cold run's no matter how the campaign's
+        // cells were partitioned across workers.
+        let mut groups = self.group_accumulators();
+        let n_policies = self.grid.n_policies();
+        for rep in 0..self.n_replicates() {
+            let wave: Vec<CellId> = all_ids
+                .iter()
+                .filter(|id| id.replicate == rep)
+                .copied()
+                .collect();
+            let workers = self
+                .workers
+                .unwrap_or_else(|| executor::worker_count(wave.len(), true, 1));
+            let checks: Vec<CellResume> =
+                executor::parallel_map(workers, &wave, |_, id| self.check_cell_artifact(dir, *id));
+            for (id, check) in wave.iter().zip(checks) {
+                match check {
+                    CellResume::Valid(curve) => {
+                        groups[id.scenario * n_policies + id.policy].push_curve(&curve);
+                    }
+                    _ => {
+                        return Err(AoiCacheError::Persist(persist::PersistError::Io {
+                            op: "reload cell artifact",
+                            path: Self::cell_artifact_path_with(dir, *id, self.compression)
+                                .display()
+                                .to_string(),
+                            message: "cell artifact vanished or failed verification after \
+                                      the campaign completed"
+                                .to_string(),
+                        }));
+                    }
+                }
+            }
+        }
+        Ok((self.finish_groups(groups)?, resume))
+    }
+
+    /// The owner id leases are claimed under: the explicit
+    /// [`worker_id`](ExperimentPlan::worker_id) or a process-unique
+    /// default.
+    fn effective_worker_id(&self) -> String {
+        self.worker_id
+            .clone()
+            .unwrap_or_else(|| format!("w{}-{:x}", std::process::id(), lease::wall_ms()))
+    }
+
+    /// Clears the landing zone for cells about to be recomputed: removes
+    /// whatever sits at each cell's final artifact path (an invalidated
+    /// file — or even a directory, which would make the finalizing rename
+    /// fail) and sweeps orphaned in-flight `*.tmp-<pid>-<seq>` temporaries left
+    /// for those cells by crashed writers. Temporaries of cells *not*
+    /// being recomputed are left alone — a live worker may be streaming
+    /// to them.
+    fn prepare_recompute(&self, dir: &Path, ids: &[CellId]) -> Result<(), AoiCacheError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let mut finals = std::collections::HashSet::new();
+        for id in ids {
+            let path = Self::cell_artifact_path_with(dir, *id, self.compression);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => {
+                    std::fs::remove_dir_all(&path).map_err(|e| {
+                        AoiCacheError::Persist(persist::PersistError::Io {
+                            op: "clear stale artifact",
+                            path: path.display().to_string(),
+                            message: e.to_string(),
+                        })
+                    })?;
+                }
+            }
+            if let Some(name) = path.file_name() {
+                finals.insert(name.to_string_lossy().into_owned());
+            }
+        }
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            AoiCacheError::Persist(persist::PersistError::Io {
+                op: "sweep stale temporaries",
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })
+        })?;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(pos) = name.rfind(".tmp-") {
+                let base = &name[..pos];
+                if finals.contains(base) && persist::is_tmp_for(&name, base) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs one batch of cells (the whole grid for
@@ -766,7 +1089,7 @@ impl ExperimentPlan {
         for scenario in 0..self.grid.n_scenarios() {
             for policy in 0..self.grid.n_policies() {
                 let label = self.grid.policy_label(scenario, policy);
-                groups.push(CurveAccumulator::new(format!("s{scenario}/{label}")));
+                groups.push(CurveAccumulator::new(group_curve_name(scenario, &label)));
             }
         }
         groups
@@ -810,7 +1133,7 @@ impl ExperimentPlan {
             policy: ensemble.label.clone(),
             seed: None,
             recording: self.recording,
-            config_hash: persist::config_hash(&self.grid),
+            config_hash: self.ensemble_config_hash(ensemble.scenario, ensemble.policy),
         };
         let path = Self::ensemble_artifact_path_with(
             dir,
@@ -830,6 +1153,52 @@ impl ExperimentPlan {
             .map_err(AoiCacheError::from)?;
         writer.finish().map_err(AoiCacheError::from)
     }
+
+    /// The `config_hash` of one `(scenario, policy)` ensemble artifact: a
+    /// fold over the group's per-cell config hashes in replicate order
+    /// (see [`ensemble_manifest_hash`]). Defined bottom-up — cells first —
+    /// so `aoi-artifacts merge` can reproduce an engine-written ensemble
+    /// manifest from the cell artifacts alone.
+    fn ensemble_config_hash(&self, scenario: usize, policy: usize) -> u64 {
+        let hashes: Vec<u64> = (0..self.n_replicates())
+            .map(|rep| {
+                self.expected_cell_hash(CellId {
+                    scenario,
+                    replicate: rep,
+                    seed: self.seed_of(scenario, rep),
+                    policy,
+                })
+            })
+            .collect();
+        ensemble_manifest_hash(&hashes)
+    }
+}
+
+/// The headline trace channel of a cell artifact, keyed by the manifest's
+/// scenario family (`"cache"`, `"service"` or `"joint"`) — the channel
+/// ensemble curves are folded from. `None` for an unknown family.
+pub fn headline_channel_for(scenario_kind: &str) -> Option<&'static str> {
+    match scenario_kind {
+        "cache" => Some("reward (cumulative)"),
+        "service" => Some("queue"),
+        "joint" => Some("cache reward (cumulative)"),
+        _ => None,
+    }
+}
+
+/// The accumulator (and curve-label) name of one `(scenario, policy)`
+/// ensemble group: `s<scenario>/<label>`.
+pub fn group_curve_name(scenario: usize, label: &str) -> String {
+    format!("s{scenario}/{label}")
+}
+
+/// The `config_hash` an ensemble artifact is written under: an FNV-1a
+/// fold ([`simkit::persist::config_hash`]) over the group's per-cell
+/// config hashes in replicate order. Defined bottom-up so a merge tool
+/// can recompute it from cell manifests alone and reproduce
+/// engine-written ensemble artifacts byte-identically.
+pub fn ensemble_manifest_hash(cell_hashes: &[u64]) -> u64 {
+    persist::config_hash(&cell_hashes)
 }
 
 /// Writes one service run's report as a trace artifact (the queue and
@@ -900,10 +1269,26 @@ pub struct ResumeReport {
     /// Cells whose artifact failed verification (with the reason) — re-run
     /// and rewritten, never silently skipped.
     pub invalidated: Vec<(CellId, String)>,
+    /// Claim mode only: cells this worker claimed (lease acquired) and
+    /// computed. Every claimed cell also appears in
+    /// [`recomputed`](ResumeReport::recomputed) or
+    /// [`invalidated`](ResumeReport::invalidated).
+    pub claimed: Vec<CellId>,
+    /// Claim mode only: claimed cells whose previous lease had expired —
+    /// work taken over from a dead (or stalled) worker. A subset of
+    /// [`claimed`](ResumeReport::claimed).
+    pub expired: Vec<CellId>,
+    /// Claim mode only: cells another worker completed while this one
+    /// waited on their leases — skipped without computing. A subset of
+    /// [`skipped`](ResumeReport::skipped).
+    pub stolen: Vec<CellId>,
 }
 
 impl ResumeReport {
-    /// Total cells the report accounts for.
+    /// Total cells the report accounts for. The claim-mode annotations
+    /// ([`claimed`](ResumeReport::claimed), [`expired`](ResumeReport::expired),
+    /// [`stolen`](ResumeReport::stolen)) overlap the three partitions and
+    /// are not counted again.
     pub fn n_cells(&self) -> usize {
         self.skipped.len() + self.recomputed.len() + self.invalidated.len()
     }
@@ -929,6 +1314,15 @@ impl fmt::Display for ResumeReport {
             self.recomputed.len(),
             self.invalidated.len()
         )?;
+        if !self.claimed.is_empty() || !self.stolen.is_empty() {
+            write!(
+                f,
+                "; campaign: {} claimed ({} from expired leases), {} stolen by other workers",
+                self.claimed.len(),
+                self.expired.len(),
+                self.stolen.len()
+            )?;
+        }
         for (id, why) in &self.invalidated {
             write!(
                 f,

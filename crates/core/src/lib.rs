@@ -78,8 +78,9 @@ pub use cache_sim::{CacheRunReport, CacheScenario, CacheSimulation};
 pub use catalog::{Catalog, ContentSpec};
 pub use error::AoiCacheError;
 pub use experiment::{
-    write_service_artifact, write_service_artifact_with, CellId, CellOutcome, CellReport,
-    EnsembleSummary, ExperimentGrid, ExperimentPlan, ExperimentReport, ResumeReport,
+    ensemble_manifest_hash, group_curve_name, headline_channel_for, write_service_artifact,
+    write_service_artifact_with, CellId, CellOutcome, CellReport, EnsembleSummary, ExperimentGrid,
+    ExperimentPlan, ExperimentReport, ResumeReport, DEFAULT_LEASE_TTL_MS,
 };
 pub use freshness_service::{
     run_freshness_service, FreshnessReport, FreshnessScenario, ServingSource, SourcingMode,

@@ -1,0 +1,89 @@
+//! Fault-recovery suite: an injected mid-grid write failure must surface
+//! as an error (leases released, no torn artifact under a final name), and
+//! a claim-mode relaunch must finish the campaign bit-identically to a
+//! cold run.
+//!
+//! Lives in its own integration-test binary: the fault harness is
+//! process-global, and this file's single test owns it outright.
+
+use aoi_cache::{CachePolicyKind, CacheScenario, ExperimentPlan};
+use simkit::faults::{self, FaultKind, FaultPlan};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aoi-fault-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plan(dir: &Path) -> ExperimentPlan {
+    ExperimentPlan::cache(
+        vec![CacheScenario {
+            n_rsus: 2,
+            regions_per_rsu: 2,
+            age_cap: 5,
+            max_age_min: 3,
+            max_age_max: 4,
+            horizon: 60,
+            ..CacheScenario::default()
+        }],
+        vec![CachePolicyKind::Myopic, CachePolicyKind::Never],
+    )
+    .replicate_seeds(vec![5, 6, 7])
+    .artifact_dir(dir)
+}
+
+#[test]
+fn injected_write_failure_fails_loudly_and_resume_recovers() {
+    let cold_dir = scratch_dir("cold");
+    let (cold, _) = plan(&cold_dir).run_ensembles_resumable().unwrap();
+
+    // Let a few hundred samples through, then fail every artifact write:
+    // the campaign dies mid-grid with some cells finished, some not.
+    let dir = scratch_dir("faulted");
+    faults::inject(FaultPlan {
+        after_samples: 300,
+        kind: FaultKind::FailWrites,
+    });
+    let err = plan(&dir)
+        .resume(true)
+        .claim(true)
+        .worker_id("doomed")
+        .run_ensembles_resumable()
+        .expect_err("the injected failure must surface, not be swallowed");
+    faults::clear();
+    assert!(
+        err.to_string().contains("injected"),
+        "unexpected error: {err}"
+    );
+
+    // The crash left no lie behind: every file under a final artifact
+    // name still verifies (half-written cells exist only as temporaries,
+    // if at all), and no lease outlives the failed worker.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(!name.ends_with(".lease"), "leaked lease: {name}");
+        if name.ends_with(".jsonl") {
+            aoi_cache::persist::read_artifact(&path)
+                .unwrap_or_else(|e| panic!("torn artifact under final name {name}: {e}"));
+        }
+    }
+
+    // Relaunch: the campaign picks up the survivors and finishes
+    // bit-identically to the cold run.
+    let (recovered, report) = plan(&dir)
+        .resume(true)
+        .claim(true)
+        .worker_id("relaunched")
+        .run_ensembles_resumable()
+        .unwrap();
+    assert_eq!(recovered, cold, "{report}");
+    assert_eq!(report.n_cells(), 6, "{report}");
+    assert!(
+        !report.claimed.is_empty(),
+        "at least the faulted cells must be recomputed: {report}"
+    );
+    std::fs::remove_dir_all(&cold_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -304,6 +304,61 @@ fn service_and_joint_grids_resume_bit_identically() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Anything unreadable squatting at a cell's artifact path — even a
+/// directory — is invalidated and cleared for recompute, never an abort:
+/// resume treats "cannot read" exactly like "stale".
+#[test]
+fn directory_at_cell_artifact_path_is_invalidated_and_recomputed() {
+    let dir = scratch_dir("squatter");
+    let (cold, _) = cache_plan(&dir).run_ensembles_resumable().unwrap();
+    let victim = dir.join("cell-s0-r0-p1.trace.jsonl");
+    std::fs::remove_file(&victim).unwrap();
+    std::fs::create_dir(&victim).unwrap();
+    std::fs::write(victim.join("junk"), "not an artifact").unwrap();
+
+    let (resumed, report) = cache_plan(&dir)
+        .resume(true)
+        .run_ensembles_resumable()
+        .unwrap();
+    assert_eq!(report.invalidated.len(), 1, "{report}");
+    assert_eq!(report.skipped.len(), 5);
+    assert_eq!(resumed, cold);
+    assert!(victim.is_file(), "the squatter was cleared and rewritten");
+    assert!(read_artifact(&victim).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crashed writer's orphaned `*.tmp-<pid>-<seq>` temporary is swept when its
+/// cell recomputes — and its presence never counts as a finished cell
+/// (the artifact only exists under its final name after a completed
+/// finish).
+#[test]
+fn orphaned_temporaries_are_swept_on_recompute() {
+    let dir = scratch_dir("orphan-tmp");
+    let (cold, _) = cache_plan(&dir).run_ensembles_resumable().unwrap();
+    let victim = dir.join("cell-s0-r1-p0.trace.jsonl");
+    std::fs::remove_file(&victim).unwrap();
+    // The crashed worker got halfway: a torn temporary, no final file.
+    let orphan = dir.join("cell-s0-r1-p0.trace.jsonl.tmp-99999");
+    std::fs::write(&orphan, "{\"kind\":\"manifest\",\"form").unwrap();
+    // A temporary of a cell that is NOT being recomputed must survive the
+    // sweep (a live worker of a shared campaign may be streaming to it).
+    let live = dir.join("cell-s0-r2-p0.trace.jsonl.tmp-88888");
+    std::fs::write(&live, "in flight").unwrap();
+
+    let (resumed, report) = cache_plan(&dir)
+        .resume(true)
+        .run_ensembles_resumable()
+        .unwrap();
+    assert_eq!(report.recomputed.len(), 1, "missing, not invalid: {report}");
+    assert_eq!(report.skipped.len(), 5);
+    assert_eq!(resumed, cold);
+    assert!(!orphan.exists(), "the orphaned temporary must be swept");
+    assert!(live.exists(), "other cells' temporaries are left alone");
+    assert!(read_artifact(&victim).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn resume_misconfigurations_are_rejected() {
     // resume without an artifact directory.

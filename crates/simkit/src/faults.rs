@@ -1,0 +1,190 @@
+//! # Fault injection — test-only failure harness
+//!
+//! Crash-safety tests need to interrupt a run at a controlled point: kill
+//! the process mid-cell, make artifact writes fail, slow them down, or
+//! corrupt the tail of a finished file.  This module provides a
+//! process-global, normally-disarmed fault plan that the persistence layer
+//! consults on its hot path.
+//!
+//! **This is test infrastructure.** Production runs never arm a fault; the
+//! disarmed cost is a single relaxed atomic load per sample.
+//!
+//! A plan triggers after a configurable number of samples have been
+//! written process-wide, which lets a test place the fault "mid-cell"
+//! deterministically.  Child-process tests arm the harness through the
+//! `SIMKIT_FAULT` environment variable (see [`arm_from_env`]).
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What the fault does when it triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process immediately (no destructors, no unwinding) —
+    /// simulates SIGKILL / power loss.
+    Kill,
+    /// Every subsequent sample write fails with an injected I/O error.
+    FailWrites,
+    /// Every subsequent sample write is delayed by this many
+    /// milliseconds — simulates a stalled filesystem.
+    DelayWrite {
+        /// Delay per sample write.
+        millis: u64,
+    },
+    /// Flip bits in the trailing bytes of the next finalized artifact —
+    /// simulates torn writes surviving a crash.
+    CorruptTail,
+}
+
+/// A fault plan: trigger `kind` once `after_samples` samples have been
+/// written process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Number of sample writes to let through before triggering.
+    pub after_samples: u64,
+    /// The failure to inject.
+    pub kind: FaultKind,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SAMPLES: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Arm the harness with `plan`, resetting the sample counter.
+pub fn inject(plan: FaultPlan) {
+    *PLAN.lock().unwrap() = Some(plan);
+    SAMPLES.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm the harness and clear any pending plan.
+pub fn clear() {
+    ARMED.store(false, Ordering::Relaxed);
+    *PLAN.lock().unwrap() = None;
+    SAMPLES.store(0, Ordering::Relaxed);
+}
+
+/// Whether a fault plan is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm from the `SIMKIT_FAULT` environment variable, if set.
+///
+/// Accepted formats (N = sample count before triggering):
+///
+/// * `kill:N` — abort the process after N samples,
+/// * `fail-writes:N` — fail sample writes after N samples,
+/// * `delay:N:MS` — delay each sample write by MS milliseconds after N,
+/// * `corrupt-tail:N` — corrupt the next finalized artifact after N.
+///
+/// Unset or empty disarms; a malformed value is reported as an error so
+/// test drivers fail loudly instead of silently running fault-free.
+pub fn arm_from_env() -> Result<(), String> {
+    let raw = match std::env::var("SIMKIT_FAULT") {
+        Ok(v) if !v.trim().is_empty() => v,
+        _ => {
+            clear();
+            return Ok(());
+        }
+    };
+    let plan = parse_spec(raw.trim()).ok_or_else(|| format!("bad SIMKIT_FAULT spec {raw:?}"))?;
+    inject(plan);
+    Ok(())
+}
+
+fn parse_spec(spec: &str) -> Option<FaultPlan> {
+    let mut parts = spec.split(':');
+    let kind = parts.next()?;
+    let after_samples: u64 = parts.next()?.parse().ok()?;
+    let kind = match kind {
+        "kill" => FaultKind::Kill,
+        "fail-writes" => FaultKind::FailWrites,
+        "corrupt-tail" => FaultKind::CorruptTail,
+        "delay" => FaultKind::DelayWrite {
+            millis: parts.next()?.parse().ok()?,
+        },
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(FaultPlan {
+        after_samples,
+        kind,
+    })
+}
+
+/// Hot-path hook: called by the persistence layer before each sample
+/// write. Disarmed cost is one relaxed atomic load.
+///
+/// Returns an injected error for [`FaultKind::FailWrites`], sleeps for
+/// [`FaultKind::DelayWrite`], aborts the process for [`FaultKind::Kill`],
+/// and is a no-op for [`FaultKind::CorruptTail`] (which acts at finalize
+/// time instead).
+#[inline]
+pub fn on_sample() -> io::Result<()> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    on_sample_armed()
+}
+
+#[cold]
+fn on_sample_armed() -> io::Result<()> {
+    let plan = match *PLAN.lock().unwrap() {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let seen = SAMPLES.fetch_add(1, Ordering::Relaxed);
+    if seen < plan.after_samples {
+        return Ok(());
+    }
+    match plan.kind {
+        FaultKind::Kill => std::process::abort(),
+        FaultKind::FailWrites => Err(io::Error::other("injected write failure (simkit::faults)")),
+        FaultKind::DelayWrite { millis } => {
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(())
+        }
+        FaultKind::CorruptTail => Ok(()),
+    }
+}
+
+/// Finalize-path hook: called by the persistence layer after an artifact
+/// has been renamed into place. For an armed [`FaultKind::CorruptTail`]
+/// plan whose sample threshold has been reached, flips bits in the last
+/// few bytes of `path` and disarms (one corruption per plan).
+pub fn on_finalize(path: &Path) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let triggered = {
+        let plan = PLAN.lock().unwrap();
+        matches!(
+            *plan,
+            Some(FaultPlan {
+                kind: FaultKind::CorruptTail,
+                after_samples,
+            }) if SAMPLES.load(Ordering::Relaxed) >= after_samples
+        )
+    };
+    if !triggered {
+        return;
+    }
+    clear();
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return;
+    };
+    if bytes.is_empty() {
+        return;
+    }
+    let start = bytes.len().saturating_sub(16);
+    for b in &mut bytes[start..] {
+        *b ^= 0xA5;
+    }
+    let _ = std::fs::write(path, &bytes);
+}

@@ -17,6 +17,11 @@
 //!   to a disk artifact,
 //! * [`persist`] — streaming run-artifact files (versioned JSONL with a
 //!   manifest, written slot-by-slot, re-read bit-identically),
+//! * [`lease`] — coordinator-free work claims via lock/lease files with
+//!   TTL expiry and heartbeat refresh, so independent processes sharing a
+//!   directory partition a campaign and survive worker crashes,
+//! * [`faults`] — test-only fault injection (kill / failed / delayed
+//!   writes, tail corruption) driving the crash-safety suite,
 //! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
 //! * [`CurveSummary`] / [`summarize_curves`] / [`CurveAccumulator`] —
 //!   mean/CI aggregation of replicate curves (experiment ensembles),
@@ -55,6 +60,8 @@
 
 mod error;
 pub mod executor;
+pub mod faults;
+pub mod lease;
 pub mod persist;
 pub mod plot;
 pub mod recorder;

@@ -84,7 +84,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::fs;
 use std::io::{self, BufRead, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 /// The artifact format version this module writes and reads.
@@ -241,6 +241,8 @@ pub type SharedArtifactWriter = Rc<RefCell<ArtifactWriter>>;
 pub struct ArtifactWriter {
     out: ArtifactSink,
     path: String,
+    tmp: PathBuf,
+    dest: PathBuf,
     channels: usize,
     curves: usize,
     samples: u64,
@@ -316,7 +318,12 @@ impl ArtifactWriter {
         compression: Compression,
     ) -> Result<Self, PersistError> {
         let display = path.display().to_string();
-        let file = fs::File::create(path).map_err(|e| PersistError::Io {
+        // Stream to a writer-unique temporary and rename into place on
+        // [`finish`](ArtifactWriter::finish), so a crash can never leave a
+        // half-written file under the final name (and racing duplicate
+        // computations of a deterministic cell cannot interleave bytes).
+        let tmp = tmp_path(path);
+        let file = fs::File::create(&tmp).map_err(|e| PersistError::Io {
             op: "create",
             path: display.clone(),
             message: e.to_string(),
@@ -328,6 +335,8 @@ impl ArtifactWriter {
                 Compression::Deflate => ArtifactSink::Deflate(CompressWriter::new(buffered)),
             },
             path: display,
+            tmp,
+            dest: path.to_path_buf(),
             channels: 0,
             curves: 0,
             samples: 0,
@@ -446,6 +455,14 @@ impl ArtifactWriter {
         value: f64,
     ) -> Result<(), PersistError> {
         self.guard()?;
+        if let Err(e) = crate::faults::on_sample() {
+            let error = PersistError::Io {
+                op: "write sample",
+                path: self.path.clone(),
+                message: e.to_string(),
+            };
+            return Err(self.fail(error));
+        }
         assert!(ch.0 < self.channels, "unknown artifact channel");
         if !value.is_finite() {
             let error = PersistError::NonFinite {
@@ -585,13 +602,15 @@ impl ArtifactWriter {
         Ok(())
     }
 
-    /// Writes the footer record and flushes the file. An artifact without
-    /// a footer is reported as [`PersistError::Truncated`] by the reader.
+    /// Writes the footer record, flushes the temporary file and renames
+    /// it into place under the final path — the artifact appears under
+    /// its final name only when complete. An artifact without a footer is
+    /// reported as [`PersistError::Truncated`] by the reader.
     ///
     /// # Errors
     ///
     /// Returns the latched error (the first failure of any earlier write)
-    /// or an I/O failure of the footer/flush itself.
+    /// or an I/O failure of the footer/flush/rename itself.
     pub fn finish(mut self) -> Result<(), PersistError> {
         self.guard()?;
         let result = writeln!(
@@ -601,8 +620,65 @@ impl ArtifactWriter {
         );
         self.io("write footer", result)?;
         let finish = self.out.finish();
-        self.io("finish", finish)
+        self.io("finish", finish)?;
+        if let Err(e) = fs::rename(&self.tmp, &self.dest) {
+            let error = PersistError::Io {
+                op: "finalize",
+                path: self.path.clone(),
+                message: e.to_string(),
+            };
+            return Err(self.fail(error));
+        }
+        crate::faults::on_finalize(&self.dest);
+        Ok(())
     }
+}
+
+impl Drop for ArtifactWriter {
+    /// Removes the in-flight temporary when the writer is abandoned
+    /// without finishing (error paths), so failed runs leave no debris.
+    /// Temporaries orphaned by a hard crash (no destructors) are swept by
+    /// the resume pass instead.
+    fn drop(&mut self) {
+        if !matches!(self.out, ArtifactSink::Finished) {
+            // Close the file handle before unlinking.
+            self.out = ArtifactSink::Finished;
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// The writer-unique temporary path an [`ArtifactWriter`] streams to
+/// before renaming into place at `path` (same directory, so the final
+/// rename is atomic). The name carries the pid *and* a process-wide
+/// sequence number, so two writers racing on the same artifact — whether
+/// separate worker processes or threads sharing one process — never
+/// stream to the same temporary.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    path.with_file_name(format!("{name}.tmp-{}-{seq}", std::process::id()))
+}
+
+/// Whether `file_name` is an in-flight temporary for `final_name`,
+/// written by any process (crashed workers leave these behind). Accepts
+/// both the current `.tmp-<pid>-<seq>` shape and the older `.tmp-<pid>`.
+pub fn is_tmp_for(file_name: &str, final_name: &str) -> bool {
+    file_name
+        .strip_prefix(final_name)
+        .and_then(|rest| rest.strip_prefix(".tmp-"))
+        .map(|tag| {
+            !tag.is_empty()
+                && !tag.starts_with('-')
+                && !tag.ends_with('-')
+                && tag.bytes().all(|b| b.is_ascii_digit() || b == b'-')
+                && tag.bytes().filter(|&b| b == b'-').count() <= 1
+        })
+        .unwrap_or(false)
 }
 
 /// One reconstructed trace channel of an artifact.

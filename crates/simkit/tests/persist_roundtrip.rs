@@ -176,9 +176,11 @@ fn writer_rejects_non_finite_samples() {
             what: "sample value"
         })
     );
-    // The error is latched: the artifact cannot be finished as if intact.
+    // The error is latched: the artifact cannot be finished as if intact —
+    // and the failed artifact never appears under its final name (the
+    // writer streams to a temporary and only finish() renames it).
     assert!(writer.finish().is_err());
-    std::fs::remove_file(&path).unwrap();
+    assert!(!path.exists());
 }
 
 fn write_small_artifact(path: &Path) {
@@ -279,6 +281,92 @@ fn unknown_format_versions_are_rejected_and_unknown_records_skipped() {
     let artifact = read_artifact(&path).unwrap();
     assert_eq!(artifact.channels[0].series.len(), 50);
     std::fs::remove_file(&path).unwrap();
+}
+
+/// The in-flight temporary (if any) for `path`, found the same way the
+/// recompute sweep finds crashed writers' orphans: by scanning the
+/// directory with `is_tmp_for` (each writer's temporary name is unique,
+/// so it cannot be predicted from the path alone).
+fn in_flight_tmp(path: &std::path::Path) -> Option<std::path::PathBuf> {
+    let final_name = path.file_name()?.to_string_lossy().into_owned();
+    let parent = path.parent()?;
+    std::fs::read_dir(parent).ok()?.find_map(|entry| {
+        let entry = entry.ok()?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        simkit::persist::is_tmp_for(&name, &final_name).then(|| entry.path())
+    })
+}
+
+/// An artifact must appear under its final name only when complete: the
+/// writer streams to a writer-unique `*.tmp-<pid>-<seq>` sibling and
+/// renames on finish, in both encodings.
+#[test]
+fn artifacts_finalize_atomically_via_tmp_rename() {
+    use simkit::persist::Compression;
+    for compression in [Compression::None, Compression::Deflate] {
+        let path = compression.apply_to(&scratch("atomic"));
+        let mut writer = ArtifactWriter::create_with(
+            &path,
+            &manifest(ArtifactKind::Trace, RecordingMode::Full),
+            compression,
+        )
+        .unwrap();
+        let ch = writer.channel("x", RecordingMode::Full).unwrap();
+        for i in 0..10u64 {
+            writer
+                .sample(ch, simkit::TimeSlot::new(i), i as f64)
+                .unwrap();
+        }
+        // Mid-write: all bytes live under the temporary name.
+        let tmp = in_flight_tmp(&path).expect("tmp file while writing");
+        assert!(
+            !path.exists(),
+            "{compression:?}: no final file while writing"
+        );
+
+        writer.finish().unwrap();
+        assert!(path.exists(), "{compression:?}: final file after finish");
+        assert!(!tmp.exists(), "{compression:?}: tmp renamed away by finish");
+        read_artifact(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Abandoning a writer without finishing (error paths with live
+/// destructors) removes the in-flight temporary and never creates the
+/// final file.
+#[test]
+fn abandoned_writer_cleans_up_its_temporary() {
+    let path = scratch("abandoned");
+    let mut writer =
+        ArtifactWriter::create(&path, &manifest(ArtifactKind::Trace, RecordingMode::Full)).unwrap();
+    let ch = writer.channel("x", RecordingMode::Full).unwrap();
+    writer.sample(ch, simkit::TimeSlot::new(0), 1.0).unwrap();
+    let tmp = in_flight_tmp(&path).expect("tmp file while writing");
+    drop(writer);
+    assert!(!tmp.exists(), "drop must remove the temporary");
+    assert!(!path.exists(), "an unfinished artifact must never appear");
+}
+
+/// `is_tmp_for` recognizes exactly the writer's temporary naming scheme —
+/// for any pid, but never for unrelated siblings.
+#[test]
+fn tmp_naming_roundtrips_through_is_tmp_for() {
+    use simkit::persist::{is_tmp_for, tmp_path};
+    let path = std::path::Path::new("cell-s0-r1-p2.trace.jsonl");
+    let tmp = tmp_path(path);
+    let tmp_name = tmp.file_name().unwrap().to_string_lossy();
+    assert!(is_tmp_for(&tmp_name, "cell-s0-r1-p2.trace.jsonl"));
+    assert!(is_tmp_for("x.jsonl.tmp-999", "x.jsonl"), "pid-only shape");
+    assert!(is_tmp_for("x.jsonl.tmp-999-7", "x.jsonl"), "pid-seq shape");
+    assert!(is_tmp_for("x.jsonl.z.tmp-1", "x.jsonl.z"));
+    assert!(!is_tmp_for("x.jsonl.tmp-", "x.jsonl"), "pid required");
+    assert!(!is_tmp_for("x.jsonl.tmp-12a", "x.jsonl"), "digits only");
+    assert!(!is_tmp_for("x.jsonl.tmp-12-", "x.jsonl"), "seq required");
+    assert!(!is_tmp_for("x.jsonl.tmp-1-2-3", "x.jsonl"), "one seq only");
+    assert!(!is_tmp_for("x.jsonl", "x.jsonl"), "the final file itself");
+    assert!(!is_tmp_for("y.jsonl.tmp-1", "x.jsonl"), "other artifacts");
+    assert!(!is_tmp_for("x.jsonl.lease", "x.jsonl"), "lease siblings");
 }
 
 #[test]
