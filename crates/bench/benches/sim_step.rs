@@ -115,6 +115,52 @@ fn bench_step_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lockstep batched replicates of the fig1a cell (`aoi_cache::run_batch`,
+/// SummaryOnly): 8 seed replicates advanced serially one-by-one versus in
+/// lockstep chunks of 1/2/8 through the structure-of-arrays batch kernel.
+/// Throughput is per replicate-slot (8 × horizon elements), so the ratio of
+/// `serial_x8` to `lockstep_b8` is the per-slot speedup of the batched step
+/// path; every variant returns bit-identical reports.
+fn bench_batched_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step/batched");
+    group.sample_size(20);
+    let scenario = fig1a_scenario();
+    const REPLICATES: u64 = 8;
+    group.throughput(criterion::Throughput::Elements(
+        REPLICATES * scenario.horizon as u64,
+    ));
+    let sims: Vec<CacheSimulation> = (0..REPLICATES)
+        .map(|i| {
+            CacheSimulation::new(aoi_cache::CacheScenario {
+                seed: scenario.seed + i,
+                ..scenario
+            })
+            .expect("valid preset")
+            .with_recording(RecordingMode::SummaryOnly)
+        })
+        .collect();
+    group.bench_function("serial_x8", |b| {
+        b.iter(|| {
+            for sim in &sims {
+                std::hint::black_box(sim.run(CachePolicyKind::Myopic).expect("runs"));
+            }
+        })
+    });
+    for batch in [1usize, 2, 8] {
+        group.bench_function(format!("lockstep_b{batch}"), |b| {
+            b.iter(|| {
+                for chunk in sims.chunks(batch) {
+                    let refs: Vec<&CacheSimulation> = chunk.iter().collect();
+                    std::hint::black_box(
+                        aoi_cache::run_batch(&refs, CachePolicyKind::Myopic).expect("runs"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The fig1b service loop (1000 slots, Lyapunov rule): already
 /// allocation-free per slot; tracked here so regressions in the stage-2
 /// step path show up alongside the stage-1 numbers.
@@ -177,7 +223,13 @@ fn allocation_report() {
     );
 }
 
-criterion_group!(benches, bench_decide, bench_step_loop, bench_service_loop);
+criterion_group!(
+    benches,
+    bench_decide,
+    bench_step_loop,
+    bench_batched_step,
+    bench_service_loop
+);
 
 fn main() {
     let mut criterion = Criterion::configure_from_args();

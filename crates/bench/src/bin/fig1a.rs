@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         resume: false,
         claim: false,
         horizon: true,
+        batch: false,
         positional: None,
     }
     .parse()?;

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         resume: false,
         claim: false,
         horizon: false,
+        batch: false,
         positional: None,
     }
     .parse()?;

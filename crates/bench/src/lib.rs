@@ -71,6 +71,7 @@ pub struct Positional {
 ///     resume: true,
 ///     claim: true,
 ///     horizon: true,
+///     batch: true,
 ///     positional: Some(aoi_bench::Positional {
 ///         name: "n_seeds",
 ///         help: "seed replicates per policy (default 5)",
@@ -99,6 +100,10 @@ pub struct CliSpec {
     pub claim: bool,
     /// Accept `--horizon N` (override every scenario's horizon).
     pub horizon: bool,
+    /// Accept `--batch N` (lockstep batch width for cache-grid cells; see
+    /// [`aoi_cache::ExperimentPlan::batch`] — results are bit-identical
+    /// for every width).
+    pub batch: bool,
     /// At most one positional argument.
     pub positional: Option<Positional>,
 }
@@ -114,6 +119,7 @@ impl CliSpec {
             resume: false,
             claim: false,
             horizon: false,
+            batch: false,
             positional: None,
         }
     }
@@ -150,6 +156,7 @@ impl CliSpec {
             worker_id: None,
             lease_ttl_ms: None,
             horizon: None,
+            batch: None,
             positional: None,
         };
         let mut iter = args.into_iter();
@@ -188,6 +195,14 @@ impl CliSpec {
                         .filter(|n| *n >= 1)
                         .ok_or_else(|| self.error("--lease-ttl-ms needs a positive integer"))?;
                     parsed.lease_ttl_ms = Some(n);
+                }
+                "--batch" if self.batch => {
+                    let n: usize = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| self.error("--batch needs a positive integer"))?;
+                    parsed.batch = Some(n);
                 }
                 "--horizon" if self.horizon => {
                     let n: usize = iter
@@ -267,6 +282,11 @@ impl CliSpec {
         if self.horizon {
             text.push_str("  --horizon N    override every scenario's horizon (quick runs/CI)\n");
         }
+        if self.batch {
+            text.push_str(
+                "  --batch N      advance N seed replicates of each cell in lockstep\n                 (bit-identical results for every N; default 1)\n",
+            );
+        }
         text.push_str("  --help         show this text\n");
         text
     }
@@ -291,6 +311,8 @@ pub struct CliArgs {
     pub lease_ttl_ms: Option<u64>,
     /// `--horizon N`, when accepted and given.
     pub horizon: Option<usize>,
+    /// `--batch N`, when accepted and given.
+    pub batch: Option<usize>,
     /// The positional argument, when accepted and given.
     pub positional: Option<String>,
 }
@@ -308,6 +330,7 @@ mod tests {
             resume: true,
             claim: true,
             horizon: true,
+            batch: true,
             positional: Some(Positional {
                 name: "n",
                 help: "a number",
@@ -327,6 +350,7 @@ mod tests {
         assert_eq!(parsed.compression, Compression::None);
         assert!(!parsed.resume);
         assert_eq!(parsed.horizon, None);
+        assert_eq!(parsed.batch, None);
         assert_eq!(parsed.positional, None);
     }
 
@@ -345,6 +369,8 @@ mod tests {
                 "--resume",
                 "--horizon",
                 "200",
+                "--batch",
+                "8",
             ]))
             .unwrap();
         assert_eq!(parsed.workers, Some(4));
@@ -353,6 +379,7 @@ mod tests {
         assert_eq!(parsed.compression, Compression::Deflate);
         assert!(parsed.resume);
         assert_eq!(parsed.horizon, Some(200));
+        assert_eq!(parsed.batch, Some(8));
         assert_eq!(parsed.positional.as_deref(), Some("7"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -364,6 +391,8 @@ mod tests {
             args(&["--workers", "0"]),
             args(&["--workers", "many"]),
             args(&["--horizon", "0"]),
+            args(&["--batch", "0"]),
+            args(&["--batch"]),
             args(&["--out"]),
             args(&["--nope"]),
             args(&["1", "2"]),
@@ -417,6 +446,7 @@ mod tests {
             "--resume",
             "--claim",
             "--horizon",
+            "--batch",
         ] {
             assert!(
                 bare.parse_from(args(&[flag, "1"])).is_err(),
@@ -439,6 +469,7 @@ mod tests {
             "--worker-id",
             "--lease-ttl-ms",
             "--horizon",
+            "--batch",
         ] {
             assert!(full.contains(needle), "{needle} missing from {full}");
         }
@@ -450,6 +481,7 @@ mod tests {
             "--resume",
             "--claim",
             "--horizon",
+            "--batch",
         ] {
             assert!(!bare.contains(needle), "{needle} leaked into {bare}");
         }

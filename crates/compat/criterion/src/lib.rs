@@ -11,7 +11,10 @@
 //! per-batch times — so the BENCH trajectory captures tail latency, not
 //! just the average — with none of criterion's heavier statistics. Passing
 //! `--test` (as `cargo bench -- --test` does) runs every benchmark body
-//! exactly once, which keeps CI smoke runs fast.
+//! exactly once, which keeps CI smoke runs fast. Passing `--json PATH`
+//! additionally writes every report as machine-readable JSON to `PATH`
+//! when the harness finishes (the `BENCH_*.json` files in the repo root
+//! are produced this way).
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +26,8 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     test_mode: bool,
     sample_size: usize,
+    json_path: Option<std::path::PathBuf>,
+    json_entries: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -30,17 +35,27 @@ impl Default for Criterion {
         Criterion {
             test_mode: false,
             sample_size: 20,
+            json_path: None,
+            json_entries: Vec::new(),
         }
     }
 }
 
 impl Criterion {
     /// Builds a harness from the process arguments (`--test` selects
-    /// run-once smoke mode; all other harness flags are ignored).
+    /// run-once smoke mode, `--json PATH` arms the JSON report sink; all
+    /// other harness flags are ignored).
     pub fn configure_from_args() -> Self {
-        let test_mode = std::env::args().any(|a| a == "--test");
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let json_path = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
         Criterion {
             test_mode,
+            json_path,
             ..Criterion::default()
         }
     }
@@ -58,15 +73,70 @@ impl Criterion {
     /// Benchmarks a single function outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
         let report = run_benchmark(self.test_mode, self.sample_size, &mut f);
-        print_report(&name.to_string(), &report, None);
+        let name = name.to_string();
+        print_report(&name, &report, None);
+        self.record(&name, &report, None);
     }
 
-    /// Prints the closing summary (called by `criterion_main!`).
+    /// Appends one report to the pending `--json` entries (no-op without
+    /// the flag).
+    fn record(&mut self, name: &str, report: &Report, throughput: Option<&Throughput>) {
+        if self.json_path.is_none() {
+            return;
+        }
+        let throughput_field = match throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        self.json_entries.push(format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"iters\":{}{}}}",
+            json_escape(name),
+            report.mean.as_nanos(),
+            report.p50.as_nanos(),
+            report.p95.as_nanos(),
+            report.iters,
+            throughput_field,
+        ));
+    }
+
+    /// Prints the closing summary and flushes the `--json` report, if armed
+    /// (called by `criterion_main!`).
     pub fn final_summary(&self) {
         if self.test_mode {
             println!("criterion-compat: all benchmarks executed once (--test mode)");
         }
+        if let Some(path) = &self.json_path {
+            let body = format!(
+                "{{\"benchmarks\":[\n{}\n]}}\n",
+                self.json_entries.join(",\n")
+            );
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!(
+                    "criterion-compat: cannot write --json {}: {e}",
+                    path.display()
+                );
+            } else {
+                println!(
+                    "criterion-compat: wrote {} reports to {}",
+                    self.json_entries.len(),
+                    path.display()
+                );
+            }
+        }
     }
+}
+
+/// Escapes a benchmark name for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named set of benchmarks sharing configuration.
@@ -98,11 +168,10 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let report = run_benchmark(self.criterion.test_mode, samples, &mut f);
-        print_report(
-            &format!("{}/{}", self.name, id),
-            &report,
-            self.throughput.as_ref(),
-        );
+        let name = format!("{}/{}", self.name, id);
+        print_report(&name, &report, self.throughput.as_ref());
+        self.criterion
+            .record(&name, &report, self.throughput.as_ref());
         self
     }
 
@@ -207,8 +276,13 @@ impl Bencher {
             iters += batch;
         }
         self.mean = total / iters.max(1) as u32;
-        self.p50 = Duration::from_nanos(percentile_of(&mut batch_ns, 50.0) as u64);
-        self.p95 = Duration::from_nanos(percentile_of(&mut batch_ns, 95.0) as u64);
+        // The calibrated batch always does real work, so a measured tail
+        // must never report as zero: sub-nanosecond per-iteration times
+        // (tiny bodies the calibration cap could not stretch to 2 ms, or
+        // hosts with a coarse monotonic clock) round *up* to 1 ns instead
+        // of truncating to 0.
+        self.p50 = Duration::from_nanos(percentile_of(&mut batch_ns, 50.0).max(1.0) as u64);
+        self.p95 = Duration::from_nanos(percentile_of(&mut batch_ns, 95.0).max(1.0) as u64);
         self.iters = iters;
     }
 }
@@ -337,6 +411,7 @@ mod tests {
         let mut c = Criterion {
             test_mode: true,
             sample_size: 5,
+            ..Criterion::default()
         };
         c.bench_function("noop", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1);
@@ -347,6 +422,7 @@ mod tests {
         let mut c = Criterion {
             test_mode: true,
             sample_size: 5,
+            ..Criterion::default()
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(3).throughput(Throughput::Elements(10));
@@ -362,6 +438,7 @@ mod tests {
         let mut c = Criterion {
             test_mode: false,
             sample_size: 2,
+            ..Criterion::default()
         };
         let mut group = c.benchmark_group("m");
         group.sample_size(2).bench_function("spin", |b| {
@@ -413,5 +490,48 @@ mod tests {
         assert!(bencher.p50 > Duration::ZERO);
         // Tail percentiles are ordered: p50 <= p95.
         assert!(bencher.p95 >= bencher.p50);
+    }
+
+    /// Sub-nanosecond per-iteration times must round up, not truncate the
+    /// tail report to zero (the old `as u64` truncation made this test
+    /// flaky on fast hosts).
+    #[test]
+    fn sub_nanosecond_bodies_still_report_positive_tails() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            samples: 2,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p95: Duration::ZERO,
+            iters: 0,
+        };
+        bencher.iter(|| std::hint::black_box(1u64));
+        assert!(bencher.p50 > Duration::ZERO);
+        assert!(bencher.p95 >= bencher.p50);
+    }
+
+    #[test]
+    fn json_entries_flush_to_the_sink_path() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-compat-json-{}.json", std::process::id()));
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 2,
+            json_path: Some(path.clone()),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3));
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("solo \"quoted\"", |b| b.iter(|| 2 + 2));
+        c.final_summary();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\":\"g/one\""), "{body}");
+        assert!(body.contains("\"elements\":3"), "{body}");
+        assert!(body.contains("solo \\\"quoted\\\""), "{body}");
+        assert!(body.starts_with("{\"benchmarks\":["), "{body}");
+        assert!(body.trim_end().ends_with("]}"), "{body}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -127,6 +127,44 @@ fn assert_horizon_free_spilled(
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The lockstep batched step path must be horizon-free too: after its
+/// one-time plane setup, `aoi_cache::run_batch` advances every lane with
+/// zero heap allocation per slot — so a 4-replicate batch allocates
+/// exactly as often at 64 slots as at 512.
+fn assert_batched_horizon_free(kind: CachePolicyKind) {
+    let batch = |horizon: usize| -> Vec<CacheSimulation> {
+        (0..4u64)
+            .map(|i| {
+                CacheSimulation::new(CacheScenario {
+                    seed: 42 + i,
+                    ..*sim(horizon, RecordingMode::SummaryOnly).scenario()
+                })
+                .unwrap()
+                .with_recording(RecordingMode::SummaryOnly)
+            })
+            .collect()
+    };
+    let short = batch(64);
+    let long = batch(512);
+    let run = |sims: &[CacheSimulation]| {
+        let refs: Vec<&CacheSimulation> = sims.iter().collect();
+        let _ = aoi_cache::run_batch(&refs, kind).unwrap();
+    };
+    executor::serialized(|| {
+        run(&short);
+        run(&long);
+        let a = allocations_during(|| run(&short));
+        let b = allocations_during(|| run(&long));
+        assert_eq!(
+            a,
+            b,
+            "{} (batched x4): allocation count must not scale with the \
+             horizon (64 slots: {a}, 512 slots: {b})",
+            kind.label()
+        );
+    });
+}
+
 /// One test function for the whole binary (the same discipline as
 /// `mdp/tests/pool_per_solve.rs`): concurrently running tests would spawn
 /// harness threads into each other's measurement windows and shift the
@@ -171,4 +209,9 @@ fn simulation_hot_loop_is_allocation_free() {
         RecordingMode::Full,
         Compression::Deflate,
     );
+    // The lockstep batch kernel: both a lane-batched decider (myopic,
+    // vectorized gains) and the generic boxed-policy fallback (the paper's
+    // value-iteration policy) keep the batched slot loop heap-free.
+    assert_batched_horizon_free(CachePolicyKind::Myopic);
+    assert_batched_horizon_free(CachePolicyKind::ValueIteration { gamma: 0.9 });
 }

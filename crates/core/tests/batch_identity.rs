@@ -1,0 +1,149 @@
+//! Property tests for the lockstep batch engine: for **every** batch
+//! width, [`aoi_cache::run_batch`] must reproduce the serial
+//! [`CacheSimulation::run`] reports bit for bit — the structure-of-arrays
+//! summary fast path and the interleaved state machine alike, across
+//! policy kinds (lane-batched deciders, RNG-driven deciders, and the
+//! generic boxed-policy path), seeds, scenario shapes and recording modes.
+//!
+//! Widths exercised per case: 1, 2, 7 and the full replicate count —
+//! degenerate, even, prime-straddling and single-chunk splits.
+
+use aoi_cache::{CachePolicyKind, CacheRunReport, CacheScenario, CacheSimulation, RecordingMode};
+use proptest::prelude::*;
+
+/// Replicate sims of one grid cell: same scenario, consecutive seeds.
+fn replicates(base: CacheScenario, recording: RecordingMode, n: usize) -> Vec<CacheSimulation> {
+    (0..n as u64)
+        .map(|i| {
+            CacheSimulation::new(CacheScenario {
+                seed: base.seed + i,
+                ..base
+            })
+            .expect("valid scenario")
+            .with_recording(recording)
+        })
+        .collect()
+}
+
+/// Serial reference: each replicate run on its own.
+fn serial_reports(sims: &[CacheSimulation], kind: CachePolicyKind) -> Vec<CacheRunReport> {
+    sims.iter()
+        .map(|sim| sim.run(kind).expect("runs"))
+        .collect()
+}
+
+/// Lockstep runs chunked at `width`, in replicate order.
+fn batched_reports(
+    sims: &[CacheSimulation],
+    kind: CachePolicyKind,
+    width: usize,
+) -> Vec<CacheRunReport> {
+    let mut reports = Vec::with_capacity(sims.len());
+    for chunk in sims.chunks(width) {
+        let refs: Vec<&CacheSimulation> = chunk.iter().collect();
+        reports.extend(aoi_cache::run_batch(&refs, kind).expect("runs"));
+    }
+    reports
+}
+
+/// Asserts serial/batched bit-identity at widths 1, 2, 7 and `n`.
+fn assert_widths_match(
+    base: CacheScenario,
+    recording: RecordingMode,
+    kind: CachePolicyKind,
+    n: usize,
+) {
+    let sims = replicates(base, recording, n);
+    let want = serial_reports(&sims, kind);
+    for width in [1usize, 2, 7, n] {
+        let got = batched_reports(&sims, kind, width);
+        prop_assert_eq!(
+            &got,
+            &want,
+            "batch width {} must be bit-identical to serial ({}, {:?})",
+            width,
+            kind.label(),
+            recording
+        );
+    }
+}
+
+/// Strategy: a small but shape-diverse scenario (the exact-MDP solvers
+/// never run here, so the horizon is the only cost driver).
+fn arb_scenario() -> impl Strategy<Value = CacheScenario> {
+    (1usize..=2, 2usize..=4, 4u32..=6, 16usize..=48, 0u64..1000).prop_map(
+        |(n_rsus, per_rsu, cap, horizon, seed)| CacheScenario {
+            n_rsus,
+            regions_per_rsu: per_rsu,
+            age_cap: cap,
+            max_age_min: 2,
+            max_age_max: cap - 1,
+            horizon,
+            seed,
+            ..CacheScenario::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The summary fast path's lane-batched deciders (myopic vectorized
+    /// gains, RNG-only random, no-op never) against serial runs.
+    #[test]
+    fn summary_lane_batches_are_bit_identical(
+        scenario in arb_scenario(),
+        n in 3usize..=9,
+        probability in 0.0f64..1.0,
+    ) {
+        for kind in [
+            CachePolicyKind::Myopic,
+            CachePolicyKind::Random { probability },
+            CachePolicyKind::Never,
+        ] {
+            assert_widths_match(scenario, RecordingMode::SummaryOnly, kind, n);
+        }
+    }
+
+    /// The interleaved engine (full and decimated trace retention falls
+    /// off the summary fast path) against serial runs.
+    #[test]
+    fn interleaved_batches_are_bit_identical(
+        scenario in arb_scenario(),
+        n in 3usize..=6,
+        probability in 0.0f64..1.0,
+    ) {
+        for recording in [RecordingMode::Full, RecordingMode::Decimate(4)] {
+            assert_widths_match(
+                scenario,
+                recording,
+                CachePolicyKind::Random { probability },
+                n,
+            );
+        }
+    }
+}
+
+/// The generic boxed-policy decider inside the summary fast path (every
+/// kind that is not lane-batched — here the paper's value-iteration
+/// policy, whose decisions read the canonical ages every slot).
+#[test]
+fn generic_decider_batches_are_bit_identical() {
+    let scenario = CacheScenario {
+        n_rsus: 2,
+        regions_per_rsu: 3,
+        age_cap: 5,
+        max_age_min: 2,
+        max_age_max: 4,
+        horizon: 40,
+        seed: 7,
+        ..CacheScenario::default()
+    };
+    let kind = CachePolicyKind::ValueIteration { gamma: 0.9 };
+    let sims = replicates(scenario, RecordingMode::SummaryOnly, 5);
+    let want = serial_reports(&sims, kind);
+    for width in [1usize, 2, 7, 5] {
+        let got = batched_reports(&sims, kind, width);
+        assert_eq!(got, want, "generic decider, batch width {width}");
+    }
+}

@@ -21,6 +21,40 @@
 //! state's backup reads only the previous iterate), so serial and parallel
 //! runs are bit-for-bit identical.
 //!
+//! # Data-parallel sweep kernel
+//!
+//! Besides the exact CSR rows, compilation builds a **lane-padded mirror**
+//! of the transition arrays: every row's `(next, probability)` pairs are
+//! padded up to a multiple of [`LANES`] with explicit `probability = 0.0`
+//! no-op entries, so the `Σ p·V(s')` gather runs as fixed-width f64 lane
+//! batches with no tail loop — a shape the stable-Rust autovectorizer
+//! turns into packed multiply-adds. The per-row validity bit test is
+//! hoisted out of the action loop (one bitmap word covers all of a
+//! state's rows until the row index crosses a word boundary), and sweeps
+//! walk the state space in cache-blocked ranges
+//! ([`simkit::executor::run_rounds_blocked`]) so a block's output slice
+//! and streamed row data stay cache-resident.
+//!
+//! For **deterministic** models (every row at most one transition — the
+//! cache MDP under static popularity) compilation additionally builds an
+//! action-major dense mirror, and blocked sweeps batch across *states*
+//! instead: the inner loop streams `(expected, probability, next)`
+//! contiguously with one `values` gather per row and no per-row validity
+//! test (invalid rows are folded into the data as `-∞` expected rewards
+//! that the over-actions max skips). Per row this is the same multiply
+//! and add set as the scalar kernel, so deterministic sweeps agree
+//! exactly (`==`) with the per-state backup.
+//!
+//! **Where bit-identity holds:** rows with a single transition — every row
+//! of the cache MDP under static popularity — are bitwise identical to the
+//! scalar kernel ([`CompiledMdp::q_value_scalar`]): padding lanes multiply
+//! `0.0` by a finite value and add the resulting signed zero, which is an
+//! exact no-op. Rows with two or more transitions reassociate the gather
+//! sum `(a₀+a₁)+(a₂+a₃)` instead of accumulating left-to-right, so lane
+//! and scalar Q-values may differ by a few ulps there; the equivalence
+//! tests bound that drift explicitly (`q_values_match_callback_path`,
+//! `lane_and_scalar_q_values_agree_to_ulps`).
+//!
 //! ```
 //! use mdp::{reference, CompiledMdp, FiniteMdp};
 //! use mdp::solver::ValueIteration;
@@ -66,7 +100,35 @@ pub struct CompiledMdp {
     /// Validity bitmap: bit `row % 64` of word `row / 64` marks a non-empty
     /// row.
     valid: Vec<u64>,
+    /// Lane-padded row bounds: `lane_ptr[row] .. lane_ptr[row + 1]` indexes
+    /// row `row` inside `lane_next`/`lane_prob`; every span's length is a
+    /// multiple of [`LANES`].
+    lane_ptr: Vec<usize>,
+    /// Lane-padded destination states (`u32`; compilation rejects models
+    /// with more than `u32::MAX` states). Padding entries repeat the row's
+    /// first real destination so their `0.0 · V(s')` product carries the
+    /// same sign as the row's genuine terms.
+    lane_next: Vec<u32>,
+    /// Lane-padded transition probabilities (padding entries are `0.0`).
+    lane_prob: Vec<f64>,
+    /// Action-major dense destinations, built only for **deterministic**
+    /// models (every row has at most one transition — the cache MDP under
+    /// static popularity): slot `action * n_states + state`. Empty for
+    /// stochastic models.
+    det_next: Vec<u32>,
+    /// Action-major dense probabilities (`0.0` for invalid rows, so their
+    /// gather term is an exact no-op).
+    det_prob: Vec<f64>,
+    /// Action-major dense expected rewards; invalid rows carry `-∞`, so the
+    /// over-actions max skips them without a bitmap test.
+    det_expected: Vec<f64>,
 }
+
+/// Fixed f64 lane width of the padded sweep kernel: four independent
+/// accumulators break the gather's floating-point add dependency chain and
+/// map onto one AVX2 register (two SSE2 registers); see the module docs
+/// for the exact bit-identity guarantees.
+pub const LANES: usize = 4;
 
 impl CompiledMdp {
     /// Enumerates every `(state, action)` row of `mdp` into CSR form.
@@ -84,6 +146,14 @@ impl CompiledMdp {
         let n_actions = mdp.n_actions();
         if n_states == 0 || n_actions == 0 {
             return Err(MdpError::EmptyModel);
+        }
+        // The lane mirror stores destinations as u32 to halve its gather
+        // bandwidth; every practical model is orders of magnitude smaller.
+        if u32::try_from(n_states).is_err() {
+            return Err(MdpError::BadParameter {
+                what: "n_states",
+                valid: "at most u32::MAX states",
+            });
         }
         let n_rows = n_states
             .checked_mul(n_actions)
@@ -140,6 +210,58 @@ impl CompiledMdp {
                 });
             }
         }
+
+        // Lane-padded mirror of (next, probability): each row rounded up
+        // to a LANES multiple with 0.0-probability entries pointing at the
+        // row's first real destination (see the field docs for why).
+        let mut lane_ptr = Vec::with_capacity(n_rows + 1);
+        lane_ptr.push(0);
+        let mut lane_next = Vec::new();
+        let mut lane_prob = Vec::new();
+        for row in 0..n_rows {
+            let span = row_ptr[row]..row_ptr[row + 1];
+            let pad_to = span.len().next_multiple_of(LANES);
+            let anchor = next.get(span.start).copied().unwrap_or(0) as u32;
+            for i in span.clone() {
+                lane_next.push(next[i] as u32);
+                lane_prob.push(probability[i]);
+            }
+            for _ in span.len()..pad_to {
+                lane_next.push(anchor);
+                lane_prob.push(0.0);
+            }
+            lane_ptr.push(lane_next.len());
+        }
+
+        // Action-major dense mirror for deterministic models: the blocked
+        // sweep then runs action-outer / state-inner over contiguous
+        // streams (one value gather per row) with validity folded into the
+        // data — invalid rows carry expected = -∞ and probability = 0.0,
+        // so the over-states loop has no branch and no bitmap test.
+        let deterministic = (0..n_rows).all(|row| row_ptr[row + 1] - row_ptr[row] <= 1);
+        let (det_next, det_prob, det_expected) = if deterministic {
+            let mut det_next = vec![0u32; n_rows];
+            let mut det_prob = vec![0.0f64; n_rows];
+            let mut det_expected = vec![f64::NEG_INFINITY; n_rows];
+            for s in 0..n_states {
+                for a in 0..n_actions {
+                    let row = s * n_actions + a;
+                    if valid[row / 64] & (1 << (row % 64)) == 0 {
+                        continue;
+                    }
+                    // A valid row of a deterministic model has exactly one
+                    // transition.
+                    let slot = a * n_states + s;
+                    det_next[slot] = next[row_ptr[row]] as u32;
+                    det_prob[slot] = probability[row_ptr[row]];
+                    det_expected[slot] = expected[row];
+                }
+            }
+            (det_next, det_prob, det_expected)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
         Ok(CompiledMdp {
             n_states,
             n_actions,
@@ -149,6 +271,12 @@ impl CompiledMdp {
             reward,
             expected,
             valid,
+            lane_ptr,
+            lane_next,
+            lane_prob,
+            det_next,
+            det_prob,
+            det_expected,
         })
     }
 
@@ -167,6 +295,13 @@ impl CompiledMdp {
         self.next.len()
     }
 
+    /// Whether the action-major dense mirror was built (every row has at
+    /// most one transition), i.e. whether blocked sweeps take the
+    /// deterministic fast path.
+    pub fn is_deterministic(&self) -> bool {
+        !self.det_expected.is_empty()
+    }
+
     /// Whether the `(state, action)` row is non-empty.
     #[inline]
     pub fn is_valid(&self, state: usize, action: usize) -> bool {
@@ -179,11 +314,11 @@ impl CompiledMdp {
     #[inline]
     pub fn row(&self, state: usize, action: usize) -> (&[usize], &[f64], &[f64]) {
         let row = state * self.n_actions + action;
-        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
         (
-            &self.next[span.clone()],
-            &self.probability[span.clone()],
-            &self.reward[span],
+            &self.next[lo..hi],
+            &self.probability[lo..hi],
+            &self.reward[lo..hi],
         )
     }
 
@@ -193,17 +328,68 @@ impl CompiledMdp {
         self.expected[state * self.n_actions + action]
     }
 
+    /// The expected next-state value `Σ p · V(s')` of one row, gathered
+    /// through the lane-padded mirror: [`LANES`] independent accumulators,
+    /// no tail loop, combined pairwise at the end. Bitwise equal to the
+    /// scalar left-to-right sum for rows with at most one transition;
+    /// within ulps otherwise (see the module docs).
+    #[inline]
+    fn lane_future(&self, row: usize, values: &[f64]) -> f64 {
+        let (lo, hi) = (self.lane_ptr[row], self.lane_ptr[row + 1]);
+        if hi - lo == LANES {
+            // Single-chunk rows (≤ 4 real transitions — every row of the
+            // cache MDP) skip the chunk iterator: same 4 products combined
+            // in the same pairwise order, so the result is bitwise equal
+            // to the general loop below.
+            let n = &self.lane_next[lo..lo + LANES];
+            let p = &self.lane_prob[lo..lo + LANES];
+            return (p[0] * values[n[0] as usize] + p[1] * values[n[1] as usize])
+                + (p[2] * values[n[2] as usize] + p[3] * values[n[3] as usize]);
+        }
+        let next = &self.lane_next[lo..hi];
+        let prob = &self.lane_prob[lo..hi];
+        let mut acc = [0.0f64; LANES];
+        for (n, p) in next.chunks_exact(LANES).zip(prob.chunks_exact(LANES)) {
+            for l in 0..LANES {
+                acc[l] += p[l] * values[n[l] as usize];
+            }
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
     /// One-step lookahead `Q(s, a) = E[r] + γ Σ p · V(s')`, or `None` for an
-    /// invalid action.
+    /// invalid action. Computed through the lane-padded gather
+    /// (`lane_future` — see the module docs for where this is bitwise
+    /// equal to [`q_value_scalar`](Self::q_value_scalar)).
     #[inline]
     pub fn q_value(&self, state: usize, action: usize, values: &[f64], gamma: f64) -> Option<f64> {
         if !self.is_valid(state, action) {
             return None;
         }
         let row = state * self.n_actions + action;
-        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        Some(self.expected[row] + gamma * self.lane_future(row, values))
+    }
+
+    /// [`q_value`](Self::q_value) through the original scalar left-to-right
+    /// CSR gather. Kept as the reference kernel: the tolerance-based
+    /// equivalence tests compare the lane kernel against it, and the
+    /// `solvers` bench group reports both so the lane speedup stays
+    /// measured.
+    #[inline]
+    pub fn q_value_scalar(
+        &self,
+        state: usize,
+        action: usize,
+        values: &[f64],
+        gamma: f64,
+    ) -> Option<f64> {
+        if !self.is_valid(state, action) {
+            return None;
+        }
+        let row = state * self.n_actions + action;
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
         let mut future = 0.0;
-        for (p, nx) in self.probability[span.clone()].iter().zip(&self.next[span]) {
+        for (p, nx) in self.probability[lo..hi].iter().zip(&self.next[lo..hi]) {
             future += p * values[*nx];
         }
         Some(self.expected[row] + gamma * future)
@@ -212,20 +398,15 @@ impl CompiledMdp {
     /// Bellman-optimality backup of one state: `max_a Q(s, a)` over valid
     /// actions.
     #[inline]
-    pub(crate) fn backup_state(&self, state: usize, values: &[f64], gamma: f64) -> f64 {
-        let mut best = f64::NEG_INFINITY;
-        for a in 0..self.n_actions {
-            if let Some(q) = self.q_value(state, a, values, gamma) {
-                if q > best {
-                    best = q;
-                }
-            }
-        }
-        best
+    pub fn backup_state(&self, state: usize, values: &[f64], gamma: f64) -> f64 {
+        self.backup_state_with_action(state, values, gamma).0
     }
 
     /// Backup of one state with its argmax action (ties break to the lowest
-    /// action index).
+    /// action index). The validity word is hoisted out of the action loop:
+    /// a state's rows are consecutive, so one 64-bit bitmap word covers
+    /// them until the row index crosses a word boundary (at most once per
+    /// state for every model with ≤ 64 actions).
     #[inline]
     pub(crate) fn backup_state_with_action(
         &self,
@@ -233,31 +414,106 @@ impl CompiledMdp {
         values: &[f64],
         gamma: f64,
     ) -> (f64, usize) {
+        let base = state * self.n_actions;
+        let mut word_idx = base / 64;
+        let mut word = self.valid[word_idx];
         let mut best = f64::NEG_INFINITY;
         let mut best_a = 0;
         for a in 0..self.n_actions {
-            if let Some(q) = self.q_value(state, a, values, gamma) {
-                if q > best {
-                    best = q;
-                    best_a = a;
-                }
+            let row = base + a;
+            let w = row / 64;
+            if w != word_idx {
+                word_idx = w;
+                word = self.valid[w];
+            }
+            if word & (1 << (row % 64)) == 0 {
+                continue;
+            }
+            let q = self.expected[row] + gamma * self.lane_future(row, values);
+            if q > best {
+                best = q;
+                best_a = a;
             }
         }
         (best, best_a)
     }
 
-    /// Greedy policy with respect to `values` (CSR counterpart of
-    /// [`solver::greedy_policy`](crate::solver::greedy_policy)).
+    /// Bellman-optimality backups of a contiguous state range, written into
+    /// `out` (`out[0]` is `states.start`). This is the blocked sweep body
+    /// the solvers run under the crate's blocked sweep driver: row data streams
+    /// linearly through the block while the iterate stays cache-hot.
     ///
     /// # Panics
     ///
-    /// Panics if `values.len() != n_states()`.
-    pub fn greedy_policy(&self, values: &[f64], gamma: f64) -> TabularPolicy {
-        assert_eq!(values.len(), self.n_states, "value vector length mismatch");
+    /// Panics (in debug builds) if `out.len() != states.len()`.
+    pub fn backup_block(
+        &self,
+        states: std::ops::Range<usize>,
+        values: &[f64],
+        out: &mut [f64],
+        gamma: f64,
+    ) {
+        debug_assert_eq!(out.len(), states.len(), "output block length mismatch");
+        if !self.det_expected.is_empty() {
+            return self.backup_block_dense(states, values, out, gamma);
+        }
+        for (slot, s) in out.iter_mut().zip(states) {
+            *slot = self.backup_state(s, values, gamma);
+        }
+    }
+
+    /// [`backup_block`](Self::backup_block) over the action-major dense
+    /// mirror of a deterministic model: action-outer / state-inner, so the
+    /// inner loop streams `(expected, probability, next)` contiguously
+    /// with exactly one `values` gather per row and folds validity into
+    /// the data (invalid rows are `-∞ + γ·0`, which the strict max skips).
+    /// Per row this performs the same multiply and add set as the scalar
+    /// kernel's single-term gather, so the results agree exactly
+    /// (`==`) with [`backup_state`](Self::backup_state); ties in the max
+    /// resolve identically because both iterate actions in ascending order
+    /// with strict improvement.
+    fn backup_block_dense(
+        &self,
+        states: std::ops::Range<usize>,
+        values: &[f64],
+        out: &mut [f64],
+        gamma: f64,
+    ) {
+        out.fill(f64::NEG_INFINITY);
+        for a in 0..self.n_actions {
+            let base = a * self.n_states;
+            let exp = &self.det_expected[base + states.start..base + states.end];
+            let prob = &self.det_prob[base + states.start..base + states.end];
+            let next = &self.det_next[base + states.start..base + states.end];
+            for ((slot, &e), (&p, &nx)) in out.iter_mut().zip(exp).zip(prob.iter().zip(next)) {
+                // Same op order as the scalar kernel: the row's single-term
+                // gather accumulates from 0.0.
+                let future = 0.0 + p * values[nx as usize];
+                let q = e + gamma * future;
+                if q > *slot {
+                    *slot = q;
+                }
+            }
+        }
+    }
+
+    /// Greedy policy with respect to `values` (CSR counterpart of
+    /// [`solver::greedy_policy`](crate::solver::greedy_policy)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadParameter`] if `values.len() != n_states()`.
+    pub fn greedy_policy(&self, values: &[f64], gamma: f64) -> Result<TabularPolicy, MdpError> {
+        if values.len() != self.n_states {
+            return Err(MdpError::BadParameter {
+                what: "values",
+                valid: "one value per state",
+            });
+        }
         let actions = (0..self.n_states)
             .map(|s| self.backup_state_with_action(s, values, gamma).1)
             .collect();
-        TabularPolicy::new(actions)
+        Ok(TabularPolicy::new(actions))
     }
 
     /// Sup-norm Bellman-optimality residual `‖T V − V‖_∞` on the compiled
@@ -432,6 +688,65 @@ pub(crate) fn run_sweeps_on(
     }
 }
 
+/// States per cache block in [`run_sweeps_blocked`]. 1024 states × 8 bytes
+/// keeps one block's output slice (8 KiB) plus the row data streaming
+/// through it comfortably inside a 32 KiB L1d, while the full previous
+/// iterate stays L2-resident for the gather. Block boundaries never move
+/// work between threads (chunking by worker happens above the block loop),
+/// so the result is bitwise independent of this constant.
+pub(crate) const SWEEP_BLOCK: usize = 1024;
+
+/// [`run_sweeps`] over block backups: `backup` fills a contiguous range of
+/// the fresh iterate at once (e.g. [`CompiledMdp::backup_block`]), letting
+/// the kernel stream CSR rows linearly instead of re-entering a closure per
+/// state. Per-state change stats are recorded here, in state order, after
+/// each block fills — the same order the per-element loop produces — so the
+/// outcome is bit-identical to [`run_sweeps`] with the equivalent per-state
+/// backup.
+pub(crate) fn run_sweeps_blocked(
+    values: Vec<f64>,
+    parallel: bool,
+    max_sweeps: usize,
+    backup: impl Fn(std::ops::Range<usize>, &[f64], &mut [f64]) + Sync,
+    epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+) -> SweepOutcome {
+    let workers = simkit::executor::worker_count(values.len(), parallel, MIN_STATES_PER_WORKER);
+    run_sweeps_blocked_on(values, workers, max_sweeps, backup, epilogue)
+}
+
+/// [`run_sweeps_blocked`] with an explicit worker count (tests use this to
+/// force the pooled path on hosts whose CPU count would keep it serial).
+pub(crate) fn run_sweeps_blocked_on(
+    values: Vec<f64>,
+    workers: usize,
+    max_sweeps: usize,
+    backup: impl Fn(std::ops::Range<usize>, &[f64], &mut [f64]) + Sync,
+    epilogue: impl FnMut(&mut [f64], &SweepStats, usize) -> bool,
+) -> SweepOutcome {
+    let outcome = simkit::executor::run_rounds_blocked(
+        values,
+        workers,
+        max_sweeps,
+        SWEEP_BLOCK,
+        |range, old, out, stats: &mut SweepStats| {
+            backup(range.clone(), old, out);
+            for (slot, s) in out.iter().zip(range) {
+                stats.record(slot - old[s]);
+            }
+        },
+        epilogue,
+    );
+    SweepOutcome {
+        values: outcome.values,
+        sweeps: outcome.rounds,
+        last: outcome.last.unwrap_or(SweepStats {
+            max_abs: f64::INFINITY,
+            ..SweepStats::new()
+        }),
+        converged: outcome.converged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,11 +858,92 @@ mod tests {
             .map(|s| (s as f64 * 0.37).sin())
             .collect();
         let reference_policy = crate::solver::greedy_policy(&model, &values, gamma);
-        let compiled_policy = compiled.greedy_policy(&values, gamma);
+        let compiled_policy = compiled.greedy_policy(&values, gamma).unwrap();
         assert_eq!(reference_policy.actions(), compiled_policy.actions());
         let r1 = crate::solver::bellman_residual(&model, &values, gamma);
         let r2 = compiled.bellman_residual(&values, gamma);
         assert!((r1 - r2).abs() < 1e-10, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn greedy_policy_rejects_wrong_length() {
+        let (model, gamma) = reference::chain(5, 0.6);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        assert!(matches!(
+            compiled.greedy_policy(&[0.0; 3], gamma),
+            Err(MdpError::BadParameter { what: "values", .. })
+        ));
+    }
+
+    /// The lane-padded gather reassociates the `Σ p·V(s')` reduction into
+    /// [`LANES`] partial sums, so on rows with several transitions it may
+    /// differ from the scalar left-to-right sum by rounding — but only by a
+    /// few ulps, which this pins down across every (state, action) row of
+    /// the multi-transition reference models. (Rows with a single
+    /// transition, like the cache MDP's, are asserted bitwise equal.)
+    #[test]
+    fn lane_and_scalar_q_values_agree_to_ulps() {
+        for (model, gamma) in [reference::gridworld(5, 7, 0.2), reference::chain(9, 0.55)] {
+            let compiled = CompiledMdp::compile(&model).unwrap();
+            let values: Vec<f64> = (0..model.n_states())
+                .map(|s| (s as f64 * 0.61).cos() * 3.0)
+                .collect();
+            for s in 0..model.n_states() {
+                for a in 0..model.n_actions() {
+                    let lane = compiled.q_value(s, a, &values, gamma);
+                    let scalar = compiled.q_value_scalar(s, a, &values, gamma);
+                    match (lane, scalar) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            let row = s * compiled.n_actions() + a;
+                            let n_tr = compiled.row_ptr[row + 1] - compiled.row_ptr[row];
+                            if n_tr <= 1 {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "single-transition row ({s},{a}) must be bitwise equal"
+                                );
+                            } else {
+                                let ulps = x.to_bits().abs_diff(y.to_bits());
+                                assert!(ulps <= 4, "({s},{a}): {x} vs {y} ({ulps} ulps apart)");
+                            }
+                        }
+                        other => panic!("validity mismatch at ({s},{a}): {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The blocked sweep loop must reproduce the per-state loop bitwise for
+    /// any worker count: stats are recorded in the same state order and
+    /// block boundaries never move work between threads.
+    #[test]
+    fn blocked_and_per_state_sweeps_agree_bitwise() {
+        let (model, gamma) = reference::gridworld(20, 20, 0.1);
+        let compiled = CompiledMdp::compile(&model).unwrap();
+        let per_state = run_sweeps_on(
+            vec![0.0; compiled.n_states()],
+            1,
+            40,
+            |s, v| compiled.backup_state(s, v, gamma),
+            |_, stats, _| stats.max_abs < 1e-9,
+        );
+        for workers in [1, 2, 5] {
+            let blocked = run_sweeps_blocked_on(
+                vec![0.0; compiled.n_states()],
+                workers,
+                40,
+                |range, old, out| compiled.backup_block(range, old, out, gamma),
+                |_, stats, _| stats.max_abs < 1e-9,
+            );
+            assert_eq!(per_state.sweeps, blocked.sweeps, "{workers} workers");
+            assert_eq!(per_state.converged, blocked.converged);
+            assert_eq!(
+                per_state.values, blocked.values,
+                "blocked iterate must be identical with {workers} workers"
+            );
+        }
     }
 
     /// Drives the sweep adapter with forced worker counts so the pooled

@@ -135,14 +135,17 @@ impl BackwardInduction {
 
         // Terminal value is zero; round r backs stage `horizon − r` up
         // against the round-(r−1) iterate.
-        let _ = executor::run_rounds(
+        let _ = executor::run_rounds_blocked(
             vec![0.0f64; mdp.n_states()],
             workers,
             horizon,
-            |s, prev, _: &mut ()| {
-                let (value, action) = mdp.backup_state_with_action(s, prev, gamma);
-                actions[s].store(action, Ordering::Relaxed);
-                value
+            crate::compiled::SWEEP_BLOCK,
+            |states, prev, out, _: &mut ()| {
+                for (slot, s) in out.iter_mut().zip(states) {
+                    let (value, action) = mdp.backup_state_with_action(s, prev, gamma);
+                    actions[s].store(action, Ordering::Relaxed);
+                    *slot = value;
+                }
             },
             |iterate, _, round| {
                 let stage = horizon - round;

@@ -6,7 +6,7 @@
 //! `ρ* = max_π lim (1/T) Σ r_t` and a bias vector `h` satisfying the
 //! optimality equation `h(s) + ρ* = max_a Σ p (r + h(s'))`.
 
-use crate::compiled::{run_sweeps, CompiledMdp};
+use crate::compiled::{run_sweeps_blocked, CompiledMdp};
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
 use crate::solver::{greedy_policy, q_value, DEFAULT_PARALLEL};
@@ -124,11 +124,16 @@ impl RelativeValueIteration {
         let tolerance = self.tolerance;
         // Damped Bellman backup (gamma = 1) with the iterate re-anchored at
         // the reference state 0 after every sweep so the bias stays bounded.
-        let outcome = run_sweeps(
+        let outcome = run_sweeps_blocked(
             vec![0.0; mdp.n_states()],
             self.parallel,
             self.max_sweeps,
-            |s, h| (1.0 - damping) * h[s] + damping * mdp.backup_state(s, h, 1.0),
+            |states, h, out| {
+                mdp.backup_block(states.clone(), h, out, 1.0);
+                for (slot, s) in out.iter_mut().zip(states) {
+                    *slot = (1.0 - damping) * h[s] + damping * *slot;
+                }
+            },
             |iterate, stats, _| {
                 let offset = iterate[0];
                 for v in iterate.iter_mut() {
@@ -145,7 +150,7 @@ impl RelativeValueIteration {
         }
         // Gain: the per-sweep drift divided by the damping.
         let gain = (outcome.last.hi + outcome.last.lo) / 2.0 / damping;
-        let policy = mdp.greedy_policy(&outcome.values, 1.0);
+        let policy = mdp.greedy_policy(&outcome.values, 1.0)?;
         Ok(AverageRewardOutcome {
             gain,
             bias: outcome.values,

@@ -1,6 +1,6 @@
 //! Value iteration (Bellman-optimality fixed point).
 
-use crate::compiled::{run_sweeps, CompiledMdp};
+use crate::compiled::{run_sweeps_blocked, CompiledMdp};
 use crate::model::FiniteMdp;
 use crate::policy::TabularPolicy;
 use crate::solver::{greedy_policy, q_value, validate_gamma, DEFAULT_PARALLEL};
@@ -100,14 +100,14 @@ impl ValueIteration {
         validate_gamma(self.gamma)?;
         let gamma = self.gamma;
         let tolerance = self.tolerance;
-        let outcome = run_sweeps(
+        let outcome = run_sweeps_blocked(
             vec![0.0; mdp.n_states()],
             self.parallel,
             self.max_sweeps,
-            |s, values| mdp.backup_state(s, values, gamma),
+            |states, values, out| mdp.backup_block(states, values, out, gamma),
             |_, stats, _| stats.max_abs < tolerance,
         );
-        let policy = mdp.greedy_policy(&outcome.values, gamma);
+        let policy = mdp.greedy_policy(&outcome.values, gamma)?;
         Ok(ValueIterationOutcome {
             converged: outcome.converged,
             sweeps: outcome.sweeps,
