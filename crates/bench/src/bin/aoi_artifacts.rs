@@ -16,6 +16,13 @@
 //! * `diff DIR_A DIR_B` — compare two artifact directories record by
 //!   record (pairing `x.jsonl` with `x.jsonl.z`, so a compressed and a
 //!   plain run of the same grid diff as equal);
+//! * `health DIR` — campaign post-mortem from the supervision telemetry
+//!   under `DIR`: folds every worker's `events-*.jsonl` health journal
+//!   into a per-worker event-count table (claims, steals, retries,
+//!   backoffs, quarantines, lost heartbeats) and lists every
+//!   `cell-*.quarantine.jsonl` marker with its worker, attempt count and
+//!   failure message — exiting 1 when any cell is quarantined, so
+//!   orchestration can gate on a degraded campaign;
 //! * `merge OUT_DIR SRC_DIR...` — fuse the partial artifact directories of
 //!   a distributed campaign into one: every **verified** cell artifact is
 //!   copied into `OUT_DIR` (conflicts between sources are resolved by the
@@ -33,11 +40,13 @@
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- render out
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- verify out --config-hash 1a2b…
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- diff out-cold out-resumed
+//! cargo run --release -p aoi-bench --bin aoi-artifacts -- health out
 //! cargo run --release -p aoi-bench --bin aoi-artifacts -- merge out out-worker1 out-worker2
 //! ```
 
 use aoi_cache::persist::{read_artifact, Artifact, ArtifactKind, ArtifactWriter, PersistError};
 use simkit::plot::AsciiPlot;
+use simkit::supervise::{self, EventKind};
 use simkit::table::{fmt_f64, Table};
 use simkit::TimeSeries;
 use std::collections::BTreeMap;
@@ -52,13 +61,19 @@ Usage:
   aoi-artifacts verify PATH... [--config-hash HEX]
                                                 footer + hash + re-read bit-identity
   aoi-artifacts diff DIR_A DIR_B                compare two artifact directories
+  aoi-artifacts health DIR                      campaign post-mortem: per-worker
+                                                event counts from the health
+                                                journals plus every quarantined
+                                                cell's marker
   aoi-artifacts merge OUT_DIR SRC_DIR...        fuse partial campaign directories
                                                 (verified cells win; ensembles
                                                 recomputed from the merged cells)
 
 PATH may be an artifact file or a directory (searched recursively for
-*.jsonl / *.jsonl.z). verify, diff and merge exit 1 on
-failure/difference/conflict.";
+*.jsonl / *.jsonl.z; health journals and quarantine markers are
+telemetry, not artifacts, and are skipped). verify, diff and merge exit
+1 on failure/difference/conflict; health exits 1 when any cell is
+quarantined.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +82,7 @@ fn main() -> ExitCode {
         Some("render") => cmd_render(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -126,7 +142,11 @@ fn discover(paths: &[String]) -> Result<Vec<PathBuf>, String> {
 
 fn is_artifact_name(path: &Path) -> bool {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-    name.ends_with(".jsonl") || name.ends_with(".jsonl.z")
+    // Health journals and quarantine markers also end in .jsonl, but they
+    // are worker telemetry (see `health`), not persist artifacts.
+    (name.ends_with(".jsonl") || name.ends_with(".jsonl.z"))
+        && !simkit::supervise::is_journal_name(name)
+        && !simkit::supervise::is_quarantine_name(name)
 }
 
 /// The encoding-independent name diffs pair files by (`.z` stripped).
@@ -612,6 +632,101 @@ fn describe_difference(a: &Artifact, b: &Artifact) -> Option<String> {
         }
     }
     Some("artifacts differ".to_string())
+}
+
+// --- health ----------------------------------------------------------------
+
+/// Campaign post-mortem from the supervision telemetry under `DIR`: one
+/// event-count row per worker (journals from every subdirectory fold into
+/// the same row) and one row per quarantined cell. Returns `Ok(false)` —
+/// exit 1 — when any quarantine marker exists.
+fn cmd_health(args: &[String]) -> Result<bool, String> {
+    let [root] = args else {
+        return Err("health: needs exactly one DIR".to_string());
+    };
+    let root = PathBuf::from(root);
+    if !root.is_dir() {
+        return Err(format!("no such directory: {}", root.display()));
+    }
+    fn walk(
+        dir: &Path,
+        journals: &mut Vec<PathBuf>,
+        markers: &mut Vec<PathBuf>,
+    ) -> Result<(), String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                walk(&path, journals, markers)?;
+            } else if supervise::is_journal_name(name) {
+                journals.push(path);
+            } else if supervise::is_quarantine_name(name) {
+                markers.push(path);
+            }
+        }
+        Ok(())
+    }
+    let (mut journals, mut markers) = (Vec::new(), Vec::new());
+    walk(&root, &mut journals, &mut markers)?;
+    journals.sort();
+    markers.sort();
+
+    const N_KINDS: usize = EventKind::ALL.len();
+    let mut by_worker: BTreeMap<String, [usize; N_KINDS]> = BTreeMap::new();
+    for path in &journals {
+        let log = supervise::read_journal(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let counts = by_worker.entry(log.worker.clone()).or_default();
+        for event in &log.events {
+            let slot = EventKind::ALL
+                .iter()
+                .position(|k| *k == event.kind)
+                .expect("EventKind::ALL is exhaustive");
+            counts[slot] += 1;
+        }
+    }
+    if by_worker.is_empty() {
+        println!(
+            "no health journals under {} (supervised campaigns write events-<worker>.jsonl)",
+            root.display()
+        );
+    } else {
+        let mut table =
+            Table::new(std::iter::once("worker").chain(EventKind::ALL.iter().map(|k| k.as_str())));
+        for (worker, counts) in &by_worker {
+            table.row(std::iter::once(worker.clone()).chain(counts.iter().map(usize::to_string)));
+        }
+        println!("{}", table.render());
+    }
+
+    if markers.is_empty() {
+        println!("no quarantined cells");
+        return Ok(true);
+    }
+    let mut table = Table::new(["quarantined cell", "worker", "attempts", "error"]);
+    for path in &markers {
+        let marker =
+            supervise::Quarantine::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .parent()
+            .and_then(|p| p.strip_prefix(&root).ok())
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(|p| format!("{}/{}", p.display(), marker.item))
+            .unwrap_or_else(|| marker.item.clone());
+        table.row([
+            rel,
+            marker.worker.clone(),
+            marker.attempts.to_string(),
+            marker.error.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} quarantined cell(s) — their replicates are missing from the folded ensembles",
+        markers.len()
+    );
+    Ok(false)
 }
 
 // --- merge -----------------------------------------------------------------

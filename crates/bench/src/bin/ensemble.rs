@@ -11,7 +11,7 @@
 //! ```sh
 //! cargo run --release -p aoi-bench --bin ensemble -- \
 //!     [n_seeds] [--workers N] [--out DIR] [--compress] [--resume] [--horizon N] \
-//!     [--batch N] [--claim] [--worker-id ID] [--lease-ttl-ms N]
+//!     [--batch N] [--claim] [--worker-id ID] [--lease-ttl-ms N] [--max-attempts N]
 //! ```
 //!
 //! `--batch N` advances up to `N` seed replicates of each cache cell in
@@ -42,7 +42,16 @@
 //! with no coordinator. A SIGKILLed worker's leases expire after
 //! `--lease-ttl-ms` (default 30000) and its unfinished cells are taken
 //! over; every worker's final figures are bit-identical to a cold
-//! single-process run. See the README's "Distributed campaigns" section.
+//! single-process run. Campaigns are **supervised**: a cell that panics
+//! or errors is retried up to `--max-attempts` times (default 3, with
+//! deterministic jittered backoff) and then *quarantined* — a
+//! `cell-….quarantine.jsonl` marker lands beside its missing artifact,
+//! the campaign continues, and this bin exits with status **3** so
+//! orchestration can tell a degraded campaign from a clean one (0) or a
+//! hard failure (1). Every claim/retry/quarantine is appended to the
+//! worker's `events-<id>.jsonl` health journal (`aoi-artifacts health`
+//! folds them into a post-mortem). See the README's "Distributed
+//! campaigns" section.
 
 use aoi_cache::presets::{fig1a_ensemble, fig1b_ensemble};
 use aoi_cache::{EnsembleSummary, ExperimentPlan, ResumeReport};
@@ -75,8 +84,12 @@ fn configure(plan: ExperimentPlan, args: &aoi_bench::CliArgs, tag: &str) -> Expe
                 Some(id) => plan.worker_id(id.clone()),
                 None => plan,
             };
-            match args.lease_ttl_ms {
+            let plan = match args.lease_ttl_ms {
                 Some(ttl) => plan.lease_ttl_ms(ttl),
+                None => plan,
+            };
+            match args.max_attempts {
+                Some(n) => plan.max_attempts(n),
                 None => plan,
             }
         }
@@ -120,6 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.n_replicates()
     );
     let (cache, resume) = plan.run_ensembles_resumable()?;
+    let mut quarantined = resume.quarantined.len();
     print_resume(&resume, args.resume);
     print_summary(&cache, "final cumulative reward");
     plot_means(
@@ -137,6 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.n_replicates()
     );
     let (service, resume) = plan.run_ensembles_resumable()?;
+    quarantined += resume.quarantined.len();
     print_resume(&resume, args.resume);
     print_summary(&service, "final backlog");
     plot_means(&service, "request backlog (ensemble mean over traces)", 120);
@@ -146,6 +161,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\nartifacts: per-cell traces and per-group ensemble curves under {}",
             dir.display()
         );
+    }
+    if quarantined > 0 {
+        // Exit 3 distinguishes "finished, but degraded" from a clean run
+        // (0) and a hard failure (1): the figures above fold only the
+        // surviving replicates, and the quarantine markers say why.
+        eprintln!(
+            "warning: {quarantined} cell(s) quarantined after exhausting their retry budget \
+             — see the cell-*.quarantine.jsonl markers and `aoi-artifacts health`"
+        );
+        std::process::exit(3);
     }
     Ok(())
 }

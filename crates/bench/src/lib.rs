@@ -96,7 +96,8 @@ pub struct CliSpec {
     pub resume: bool,
     /// Accept `--claim` (run as one worker of a multi-process campaign:
     /// claim cells via lease files beside the `--out` artifacts) and, with
-    /// it, `--worker-id ID` and `--lease-ttl-ms N`.
+    /// it, `--worker-id ID`, `--lease-ttl-ms N` and `--max-attempts N`
+    /// (retry budget before a failing cell is quarantined).
     pub claim: bool,
     /// Accept `--horizon N` (override every scenario's horizon).
     pub horizon: bool,
@@ -155,6 +156,7 @@ impl CliSpec {
             claim: false,
             worker_id: None,
             lease_ttl_ms: None,
+            max_attempts: None,
             horizon: None,
             batch: None,
             positional: None,
@@ -196,6 +198,14 @@ impl CliSpec {
                         .ok_or_else(|| self.error("--lease-ttl-ms needs a positive integer"))?;
                     parsed.lease_ttl_ms = Some(n);
                 }
+                "--max-attempts" if self.claim => {
+                    let n: u32 = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| self.error("--max-attempts needs a positive integer"))?;
+                    parsed.max_attempts = Some(n);
+                }
                 "--batch" if self.batch => {
                     let n: usize = iter
                         .next()
@@ -230,8 +240,12 @@ impl CliSpec {
         if parsed.claim && !(parsed.resume && parsed.out.is_some()) {
             return Err(self.error("--claim needs --resume and --out DIR"));
         }
-        if !parsed.claim && (parsed.worker_id.is_some() || parsed.lease_ttl_ms.is_some()) {
-            return Err(self.error("--worker-id/--lease-ttl-ms need --claim"));
+        if !parsed.claim
+            && (parsed.worker_id.is_some()
+                || parsed.lease_ttl_ms.is_some()
+                || parsed.max_attempts.is_some())
+        {
+            return Err(self.error("--worker-id/--lease-ttl-ms/--max-attempts need --claim"));
         }
         if let Some(dir) = &parsed.out {
             std::fs::create_dir_all(dir).map_err(|e| {
@@ -278,6 +292,9 @@ impl CliSpec {
             text.push_str(
                 "  --lease-ttl-ms N  lease time-to-live before a dead worker's cells are\n                    taken over (default 30000)\n",
             );
+            text.push_str(
+                "  --max-attempts N  attempts before a failing cell is quarantined and the\n                    campaign continues without it (default 3)\n",
+            );
         }
         if self.horizon {
             text.push_str("  --horizon N    override every scenario's horizon (quick runs/CI)\n");
@@ -309,6 +326,8 @@ pub struct CliArgs {
     pub worker_id: Option<String>,
     /// `--lease-ttl-ms N`, when accepted and given.
     pub lease_ttl_ms: Option<u64>,
+    /// `--max-attempts N`, when accepted and given.
+    pub max_attempts: Option<u32>,
     /// `--horizon N`, when accepted and given.
     pub horizon: Option<usize>,
     /// `--batch N`, when accepted and given.
@@ -401,6 +420,8 @@ mod tests {
             args(&["--claim"]),
             args(&["--worker-id", "w1"]),
             args(&["--lease-ttl-ms", "0"]),
+            args(&["--max-attempts", "3"]),
+            args(&["--max-attempts", "0"]),
         ] {
             let err = spec().parse_from(bad.clone()).unwrap_err();
             assert!(
@@ -424,11 +445,14 @@ mod tests {
                 "w-test",
                 "--lease-ttl-ms",
                 "2500",
+                "--max-attempts",
+                "2",
             ]))
             .unwrap();
         assert!(parsed.claim);
         assert_eq!(parsed.worker_id.as_deref(), Some("w-test"));
         assert_eq!(parsed.lease_ttl_ms, Some(2500));
+        assert_eq!(parsed.max_attempts, Some(2));
         // --claim without --resume is rejected.
         assert!(spec()
             .parse_from(args(&["--out", &dir_str, "--claim"]))
@@ -468,6 +492,7 @@ mod tests {
             "--claim",
             "--worker-id",
             "--lease-ttl-ms",
+            "--max-attempts",
             "--horizon",
             "--batch",
         ] {

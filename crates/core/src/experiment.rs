@@ -59,6 +59,7 @@ use serde::{Deserialize, Serialize};
 use simkit::executor;
 use simkit::lease;
 use simkit::persist::{self, ArtifactKind, ArtifactWriter, Compression, Manifest};
+use simkit::supervise;
 use simkit::{CurveAccumulator, CurveSummary, RecordingMode, TimeSeries};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -209,11 +210,30 @@ pub struct ExperimentPlan {
     /// joint grids currently ignore this knob (their cells run one at a
     /// time).
     pub batch: usize,
+    /// Claim mode only: how many times a failing cell (a returned error
+    /// *or* a panic — claim-mode cells run under
+    /// [`executor::parallel_map_supervised`] panic isolation) is attempted
+    /// before the worker gives up and **quarantines** it. A quarantined
+    /// cell leaves a `cell-s<scenario>-r<replicate>-p<policy>.quarantine.jsonl`
+    /// diagnostic marker ([`simkit::supervise::Quarantine`]) beside its
+    /// missing artifact, is excluded from the rest of this worker's
+    /// campaign, and the final ensembles fold over the surviving cells —
+    /// the gap is accounted in [`ResumeReport::quarantined`] and
+    /// [`EnsembleSummary::quarantined`], never papered over. Retries wait
+    /// on the worker's deterministic jittered backoff schedule
+    /// ([`simkit::supervise::Backoff`]). Must be at least 1 in claim
+    /// mode; the non-claim engines abort on the first cell error exactly
+    /// as before.
+    pub max_attempts: u32,
 }
 
 /// Default claim-mode lease TTL (30 s — generous against slow cells, yet
 /// quick enough that a crashed worker's cells are recovered promptly).
 pub const DEFAULT_LEASE_TTL_MS: u64 = 30_000;
+
+/// Default claim-mode retry budget per failing cell (see
+/// [`ExperimentPlan::max_attempts`]).
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
 
 impl ExperimentPlan {
     /// A stage-1 cache-management grid.
@@ -233,6 +253,7 @@ impl ExperimentPlan {
             worker_id: None,
             lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
             batch: 1,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
         }
     }
 
@@ -253,6 +274,7 @@ impl ExperimentPlan {
             worker_id: None,
             lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
             batch: 1,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
         }
     }
 
@@ -270,6 +292,7 @@ impl ExperimentPlan {
             worker_id: None,
             lease_ttl_ms: DEFAULT_LEASE_TTL_MS,
             batch: 1,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
         }
     }
 
@@ -349,6 +372,14 @@ impl ExperimentPlan {
         self
     }
 
+    /// Sets the claim-mode retry budget per failing cell (see
+    /// [`max_attempts`](ExperimentPlan::max_attempts)).
+    #[must_use]
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
     /// Overrides the horizon of **every** scenario in the grid — the knob
     /// CI smokes and quick local runs use to shrink a preset plan without
     /// redefining it.
@@ -397,6 +428,14 @@ impl ExperimentPlan {
             "cell-s{}-r{}-p{}.lease",
             id.scenario, id.replicate, id.policy
         ))
+    }
+
+    /// The quarantine marker a claim-mode worker writes beside the
+    /// artifact of a cell that exhausted its retry budget (see
+    /// [`max_attempts`](ExperimentPlan::max_attempts)). Like the lease
+    /// path, the name is compression-independent.
+    pub fn cell_quarantine_path(dir: &Path, id: CellId) -> PathBuf {
+        dir.join(format!("cell-{}.quarantine.jsonl", id.coords()))
     }
 
     /// The artifact file of one `(scenario, policy)` ensemble under `dir`
@@ -506,6 +545,12 @@ impl ExperimentPlan {
             return Err(AoiCacheError::BadParameter {
                 what: "lease_ttl_ms",
                 valid: "a positive lease time-to-live",
+            });
+        }
+        if self.claim && self.max_attempts == 0 {
+            return Err(AoiCacheError::BadParameter {
+                what: "max_attempts",
+                valid: "a retry budget of at least 1",
             });
         }
         if let Some(dir) = &self.artifacts {
@@ -715,7 +760,7 @@ impl ExperimentPlan {
             // The wave's outcomes drop here: only the per-group slot
             // statistics remain.
         }
-        Ok((self.finish_groups(groups)?, resume))
+        Ok((self.finish_groups(groups, &[])?, resume))
     }
 
     /// The artifact channel holding a cell's headline curve (what
@@ -794,15 +839,23 @@ impl ExperimentPlan {
     }
 
     /// The claim-mode engine: one worker of a distributed campaign (see
-    /// [`claim`](ExperimentPlan::claim)).
+    /// [`claim`](ExperimentPlan::claim)), **supervised**.
     ///
-    /// Loops over the grid until every cell's artifact verifies: each pass
-    /// re-checks the unfinished cells in parallel, claims the lease of
-    /// every cell that needs recomputing, runs the claimed batch under a
-    /// heartbeat keeper, releases the leases, and sleeps briefly when the
-    /// only cells left are held by other live workers. Expired leases
-    /// (dead workers) are taken over; cells another worker completes while
-    /// this one waits are counted as stolen and skipped.
+    /// Loops over the grid until every cell's artifact verifies or is
+    /// quarantined: each pass re-checks the unfinished cells in parallel,
+    /// claims the lease of every cell that needs recomputing, runs each
+    /// claimed cell in its own panic-isolated compute
+    /// ([`executor::parallel_map_supervised`]) under a heartbeat keeper,
+    /// releases the leases, and sleeps a deterministic jittered backoff
+    /// ([`supervise::Backoff`]) when the only cells left are held by other
+    /// live workers or a failed cell awaits its retry. A cell that fails
+    /// [`max_attempts`](ExperimentPlan::max_attempts) times is quarantined
+    /// — a diagnostic marker lands beside its missing artifact and the
+    /// campaign continues without it. Expired leases (dead workers) are
+    /// taken over; cells another worker completes while this one waits
+    /// are counted as stolen and skipped. Every claim, steal, release,
+    /// retry, backoff, quarantine and lost heartbeat is appended to this
+    /// worker's health journal (`events-<worker>.jsonl`).
     fn run_claimed(&self) -> Result<(Vec<EnsembleSummary>, ResumeReport), AoiCacheError> {
         let dir = self
             .artifacts
@@ -812,14 +865,38 @@ impl ExperimentPlan {
         let owner = self.effective_worker_id();
         let ttl = std::time::Duration::from_millis(self.lease_ttl_ms);
         let heartbeat_every = std::time::Duration::from_millis((self.lease_ttl_ms / 3).max(1));
-        let poll = std::time::Duration::from_millis((self.lease_ttl_ms / 4).clamp(5, 1_000));
+        // Waiting (on foreign leases) and retrying (after a failure) share
+        // one worker-seeded backoff schedule: it starts near-instant and
+        // grows toward the old fixed quarter-TTL poll, with enough jitter
+        // to de-synchronize workers that fail or block in lockstep.
+        let backoff_base = std::time::Duration::from_millis((self.lease_ttl_ms / 16).clamp(2, 250));
+        let backoff_cap = std::time::Duration::from_millis((self.lease_ttl_ms / 4).clamp(5, 1_000));
+        let mut backoff = supervise::Backoff::for_worker(&owner, backoff_base, backoff_cap);
+        let journal_path = dir.join(supervise::journal_file_name(&owner));
+        let mut journal = supervise::EventJournal::open(&journal_path, &owner).map_err(|e| {
+            AoiCacheError::Persist(persist::PersistError::Io {
+                op: "open health journal",
+                path: journal_path.display().to_string(),
+                message: e.to_string(),
+            })
+        })?;
+        // Test-only poison hook (see the crash-safety suites): the cell
+        // matching `AOI_POISON_CELL=s<S>-r<R>-p<P>` panics inside its
+        // supervised compute, exercising retry and quarantine end-to-end.
+        let poison = std::env::var("AOI_POISON_CELL")
+            .ok()
+            .and_then(|spec| parse_cell_coords(&spec));
         let all_ids = self.cell_ids();
         let mut resume = ResumeReport::default();
         let mut done = vec![false; all_ids.len()];
         let mut accounted = vec![false; all_ids.len()];
         let mut saw_foreign_lease = vec![false; all_ids.len()];
+        let mut attempts_made = vec![0u32; all_ids.len()];
+        let mut quarantined = vec![false; all_ids.len()];
         loop {
-            let pending: Vec<usize> = (0..all_ids.len()).filter(|&i| !done[i]).collect();
+            let pending: Vec<usize> = (0..all_ids.len())
+                .filter(|&i| !done[i] && !quarantined[i])
+                .collect();
             if pending.is_empty() {
                 break;
             }
@@ -832,11 +909,13 @@ impl ExperimentPlan {
             });
             let mut claimed: Vec<(usize, lease::LeaseGuard)> = Vec::new();
             let mut blocked = 0usize;
+            let mut progress = false;
             for (&i, check) in pending.iter().zip(checks) {
                 let id = all_ids[i];
                 match check {
                     CellResume::Valid(_) => {
                         done[i] = true;
+                        progress = true;
                         if !accounted[i] {
                             accounted[i] = true;
                             resume.skipped.push(id);
@@ -865,6 +944,15 @@ impl ExperimentPlan {
                                 if was_expired {
                                     resume.expired.push(id);
                                 }
+                                attempts_made[i] += 1;
+                                // Journal writes are advisory telemetry:
+                                // they never fail the campaign.
+                                let kind = if was_expired {
+                                    supervise::EventKind::Steal
+                                } else {
+                                    supervise::EventKind::Claim
+                                };
+                                let _ = journal.record(kind, &id.coords(), attempts_made[i], "");
                                 claimed.push((i, guard));
                             }
                             Ok(lease::Claim::Held { .. }) => {
@@ -880,45 +968,192 @@ impl ExperimentPlan {
                     }
                 }
             }
-            if !claimed.is_empty() {
-                // `pending` is in cell-id order, so the claimed batch is
-                // too — the precondition run_cell_batch's simulation
-                // sharing relies on.
+            let claimed_any = !claimed.is_empty();
+            let mut retries_pending = false;
+            if claimed_any {
                 let batch: Vec<CellId> = claimed.iter().map(|&(i, _)| all_ids[i]).collect();
                 self.prepare_recompute(dir, &batch)?;
                 let (slots, guards): (Vec<usize>, Vec<lease::LeaseGuard>) =
                     claimed.into_iter().unzip();
+                let lease_paths: Vec<PathBuf> = batch
+                    .iter()
+                    .map(|id| Self::cell_lease_path(dir, *id))
+                    .collect();
                 let keeper = lease::Heartbeat::keep(guards, heartbeat_every);
-                let result = self.run_cell_batch(&batch);
+                // Each claimed cell computes as its own single-cell batch
+                // with a panic fence around it: one poisoned or buggy cell
+                // yields a structured failure for that cell only, and the
+                // rest of the batch still lands its artifacts. (Claim mode
+                // trades the batch's shared-simulation reuse for this
+                // isolation; artifact bytes are identical either way.)
+                let workers = self
+                    .workers
+                    .unwrap_or_else(|| executor::worker_count(batch.len(), true, 1));
+                let results = executor::parallel_map_supervised(workers, &batch, |_, id| {
+                    if poison == Some((id.scenario, id.replicate, id.policy)) {
+                        panic!("poisoned by AOI_POISON_CELL={}", id.coords());
+                    }
+                    self.run_cell_batch(std::slice::from_ref(id))
+                });
                 let survivors = keeper.stop();
+                let mut kept = std::collections::HashSet::new();
                 for guard in survivors {
                     // A lost lease means another worker took the cell over
                     // after a stall; its (bit-identical) artifact stands.
+                    kept.insert(guard.path().to_path_buf());
                     match guard.release() {
                         Ok(()) | Err(lease::LeaseError::Lost { .. }) => {}
                         Err(e) => return Err(e.into()),
                     }
                 }
-                // Propagate cell errors only after releasing every lease.
-                result?;
-                for slot in slots {
-                    done[slot] = true;
+                for ((slot, result), lease_path) in slots.into_iter().zip(results).zip(&lease_paths)
+                {
+                    let id = all_ids[slot];
+                    let item = id.coords();
+                    if kept.contains(lease_path.as_path()) {
+                        let _ = journal.record(
+                            supervise::EventKind::Release,
+                            &item,
+                            attempts_made[slot],
+                            "",
+                        );
+                    } else {
+                        let _ = journal.record(
+                            supervise::EventKind::HeartbeatLost,
+                            &item,
+                            attempts_made[slot],
+                            "lease taken over mid-compute",
+                        );
+                    }
+                    let failure = match result {
+                        Ok(Ok(_outcomes)) => None,
+                        Ok(Err(e)) => Some(e.to_string()),
+                        Err(panic) => Some(format!("panic: {}", panic.message)),
+                    };
+                    match failure {
+                        None => {
+                            done[slot] = true;
+                            progress = true;
+                        }
+                        Some(message) if attempts_made[slot] < self.max_attempts => {
+                            // Budget left: leave the cell pending — a later
+                            // pass re-claims and re-runs it.
+                            retries_pending = true;
+                            let _ = journal.record(
+                                supervise::EventKind::Retry,
+                                &item,
+                                attempts_made[slot],
+                                &message,
+                            );
+                        }
+                        Some(message) => {
+                            let marker = supervise::Quarantine {
+                                item: item.clone(),
+                                worker: owner.clone(),
+                                attempts: attempts_made[slot],
+                                error: message.clone(),
+                                wall_ms: lease::wall_ms(),
+                            };
+                            let marker_path = Self::cell_quarantine_path(dir, id);
+                            marker.write(&marker_path).map_err(|e| {
+                                AoiCacheError::Persist(persist::PersistError::Io {
+                                    op: "write quarantine marker",
+                                    path: marker_path.display().to_string(),
+                                    message: e.to_string(),
+                                })
+                            })?;
+                            let _ = journal.record(
+                                supervise::EventKind::Quarantine,
+                                &item,
+                                attempts_made[slot],
+                                &message,
+                            );
+                            quarantined[slot] = true;
+                            resume.quarantined.push((id, message));
+                        }
+                    }
                 }
-            } else if blocked > 0 {
-                // Everything left is held by other live workers: wait for
-                // their artifacts to land (or their leases to expire).
-                std::thread::sleep(poll);
+            }
+            if retries_pending || (!claimed_any && blocked > 0) {
+                // Wait for foreign artifacts to land, foreign leases to
+                // expire, or our own retry turn — with exponential jitter
+                // so stuck workers don't hammer the directory in lockstep.
+                let delay = backoff.next_delay();
+                let _ = journal.record(
+                    supervise::EventKind::Backoff,
+                    "",
+                    0,
+                    &format!("{} ms", delay.as_millis()),
+                );
+                std::thread::sleep(delay);
+            } else if progress {
+                backoff.reset();
+            }
+        }
+        for (i, id) in all_ids.iter().enumerate() {
+            if attempts_made[i] > 1 {
+                resume.attempts.push((*id, attempts_made[i]));
+            }
+        }
+        // A worker that dies between landing a cell's artifact and
+        // releasing its lease leaves a lease no claimant would ever look
+        // at again — the valid artifact means the cell is skipped forever,
+        // so nothing would clear the file. Sweep those up before
+        // declaring the campaign complete: a live holder releases on its
+        // own (wait it out); an expired lease is taken over and released.
+        backoff.reset();
+        for id in &all_ids {
+            let lease_path = Self::cell_lease_path(dir, *id);
+            loop {
+                match lease::inspect(&lease_path)? {
+                    None => break,
+                    Some(info) if info.expired_at(lease::wall_ms()) => {
+                        match lease::claim(&lease_path, &owner, ttl) {
+                            Ok(lease::Claim::Acquired(guard)) => {
+                                match guard.release() {
+                                    Ok(()) | Err(lease::LeaseError::Lost { .. }) => {}
+                                    Err(e) => return Err(e.into()),
+                                }
+                                let _ = journal.record(
+                                    supervise::EventKind::Release,
+                                    &id.coords(),
+                                    0,
+                                    "cleared a dead worker's lease beside a finished cell",
+                                );
+                                break;
+                            }
+                            // Lost the cleanup race: the winner clears it.
+                            Ok(lease::Claim::Held { .. }) | Err(lease::LeaseError::Contended) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    // Live holder mid-release (or re-verifying a cell that
+                    // already landed): it deletes its own lease shortly.
+                    Some(_) => {}
+                }
+                std::thread::sleep(backoff.next_delay());
             }
         }
         // Fold the ensembles from the on-disk cell artifacts, one
         // replicate wave at a time. Within each (scenario, policy) group
         // the curves arrive in replicate order — the same sequence a cold
         // single-process run folds — and re-read curves are bit-identical
-        // to computed ones, so the ensembles (and their artifacts) are
-        // bit-identical to a cold run's no matter how the campaign's
-        // cells were partitioned across workers.
+        // to computed ones, so on a healthy campaign the ensembles (and
+        // their artifacts) are bit-identical to a cold run's no matter how
+        // the cells were partitioned across workers. Quarantined cells are
+        // the one exception: their artifact is allowed to be missing, and
+        // the gap is counted per group instead of erroring — unless
+        // another worker landed the artifact anyway, in which case its
+        // (bit-identical) curve folds in and there is no gap.
+        let quarantined_ids: std::collections::HashSet<(usize, usize, usize)> = all_ids
+            .iter()
+            .zip(&quarantined)
+            .filter(|&(_, &q)| q)
+            .map(|(id, _)| (id.scenario, id.replicate, id.policy))
+            .collect();
         let mut groups = self.group_accumulators();
         let n_policies = self.grid.n_policies();
+        let mut gaps = vec![0usize; groups.len()];
         for rep in 0..self.n_replicates() {
             let wave: Vec<CellId> = all_ids
                 .iter()
@@ -935,6 +1170,9 @@ impl ExperimentPlan {
                     CellResume::Valid(curve) => {
                         groups[id.scenario * n_policies + id.policy].push_curve(&curve);
                     }
+                    _ if quarantined_ids.contains(&(id.scenario, id.replicate, id.policy)) => {
+                        gaps[id.scenario * n_policies + id.policy] += 1;
+                    }
                     _ => {
                         return Err(AoiCacheError::Persist(persist::PersistError::Io {
                             op: "reload cell artifact",
@@ -949,7 +1187,7 @@ impl ExperimentPlan {
                 }
             }
         }
-        Ok((self.finish_groups(groups)?, resume))
+        Ok((self.finish_groups(groups, &gaps)?, resume))
     }
 
     /// The owner id leases are claimed under: the explicit
@@ -991,6 +1229,10 @@ impl ExperimentPlan {
             if let Some(name) = path.file_name() {
                 finals.insert(name.to_string_lossy().into_owned());
             }
+            // A stale quarantine marker would contradict the artifact about
+            // to be recomputed (and give the retried cell a spent budget's
+            // worth of bad press) — clear it with the debris.
+            let _ = std::fs::remove_file(Self::cell_quarantine_path(dir, *id));
         }
         let entries = std::fs::read_dir(dir).map_err(|e| {
             AoiCacheError::Persist(persist::PersistError::Io {
@@ -1040,10 +1282,12 @@ impl ExperimentPlan {
                     scenario.seed = self.seed_of(si, rep);
                     sims.push(CacheSimulation::new(scenario)?.with_recording(self.recording));
                 }
-                if policies.iter().any(|p| p.uses_mdp()) {
+                if ids.iter().any(|id| policies[id.policy].uses_mdp()) {
                     // Compile ahead of the fan-out so cells never race the
                     // lazy kernel cache (the per-RSU compiles themselves run
-                    // on the executor).
+                    // on the executor). Gated on the batch's *own* cells so
+                    // the single-cell batches of supervised claim mode
+                    // don't compile kernels for policies they never run.
                     for sim in &sims {
                         sim.compiled()?;
                     }
@@ -1178,7 +1422,7 @@ impl ExperimentPlan {
             groups[cell.id.scenario * n_policies + cell.id.policy]
                 .push_curve(cell.outcome.headline_curve());
         }
-        self.finish_groups(groups)
+        self.finish_groups(groups, &[])
     }
 
     /// One empty curve accumulator per `(scenario, policy)` group, in
@@ -1194,22 +1438,38 @@ impl ExperimentPlan {
         groups
     }
 
+    /// `gaps` is the per-group count of replicates missing because a
+    /// claim-mode campaign quarantined their cells (empty for the
+    /// non-claim engines — every group then folds its full complement).
     fn finish_groups(
         &self,
         groups: Vec<CurveAccumulator>,
+        gaps: &[usize],
     ) -> Result<Vec<EnsembleSummary>, AoiCacheError> {
         let n_policies = self.grid.n_policies();
         let mut ensembles = Vec::with_capacity(groups.len());
         for (i, group) in groups.into_iter().enumerate() {
             let (scenario, policy) = (i / n_policies, i % n_policies);
-            let curve = group
-                .finish()
-                .expect("every group has one curve per replicate");
+            let quarantined = gaps.get(i).copied().unwrap_or(0);
+            let curve = if quarantined > 0 {
+                match group.finish() {
+                    Ok(curve) => curve,
+                    // Every replicate of the group was quarantined: there
+                    // is nothing to fold, so the group gets no ensemble
+                    // (the gap stays visible in the resume report).
+                    Err(_) => continue,
+                }
+            } else {
+                group
+                    .finish()
+                    .expect("every group has one curve per replicate")
+            };
             let ensemble = EnsembleSummary {
                 scenario,
                 policy,
                 label: self.grid.policy_label(scenario, policy),
                 curve,
+                quarantined,
             };
             if let Some(dir) = &self.artifacts {
                 self.write_ensemble_artifact(dir, &ensemble)?;
@@ -1381,6 +1641,18 @@ pub struct ResumeReport {
     /// waited on their leases — skipped without computing. A subset of
     /// [`skipped`](ResumeReport::skipped).
     pub stolen: Vec<CellId>,
+    /// Claim mode only: cells this worker gave up on after exhausting the
+    /// retry budget ([`ExperimentPlan::max_attempts`]), with the final
+    /// failure. Each left a `cell-….quarantine.jsonl` marker beside its
+    /// missing artifact; the folded ensembles account the gap in
+    /// [`EnsembleSummary::quarantined`]. Quarantined cells were claimed,
+    /// so they also appear in [`recomputed`](ResumeReport::recomputed) or
+    /// [`invalidated`](ResumeReport::invalidated).
+    pub quarantined: Vec<(CellId, String)>,
+    /// Claim mode only: cells that needed more than one compute attempt,
+    /// with the total attempts this worker made (a quarantined cell shows
+    /// the whole budget).
+    pub attempts: Vec<(CellId, u32)>,
 }
 
 impl ResumeReport {
@@ -1422,12 +1694,19 @@ impl fmt::Display for ResumeReport {
                 self.stolen.len()
             )?;
         }
-        for (id, why) in &self.invalidated {
+        if !self.attempts.is_empty() || !self.quarantined.is_empty() {
             write!(
                 f,
-                "\n  s{}-r{}-p{}: {why}",
-                id.scenario, id.replicate, id.policy
+                "; supervision: {} retried, {} quarantined",
+                self.attempts.len(),
+                self.quarantined.len()
             )?;
+        }
+        for (id, why) in &self.invalidated {
+            write!(f, "\n  {}: {why}", id.coords())?;
+        }
+        for (id, why) in &self.quarantined {
+            write!(f, "\n  {} QUARANTINED: {why}", id.coords())?;
         }
         Ok(())
     }
@@ -1444,6 +1723,29 @@ pub struct CellId {
     pub seed: u64,
     /// Index into the plan's policy menu (0 for joint grids).
     pub policy: usize,
+}
+
+impl CellId {
+    /// The cell's coordinate string `s<scenario>-r<replicate>-p<policy>`
+    /// — the spelling used in artifact / lease / quarantine file names,
+    /// health-journal items, reports and the `AOI_POISON_CELL` test hook.
+    pub fn coords(&self) -> String {
+        format!("s{}-r{}-p{}", self.scenario, self.replicate, self.policy)
+    }
+}
+
+/// Parses a cell coordinate string (`s<S>-r<R>-p<P>`, the format
+/// [`CellId::coords`] produces) into its `(scenario, replicate, policy)`
+/// indices. `None` for anything malformed.
+pub fn parse_cell_coords(spec: &str) -> Option<(usize, usize, usize)> {
+    let rest = spec.trim().strip_prefix('s')?;
+    let (scenario, rest) = rest.split_once("-r")?;
+    let (replicate, policy) = rest.split_once("-p")?;
+    Some((
+        scenario.parse().ok()?,
+        replicate.parse().ok()?,
+        policy.parse().ok()?,
+    ))
 }
 
 /// One cell's full single-run report.
@@ -1518,6 +1820,13 @@ pub struct EnsembleSummary {
     pub label: String,
     /// Per-slot mean and 95% CI band of the group's headline curves.
     pub curve: CurveSummary,
+    /// Seed replicates missing from this ensemble because a claim-mode
+    /// campaign quarantined their cells (see
+    /// [`ExperimentPlan::max_attempts`]). Always 0 outside claim mode and
+    /// on healthy campaigns; when non-zero,
+    /// [`curve`](EnsembleSummary::curve) folds only the surviving
+    /// replicates.
+    pub quarantined: usize,
 }
 
 /// Everything a grid run produced: per-cell reports (in `cell_ids` order)

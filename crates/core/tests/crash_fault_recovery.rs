@@ -1,7 +1,8 @@
 //! Fault-recovery suite: an injected mid-grid write failure must surface
-//! as an error (leases released, no torn artifact under a final name), and
-//! a claim-mode relaunch must finish the campaign bit-identically to a
-//! cold run.
+//! **loudly** — as quarantined cells in the resume report, or as an error
+//! when the fault also reaches the ensemble writes — with leases released
+//! and no torn artifact under a final name; a claim-mode relaunch must
+//! then finish the campaign bit-identically to a cold run.
 //!
 //! Lives in its own integration-test binary: the fault harness is
 //! process-global, and this file's single test owns it outright.
@@ -34,37 +35,62 @@ fn plan(dir: &Path) -> ExperimentPlan {
 }
 
 #[test]
-fn injected_write_failure_fails_loudly_and_resume_recovers() {
+fn injected_write_failure_quarantines_loudly_and_resume_recovers() {
     let cold_dir = scratch_dir("cold");
     let (cold, _) = plan(&cold_dir).run_ensembles_resumable().unwrap();
 
     // Let a few hundred samples through, then fail every artifact write:
-    // the campaign dies mid-grid with some cells finished, some not.
+    // cells fail mid-grid with some finished, some not. The supervised
+    // campaign retries each failing cell, then quarantines it.
     let dir = scratch_dir("faulted");
     faults::inject(FaultPlan {
         after_samples: 300,
         kind: FaultKind::FailWrites,
     });
-    let err = plan(&dir)
+    let outcome = plan(&dir)
         .resume(true)
         .claim(true)
         .worker_id("doomed")
-        .run_ensembles_resumable()
-        .expect_err("the injected failure must surface, not be swallowed");
+        .max_attempts(2)
+        .run_ensembles_resumable();
     faults::clear();
-    assert!(
-        err.to_string().contains("injected"),
-        "unexpected error: {err}"
-    );
+    // The injected failure must surface, never be swallowed: either the
+    // campaign completed around quarantined cells (reporting them), or —
+    // when cells landed before the fault tripped — the still-latched
+    // fault also failed the ensemble writes and the run errored.
+    match outcome {
+        Ok((_, report)) => {
+            assert!(
+                !report.quarantined.is_empty(),
+                "a latched write fault must quarantine cells: {report}"
+            );
+            assert!(
+                report
+                    .quarantined
+                    .iter()
+                    .all(|(_, why)| why.contains("injected")),
+                "quarantine reasons must carry the failure: {report}"
+            );
+            assert!(
+                !report.attempts.is_empty(),
+                "quarantined cells burned their retry budget: {report}"
+            );
+        }
+        Err(e) => assert!(e.to_string().contains("injected"), "unexpected error: {e}"),
+    }
 
     // The crash left no lie behind: every file under a final artifact
     // name still verifies (half-written cells exist only as temporaries,
-    // if at all), and no lease outlives the failed worker.
+    // if at all; health journals and quarantine markers are telemetry,
+    // not artifacts), and no lease outlives the failed worker.
     for entry in std::fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         assert!(!name.ends_with(".lease"), "leaked lease: {name}");
-        if name.ends_with(".jsonl") {
+        if name.ends_with(".jsonl")
+            && !simkit::supervise::is_journal_name(&name)
+            && !simkit::supervise::is_quarantine_name(&name)
+        {
             aoi_cache::persist::read_artifact(&path)
                 .unwrap_or_else(|e| panic!("torn artifact under final name {name}: {e}"));
         }
@@ -84,6 +110,18 @@ fn injected_write_failure_fails_loudly_and_resume_recovers() {
         !report.claimed.is_empty(),
         "at least the faulted cells must be recomputed: {report}"
     );
+    assert!(
+        report.quarantined.is_empty(),
+        "with the fault cleared nothing quarantines: {report}"
+    );
+    // Recomputing a cell clears its stale quarantine marker.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().to_string();
+        assert!(
+            !simkit::supervise::is_quarantine_name(&name),
+            "stale quarantine marker survived the relaunch: {name}"
+        );
+    }
     std::fs::remove_dir_all(&cold_dir).unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -53,7 +53,11 @@ fn read_dir_artifacts(dir: &Path) -> Vec<(String, aoi_cache::persist::Artifact)>
         .map(|e| e.unwrap().path())
         .filter(|p| {
             let name = p.file_name().unwrap().to_string_lossy();
-            name.ends_with(".jsonl") || name.ends_with(".jsonl.z")
+            // Health journals and quarantine markers are worker telemetry,
+            // not run artifacts — a campaign dir carries them legitimately.
+            (name.ends_with(".jsonl") || name.ends_with(".jsonl.z"))
+                && !simkit::supervise::is_journal_name(&name)
+                && !simkit::supervise::is_quarantine_name(&name)
         })
         .collect();
     entries.sort();

@@ -534,6 +534,47 @@ where
         .collect()
 }
 
+/// A captured panic from one supervised map job: which item panicked and
+/// the panic payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the item whose job panicked.
+    pub index: usize,
+    /// Panic payload rendered as text (`&str` / `String` payloads are
+    /// reproduced verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+/// [`parallel_map`] with per-item panic isolation: a panicking job yields
+/// `Err(TaskPanic)` for *that item only* — the queue keeps draining, every
+/// other item still completes, and nothing is re-raised on the calling
+/// thread.
+///
+/// This is the supervision primitive: where [`parallel_map`] treats a
+/// panic as a harness bug (stop the pool, `assert!`), a supervised map
+/// treats it as a per-task failure to be reported, retried, or
+/// quarantined by the caller. Results are in input order, bit-identical
+/// across worker counts, exactly as for [`parallel_map`].
+pub fn parallel_map_supervised<T, R, F>(
+    workers: usize,
+    items: &[T],
+    job: F,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(workers, items, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i, t))).map_err(|payload| {
+            TaskPanic {
+                index: i,
+                message: crate::supervise::panic_message(payload.as_ref()),
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +745,33 @@ mod tests {
         assert_eq!(parallel_map(8, &[3usize], |_, x| x + 1), vec![4]);
         let empty: Vec<usize> = Vec::new();
         assert_eq!(parallel_map(8, &empty, |_, x: &usize| x + 1), Vec::new());
+    }
+
+    /// The supervised map isolates a panicking item: the rest of the
+    /// queue completes, the failure arrives as a structured value, and
+    /// results stay in input order (both executor flavors via the
+    /// feature matrix).
+    #[test]
+    fn supervised_map_isolates_panics_per_item() {
+        let items: Vec<usize> = (0..20).collect();
+        for workers in [1, 4] {
+            let results = parallel_map_supervised(workers, &items, |i, &x| {
+                if x % 7 == 3 {
+                    panic!("poison {i}");
+                }
+                x * 2
+            });
+            assert_eq!(results.len(), items.len());
+            for (i, r) in results.iter().enumerate() {
+                if i % 7 == 3 {
+                    let failure = r.as_ref().expect_err("items 3, 10, 17 panic");
+                    assert_eq!(failure.index, i);
+                    assert_eq!(failure.message, format!("poison {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy items complete"), i * 2);
+                }
+            }
+        }
     }
 
     #[cfg(feature = "parallel")]

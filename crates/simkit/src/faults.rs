@@ -13,6 +13,13 @@
 //! written process-wide, which lets a test place the fault "mid-cell"
 //! deterministically.  Child-process tests arm the harness through the
 //! `SIMKIT_FAULT` environment variable (see [`arm_from_env`]).
+//!
+//! For exhaustive crash-point sweeps the single plan generalizes to a
+//! [`FaultSchedule`]: a set of triggers over the operation stream, plus a
+//! *counting* mode ([`FaultSchedule::counting`]) that fires nothing but
+//! keeps the operation counter running — a dry run discovers how many
+//! injection points `N` a workload has ([`operations`]), and the sweep
+//! then re-runs it once per `K in 0..N` with [`FaultSchedule::at`]`(K, …)`.
 
 use std::io;
 use std::path::Path;
@@ -28,6 +35,10 @@ pub enum FaultKind {
     Kill,
     /// Every subsequent sample write fails with an injected I/O error.
     FailWrites,
+    /// Exactly one sample write — the one at the trigger index — fails;
+    /// later writes succeed.  Simulates a transient I/O error a retry can
+    /// recover from (the trigger consumes itself).
+    FailWriteOnce,
     /// Every subsequent sample write is delayed by this many
     /// milliseconds — simulates a stalled filesystem.
     DelayWrite {
@@ -49,13 +60,59 @@ pub struct FaultPlan {
     pub kind: FaultKind,
 }
 
+/// A programmable set of fault triggers over the operation stream.
+///
+/// The classic single-plan API ([`inject`]) is the one-trigger special
+/// case.  An **empty** schedule ([`FaultSchedule::counting`]) arms the
+/// harness purely to count operations — nothing ever fires, but
+/// [`operations`] reports how many injection points the workload passed,
+/// which is what an exhaustive crash-point sweep enumerates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    triggers: Vec<FaultPlan>,
+}
+
+impl FaultSchedule {
+    /// A schedule that fires nothing but keeps the operation counter
+    /// running (dry-run discovery of the injection-point count).
+    pub fn counting() -> Self {
+        Self::default()
+    }
+
+    /// A single trigger: inject `kind` at operation index `op`.
+    pub fn at(op: u64, kind: FaultKind) -> Self {
+        Self::default().and(op, kind)
+    }
+
+    /// Add another trigger to the schedule.
+    pub fn and(mut self, op: u64, kind: FaultKind) -> Self {
+        self.triggers.push(FaultPlan {
+            after_samples: op,
+            kind,
+        });
+        self
+    }
+
+    /// The triggers in this schedule, in insertion order.
+    pub fn triggers(&self) -> &[FaultPlan] {
+        &self.triggers
+    }
+}
+
 static ARMED: AtomicBool = AtomicBool::new(false);
 static SAMPLES: AtomicU64 = AtomicU64::new(0);
-static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static PLAN: Mutex<Option<FaultSchedule>> = Mutex::new(None);
 
-/// Arm the harness with `plan`, resetting the sample counter.
+/// Arm the harness with a single-trigger `plan`, resetting the operation
+/// counter.
 pub fn inject(plan: FaultPlan) {
-    *PLAN.lock().unwrap() = Some(plan);
+    inject_schedule(FaultSchedule::at(plan.after_samples, plan.kind));
+}
+
+/// Arm the harness with a full `schedule`, resetting the operation
+/// counter.  An empty schedule counts operations without ever firing.
+pub fn inject_schedule(schedule: FaultSchedule) {
+    *PLAN.lock().unwrap() = Some(schedule);
     SAMPLES.store(0, Ordering::Relaxed);
     ARMED.store(true, Ordering::Relaxed);
 }
@@ -72,12 +129,20 @@ pub fn armed() -> bool {
     ARMED.load(Ordering::Relaxed)
 }
 
+/// Operations observed since the harness was last armed ([`inject`] /
+/// [`inject_schedule`]).  With a [`FaultSchedule::counting`] schedule this
+/// is the injection-point count a crash-point sweep enumerates.
+pub fn operations() -> u64 {
+    SAMPLES.load(Ordering::Relaxed)
+}
+
 /// Arm from the `SIMKIT_FAULT` environment variable, if set.
 ///
 /// Accepted formats (N = sample count before triggering):
 ///
 /// * `kill:N` — abort the process after N samples,
 /// * `fail-writes:N` — fail sample writes after N samples,
+/// * `fail-write-once:N` — fail exactly the one write at index N,
 /// * `delay:N:MS` — delay each sample write by MS milliseconds after N,
 /// * `corrupt-tail:N` — corrupt the next finalized artifact after N.
 ///
@@ -103,6 +168,7 @@ fn parse_spec(spec: &str) -> Option<FaultPlan> {
     let kind = match kind {
         "kill" => FaultKind::Kill,
         "fail-writes" => FaultKind::FailWrites,
+        "fail-write-once" => FaultKind::FailWriteOnce,
         "corrupt-tail" => FaultKind::CorruptTail,
         "delay" => FaultKind::DelayWrite {
             millis: parts.next()?.parse().ok()?,
@@ -121,10 +187,10 @@ fn parse_spec(spec: &str) -> Option<FaultPlan> {
 /// Hot-path hook: called by the persistence layer before each sample
 /// write. Disarmed cost is one relaxed atomic load.
 ///
-/// Returns an injected error for [`FaultKind::FailWrites`], sleeps for
-/// [`FaultKind::DelayWrite`], aborts the process for [`FaultKind::Kill`],
-/// and is a no-op for [`FaultKind::CorruptTail`] (which acts at finalize
-/// time instead).
+/// Returns an injected error for [`FaultKind::FailWrites`] and
+/// [`FaultKind::FailWriteOnce`], sleeps for [`FaultKind::DelayWrite`],
+/// aborts the process for [`FaultKind::Kill`], and is a no-op for
+/// [`FaultKind::CorruptTail`] (which acts at finalize time instead).
 #[inline]
 pub fn on_sample() -> io::Result<()> {
     if !ARMED.load(Ordering::Relaxed) {
@@ -135,47 +201,78 @@ pub fn on_sample() -> io::Result<()> {
 
 #[cold]
 fn on_sample_armed() -> io::Result<()> {
-    let plan = match *PLAN.lock().unwrap() {
-        Some(p) => p,
-        None => return Ok(()),
+    let mut guard = PLAN.lock().unwrap();
+    let Some(schedule) = guard.as_mut() else {
+        return Ok(());
     };
     let seen = SAMPLES.fetch_add(1, Ordering::Relaxed);
-    if seen < plan.after_samples {
-        return Ok(());
-    }
-    match plan.kind {
-        FaultKind::Kill => std::process::abort(),
-        FaultKind::FailWrites => Err(io::Error::other("injected write failure (simkit::faults)")),
-        FaultKind::DelayWrite { millis } => {
-            std::thread::sleep(Duration::from_millis(millis));
-            Ok(())
+    let mut fail: Option<&'static str> = None;
+    let mut delay: Option<u64> = None;
+    let mut consumed: Option<usize> = None;
+    for (k, trigger) in schedule.triggers.iter().enumerate() {
+        match trigger.kind {
+            FaultKind::Kill if seen >= trigger.after_samples => std::process::abort(),
+            FaultKind::FailWrites if seen >= trigger.after_samples => {
+                fail = Some("injected write failure (simkit::faults)");
+            }
+            FaultKind::FailWriteOnce if seen == trigger.after_samples => {
+                fail = Some("injected one-shot write failure (simkit::faults)");
+                consumed = Some(k);
+            }
+            FaultKind::DelayWrite { millis } if seen >= trigger.after_samples => {
+                delay = Some(millis);
+            }
+            _ => {}
         }
-        FaultKind::CorruptTail => Ok(()),
+    }
+    if let Some(k) = consumed {
+        schedule.triggers.remove(k);
+    }
+    drop(guard);
+    if let Some(millis) = delay {
+        std::thread::sleep(Duration::from_millis(millis));
+    }
+    match fail {
+        Some(message) => Err(io::Error::other(message)),
+        None => Ok(()),
     }
 }
 
 /// Finalize-path hook: called by the persistence layer after an artifact
 /// has been renamed into place. For an armed [`FaultKind::CorruptTail`]
-/// plan whose sample threshold has been reached, flips bits in the last
-/// few bytes of `path` and disarms (one corruption per plan).
+/// trigger whose sample threshold has been reached, flips bits in the last
+/// few bytes of `path` and consumes the trigger (one corruption per
+/// trigger; the harness disarms when no triggers remain).
 pub fn on_finalize(path: &Path) {
     if !ARMED.load(Ordering::Relaxed) {
         return;
     }
     let triggered = {
-        let plan = PLAN.lock().unwrap();
-        matches!(
-            *plan,
-            Some(FaultPlan {
-                kind: FaultKind::CorruptTail,
-                after_samples,
-            }) if SAMPLES.load(Ordering::Relaxed) >= after_samples
-        )
+        let mut guard = PLAN.lock().unwrap();
+        let Some(schedule) = guard.as_mut() else {
+            return;
+        };
+        let seen = SAMPLES.load(Ordering::Relaxed);
+        let hit = schedule
+            .triggers
+            .iter()
+            .position(|t| matches!(t.kind, FaultKind::CorruptTail) && seen >= t.after_samples);
+        match hit {
+            Some(k) => {
+                schedule.triggers.remove(k);
+                let empty = schedule.triggers.is_empty();
+                drop(guard);
+                if empty {
+                    clear();
+                }
+                true
+            }
+            None => false,
+        }
     };
     if !triggered {
         return;
     }
-    clear();
     let Ok(mut bytes) = std::fs::read(path) else {
         return;
     };

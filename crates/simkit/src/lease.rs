@@ -43,6 +43,14 @@
 //! unparsable lease as *young* as long as the file's mtime is within the
 //! grace window, only declaring it abandoned after the grace elapses.
 //!
+//! Wall clocks are not trusted on their own.  A holder's refresh never
+//! writes a stamp smaller than the one already on disk (a backwards
+//! wall-clock step must not make a live lease look instantly expired),
+//! and a claimant that observes an expired-by-stamp lease confirms the
+//! holder is really gone before stealing: it re-reads after a short grace
+//! and treats an advanced heartbeat counter — clock-free liveness
+//! evidence — as *live*, only tombstoning a lease whose counter stalled.
+//!
 //! A slow-but-alive holder can also lose its lease: if it stalls past the
 //! TTL, another worker takes the cell over, and both then compute it.
 //! [`LeaseGuard::refresh`] detects this (the on-disk owner no longer
@@ -254,10 +262,34 @@ pub fn claim_at(path: &Path, owner: &str, ttl: Duration, now_ms: u64) -> Result<
                         age_ms,
                     });
                 }
-                // Expired: tombstone-steal, then loop to re-create.
-                take_over(path)?;
-                // Loop: the next try_create should win unless another
-                // claimant slipped in, in which case we re-evaluate.
+                // Expired by wall-clock stamp — but the stamp alone can
+                // lie when this claimant's clock runs ahead of the
+                // holder's. Confirm with the monotone heartbeat counter:
+                // re-read after a short grace, and treat an advanced
+                // counter (or a new owner) as clock-free proof of life.
+                std::thread::sleep(confirm_grace(info.ttl_ms));
+                match inspect(path)? {
+                    Some(again)
+                        if again.owner == info.owner && again.heartbeat == info.heartbeat =>
+                    {
+                        // No progress across the grace: genuinely dead.
+                        // Tombstone-steal, then loop to re-create.
+                        take_over(path)?;
+                        // Loop: the next try_create should win unless
+                        // another claimant slipped in, in which case we
+                        // re-evaluate.
+                    }
+                    Some(again) => {
+                        return Ok(Claim::Held {
+                            age_ms: again.age_ms(now_ms),
+                            owner: Some(again.owner),
+                        });
+                    }
+                    None => {
+                        // Vanished (released) or unparsable mid-rewrite:
+                        // loop to re-evaluate from scratch.
+                    }
+                }
             }
             None => {
                 // File vanished (released between create and inspect) or
@@ -317,9 +349,18 @@ fn try_create(
         path: path.to_path_buf(),
         owner: owner.to_string(),
         heartbeat: 0,
+        stamp_ms: now_ms,
         ttl_ms,
         released: false,
     }))
+}
+
+/// How long a claimant waits between the two reads of an expired-by-stamp
+/// lease before trusting the expiry: long enough for a live holder's
+/// keeper thread to advance the heartbeat counter, short enough not to
+/// stall takeover of a genuinely dead worker's lease.
+fn confirm_grace(ttl_ms: u64) -> Duration {
+    Duration::from_millis((ttl_ms / 4).clamp(10, 50))
 }
 
 /// Atomically move an abandoned lease out of the way so exactly one
@@ -354,6 +395,7 @@ pub struct LeaseGuard {
     path: PathBuf,
     owner: String,
     heartbeat: u64,
+    stamp_ms: u64,
     ttl_ms: u64,
     released: bool,
 }
@@ -383,6 +425,12 @@ impl LeaseGuard {
     /// Re-stamp the lease at the supplied wall-clock time, bumping the
     /// heartbeat counter.
     ///
+    /// The written stamp is monotone: a backwards wall-clock step never
+    /// rewinds the on-disk stamp, so a live lease cannot be made to look
+    /// instantly expired by clock skew (the heartbeat counter still
+    /// advances every refresh and serves observers as the clock-free
+    /// liveness signal).
+    ///
     /// Verifies the on-disk owner first: if the lease was taken over (or
     /// vanished), returns [`LeaseError::Lost`] and marks the guard
     /// released so `Drop` will not delete the new holder's file.
@@ -403,10 +451,11 @@ impl LeaseGuard {
             }
         }
         self.heartbeat += 1;
+        self.stamp_ms = self.stamp_ms.max(now_ms);
         let info = LeaseInfo {
             owner: self.owner.clone(),
             heartbeat: self.heartbeat,
-            stamp_ms: now_ms,
+            stamp_ms: self.stamp_ms,
             ttl_ms: self.ttl_ms,
         };
         // Write-to-unique-tmp + rename keeps the lease readable at every
@@ -512,17 +561,32 @@ pub struct Heartbeat {
     handle: std::thread::JoinHandle<Vec<LeaseGuard>>,
 }
 
+/// Smallest refresh interval [`Heartbeat::keep`] will run at.
+///
+/// A `TTL/3`-derived interval degenerates to zero for sub-3 ms TTLs,
+/// which would turn the keeper's `sleep(tick)` loop into a busy spin;
+/// intervals below this floor are clamped up to it.
+pub const MIN_REFRESH_INTERVAL: Duration = Duration::from_millis(1);
+
+/// The interval a [`Heartbeat`] keeper actually runs at for a requested
+/// `every`: never below [`MIN_REFRESH_INTERVAL`].
+pub fn keeper_interval(every: Duration) -> Duration {
+    every.max(MIN_REFRESH_INTERVAL)
+}
+
 impl Heartbeat {
     /// Spawn the keeper. Each lease in `guards` is refreshed every
-    /// `every` until [`stop`](Self::stop) is called. A lease whose
-    /// refresh reports [`LeaseError::Lost`] is dropped from the batch
-    /// (the guard is consumed; the new holder's file is untouched); other
-    /// refresh errors are retried on the next tick.
+    /// `every` (clamped up to [`MIN_REFRESH_INTERVAL`] — a zero interval
+    /// must not busy-spin) until [`stop`](Self::stop) is called. A lease
+    /// whose refresh reports [`LeaseError::Lost`] is dropped from the
+    /// batch (the guard is consumed; the new holder's file is untouched);
+    /// other refresh errors are retried on the next tick.
     pub fn keep(guards: Vec<LeaseGuard>, every: Duration) -> Heartbeat {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let mut guards = guards;
+            let every = keeper_interval(every);
             let tick = Duration::from_millis(25).min(every);
             let mut since_refresh = Duration::ZERO;
             while !flag.load(Ordering::Relaxed) {

@@ -21,7 +21,12 @@
 //!   TTL expiry and heartbeat refresh, so independent processes sharing a
 //!   directory partition a campaign and survive worker crashes,
 //! * [`faults`] — test-only fault injection (kill / failed / delayed
-//!   writes, tail corruption) driving the crash-safety suite,
+//!   writes, tail corruption; single plans or programmable
+//!   [`FaultSchedule`](faults::FaultSchedule)s) driving the crash-safety
+//!   suites and the exhaustive crash-point sweep,
+//! * [`supervise`] — supervision primitives for self-healing campaigns:
+//!   panic capture, deterministic jittered retry [`Backoff`](supervise::Backoff),
+//!   append-only per-worker health journals and quarantine markers,
 //! * [`RunningStats`], [`Histogram`], [`Summary`] — streaming statistics,
 //! * [`CurveSummary`] / [`summarize_curves`] / [`CurveAccumulator`] —
 //!   mean/CI aggregation of replicate curves (experiment ensembles),
@@ -68,6 +73,7 @@ pub mod recorder;
 mod rng;
 mod series;
 mod stats;
+pub mod supervise;
 pub mod table;
 mod time;
 

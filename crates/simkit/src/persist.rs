@@ -1060,7 +1060,7 @@ fn parse_mode(text: &str) -> Option<RecordingMode> {
     }
 }
 
-fn write_json_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+pub(crate) fn write_json_str(out: &mut impl Write, s: &str) -> io::Result<()> {
     out.write_all(b"\"")?;
     for c in s.chars() {
         match c {
@@ -1079,7 +1079,7 @@ fn write_json_str(out: &mut impl Write, s: &str) -> io::Result<()> {
 /// Minimal JSON value for the reader. Numbers keep their raw token so
 /// `u64` fields (seeds, slots) round-trip exactly even beyond 2^53.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(String),
@@ -1089,14 +1089,14 @@ enum Json {
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -1110,7 +1110,7 @@ impl Json {
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
@@ -1120,7 +1120,7 @@ impl Json {
 
 /// Hand-rolled JSON parser (the workspace's `serde` is an offline no-op
 /// stand-in); strict enough for artifact validation, tiny enough to audit.
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let mut parser = JsonParser {
         bytes: text.as_bytes(),
         pos: 0,

@@ -201,3 +201,115 @@ fn arm_from_env_parses_every_spec_and_rejects_garbage() {
     faults::arm_from_env().unwrap();
     assert!(!faults::armed(), "unset disarms");
 }
+
+/// `arm_from_env` rejection coverage beyond shape errors: counts that
+/// overflow `u64`, negative counts, unknown kinds with valid-looking
+/// numbers — each must fail loudly, leaving the harness disarmed.
+#[test]
+fn arm_from_env_rejects_overflowing_and_negative_counts() {
+    let _lock = exclusive();
+    for bad in [
+        "kill:18446744073709551616",          // u64::MAX + 1
+        "delay:1:99999999999999999999999999", // millis overflow
+        "fail-writes:-1",
+        "fail-write-once:1e3",
+        "unknown-kind:5",
+    ] {
+        std::env::set_var("SIMKIT_FAULT", bad);
+        assert!(
+            faults::arm_from_env().is_err(),
+            "{bad:?} must be rejected loudly"
+        );
+        assert!(!faults::armed(), "{bad:?} must not leave the harness armed");
+    }
+    std::env::remove_var("SIMKIT_FAULT");
+}
+
+/// Double-arm replaces the previous plan wholesale (threshold counted
+/// from zero again); clear-then-sample is a clean no-op.
+#[test]
+fn double_arm_replaces_the_plan_and_resets_the_counter() {
+    let _lock = exclusive();
+    faults::inject(FaultPlan {
+        after_samples: 1,
+        kind: FaultKind::FailWrites,
+    });
+    faults::on_sample().unwrap();
+    assert_eq!(faults::operations(), 1);
+
+    // Re-arm: the old threshold (about to fire) is gone, the counter
+    // restarts, and the new threshold governs.
+    faults::inject(FaultPlan {
+        after_samples: 2,
+        kind: FaultKind::FailWrites,
+    });
+    assert_eq!(faults::operations(), 0, "re-arm must reset the counter");
+    faults::on_sample().unwrap();
+    faults::on_sample().unwrap();
+    faults::on_sample().expect_err("the re-armed threshold fires");
+
+    // Clear: disarmed, counter zeroed, samples flow again.
+    faults::clear();
+    assert!(!faults::armed());
+    assert_eq!(faults::operations(), 0);
+    faults::on_sample().unwrap();
+}
+
+/// A counting schedule fires nothing but reports how many injection
+/// points the workload passed — the discovery step of a crash-point
+/// sweep.
+#[test]
+fn counting_schedule_discovers_injection_points() {
+    use simkit::faults::FaultSchedule;
+    let _lock = exclusive();
+    faults::inject_schedule(FaultSchedule::counting());
+
+    let path = scratch("counting");
+    let mut writer = ArtifactWriter::create(&path, &manifest()).unwrap();
+    let ch = writer.channel("x", RecordingMode::Full).unwrap();
+    for i in 0..9u64 {
+        writer.sample(ch, TimeSlot::new(i), i as f64).unwrap();
+    }
+    writer.finish().unwrap();
+
+    assert!(faults::armed(), "counting keeps the harness armed");
+    assert_eq!(faults::operations(), 9, "one operation per sample write");
+    faults::clear();
+    read_artifact(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `fail-write-once` fails exactly the write at its trigger index and
+/// consumes itself: a fresh attempt (new writer, same schedule) runs
+/// clean — the transient-error shape a retry loop recovers from.
+#[test]
+fn one_shot_write_failure_consumes_itself() {
+    use simkit::faults::FaultSchedule;
+    let _lock = exclusive();
+    faults::inject_schedule(FaultSchedule::at(2, FaultKind::FailWriteOnce));
+
+    // Attempt 1: dies at the third write (errors latch per writer).
+    let path = scratch("one-shot");
+    let mut writer = ArtifactWriter::create(&path, &manifest()).unwrap();
+    let ch = writer.channel("x", RecordingMode::Full).unwrap();
+    writer.sample(ch, TimeSlot::new(0), 0.0).unwrap();
+    writer.sample(ch, TimeSlot::new(1), 1.0).unwrap();
+    writer
+        .sample(ch, TimeSlot::new(2), 2.0)
+        .expect_err("the write at the trigger index fails");
+    drop(writer);
+    assert!(!path.exists());
+
+    // Attempt 2: the trigger is consumed; the retry completes while the
+    // harness stays armed (still counting).
+    let mut writer = ArtifactWriter::create(&path, &manifest()).unwrap();
+    let ch = writer.channel("x", RecordingMode::Full).unwrap();
+    for i in 0..5u64 {
+        writer.sample(ch, TimeSlot::new(i), i as f64).unwrap();
+    }
+    writer.finish().unwrap();
+    assert!(faults::armed());
+    faults::clear();
+    read_artifact(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+}

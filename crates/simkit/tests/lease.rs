@@ -296,3 +296,107 @@ fn owner_ids_may_contain_spaces() {
     guard.release().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A backwards wall-clock step between refreshes must not rewind the
+/// on-disk stamp: observers would otherwise see a live lease as
+/// instantly expired.
+#[test]
+fn backwards_clock_step_does_not_rewind_the_stamp() {
+    let dir = scratch("skew");
+    let path = dir.join("cell.lease");
+    let t0 = wall_ms();
+    let ttl = Duration::from_millis(1_000);
+
+    let mut guard = match claim_at(&path, "w1", ttl, t0).unwrap() {
+        Claim::Acquired(g) => g,
+        other => panic!("expected Acquired, got {other:?}"),
+    };
+    // The holder's clock steps 900 ms backwards mid-campaign (NTP slew,
+    // VM migration). The refresh still bumps the heartbeat, but the
+    // written stamp stays monotone.
+    guard.refresh_at(t0 - 900).unwrap();
+    let info = inspect(&path).unwrap().expect("lease readable");
+    assert_eq!(info.heartbeat, 1);
+    assert_eq!(
+        info.stamp_ms, t0,
+        "a backwards clock step must not rewind the stamp"
+    );
+    // An observer half a TTL later sees the lease as live — before the
+    // fix the rewound stamp made it look 1.4 TTLs old and stealable.
+    match claim_at(&path, "w2", ttl, t0 + 500).unwrap() {
+        Claim::Held { owner, .. } => assert_eq!(owner.as_deref(), Some("w1")),
+        other => panic!("expected Held, got {other:?}"),
+    }
+    guard.release().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A claimant whose clock runs far ahead sees every stamp as expired —
+/// the monotone heartbeat counter is the clock-free tiebreak: if the
+/// counter advances across the confirmation grace, the holder is alive
+/// and the lease must not be stolen.
+#[test]
+fn advancing_heartbeat_defeats_expired_stamp_takeover() {
+    let dir = scratch("skew-steal");
+    let path = dir.join("cell.lease");
+    let t0 = wall_ms();
+    let ttl = Duration::from_millis(1_000);
+
+    let guard = match claim_at(&path, "slow", ttl, t0).unwrap() {
+        Claim::Acquired(g) => g,
+        other => panic!("expected Acquired, got {other:?}"),
+    };
+    // A live holder refreshing on a 5 ms cadence.
+    let refresher = std::thread::spawn(move || {
+        let mut guard = guard;
+        for _ in 0..100 {
+            guard.refresh().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        guard
+    });
+    // A thief whose clock is a minute ahead: every stamp looks expired,
+    // but the heartbeat advances across the confirmation grace.
+    match claim_at(&path, "thief", ttl, t0 + 60_000).unwrap() {
+        Claim::Held { owner, .. } => assert_eq!(owner.as_deref(), Some("slow")),
+        Claim::Acquired(_) => panic!("a live lease was stolen on stamp evidence alone"),
+    }
+    refresher.join().unwrap().release().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A sub-3 ms TTL makes the TTL/3 refresh interval round to zero; the
+/// keeper must clamp it to a real interval instead of busy-spinning on
+/// `sleep(0)`.
+#[test]
+fn zero_interval_keeper_is_clamped_not_busy_spun() {
+    use simkit::lease::{keeper_interval, MIN_REFRESH_INTERVAL};
+    assert_eq!(keeper_interval(Duration::ZERO), MIN_REFRESH_INTERVAL);
+    assert!(MIN_REFRESH_INTERVAL > Duration::ZERO);
+    assert_eq!(
+        keeper_interval(Duration::from_secs(5)),
+        Duration::from_secs(5)
+    );
+
+    let dir = scratch("clamp");
+    let path = dir.join("cell.lease");
+    let guard = match claim(&path, "w1", Duration::from_millis(2)).unwrap() {
+        Claim::Acquired(g) => g,
+        other => panic!("expected Acquired, got {other:?}"),
+    };
+    // Degenerate interval straight from a sub-3 ms TTL/3: the keeper must
+    // still refresh (liveness) and stop cleanly (no spin wedging the
+    // stop flag).
+    let keeper = Heartbeat::keep(vec![guard], Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(100));
+    let survivors = keeper.stop();
+    assert_eq!(survivors.len(), 1, "the lease must survive its keeper");
+    assert!(
+        survivors[0].heartbeat() >= 1,
+        "a clamped keeper still refreshes"
+    );
+    for guard in survivors {
+        guard.release().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
