@@ -111,7 +111,16 @@ impl Criterion {
                 "{{\"benchmarks\":[\n{}\n]}}\n",
                 self.json_entries.join(",\n")
             );
-            if let Err(e) = std::fs::write(path, body) {
+            // Mirror the workspace's tmp-rename protocol so an interrupted
+            // bench run can never leave a torn report under the final name
+            // (this shim cannot depend on simkit::persist).
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            // lint:allow(atomic-persistence): this writes the *temporary*
+            // sibling of a rename-into-place pair; the final path is only
+            // ever produced by the atomic rename below.
+            let written = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
+            if let Err(e) = written {
+                let _ = std::fs::remove_file(&tmp);
                 eprintln!(
                     "criterion-compat: cannot write --json {}: {e}",
                     path.display()

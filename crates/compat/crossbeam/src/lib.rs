@@ -20,6 +20,8 @@ pub mod thread {
             T: Send + 'scope,
         {
             let scope = *self;
+            // lint:allow(thread-pool): this *is* the scoped-thread primitive
+            // simkit::executor builds its one pool on; nothing else calls it.
             self.inner.spawn(move || f(&scope))
         }
     }

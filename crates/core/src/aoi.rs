@@ -42,6 +42,8 @@ impl Age {
     #[must_use]
     pub fn aged(self, cap: Age) -> Age {
         let next = self.0.get().saturating_add(1).min(cap.get());
+        // lint:allow(panic-hygiene): `next` is the min of two NonZero-backed
+        // values, so it is always >= 1.
         Age(NonZeroU32::new(next).expect("ages are >= 1"))
     }
 
@@ -200,9 +202,11 @@ impl AgeVector {
         let ages = coords
             .iter()
             .map(|c| {
+                // lint:allow(panic-hygiene): documented panic — from_coords'
+                // contract rejects out-of-range coordinates.
                 let v = u32::try_from(*c + 1).expect("coordinate fits u32");
                 assert!(v <= cap.get(), "coordinate {c} out of cap {cap}");
-                Age::new(v).expect("v >= 1")
+                Age::new(v).expect("v >= 1") // lint:allow(panic-hygiene): v = c + 1 >= 1
             })
             .collect();
         AgeVector { ages, cap }

@@ -149,6 +149,7 @@ impl CacheSimulation {
             scenario.max_age_max,
             &mut rng,
         )?;
+        // lint:allow(panic-hygiene): Scenario::validate already rejected a zero cap.
         let cap = Age::new(scenario.age_cap).expect("validated >= 1");
 
         // Popularity: Zipf weights with a per-RSU random rank permutation so
@@ -179,6 +180,7 @@ impl CacheSimulation {
             });
             // Paper: initial AoI values are random.
             let ages: Vec<Age> = (0..scenario.regions_per_rsu)
+                // lint:allow(panic-hygiene): gen_range(1..=cap) draws are >= 1.
                 .map(|_| Age::new(init_rng.gen_range(1..=scenario.age_cap)).expect(">= 1"))
                 .collect();
             initial_ages.push(AgeVector::from_ages(ages, cap)?);
@@ -254,7 +256,12 @@ impl CacheSimulation {
             // simply dropped.
             let _ = self.compiled.set(built);
         }
-        Ok(self.compiled.get().expect("just initialized"))
+        self.compiled
+            .get()
+            .map(Vec::as_slice)
+            .ok_or(AoiCacheError::Internal {
+                what: "compiled kernels missing right after initialization",
+            })
     }
 
     /// Builds one policy of the given kind per RSU (solving on the shared,

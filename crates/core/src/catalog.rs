@@ -76,6 +76,7 @@ impl Catalog {
             contents: (0..n)
                 .map(|h| ContentSpec {
                     region: RegionId(h),
+                    // lint:allow(panic-hygiene): bounds checked >= 1 above.
                     max_age: Age::new(rng.gen_range(min_max_age..=max_max_age))
                         .expect("bounds are >= 1"),
                 })
@@ -142,6 +143,7 @@ impl Catalog {
             .iter()
             .map(|c| c.max_age)
             .max()
+            // lint:allow(panic-hygiene): every Catalog constructor rejects n == 0.
             .expect("catalog is non-empty")
     }
 

@@ -28,6 +28,16 @@ pub enum AoiCacheError {
     Persist(simkit::persist::PersistError),
     /// An error in the lease protocol of a claim-mode campaign.
     Lease(simkit::lease::LeaseError),
+    /// An internal bookkeeping invariant was broken.
+    ///
+    /// These replace panics on worker-executed paths: under a supervised
+    /// campaign a structured error costs one cell a retry/quarantine with
+    /// a precise message, where a panic would burn the cell with only a
+    /// backtrace.
+    Internal {
+        /// Which invariant failed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for AoiCacheError {
@@ -42,6 +52,9 @@ impl fmt::Display for AoiCacheError {
             AoiCacheError::Network(e) => write!(f, "network model: {e}"),
             AoiCacheError::Persist(e) => write!(f, "run artifact: {e}"),
             AoiCacheError::Lease(e) => write!(f, "cell lease: {e}"),
+            AoiCacheError::Internal { what } => {
+                write!(f, "internal invariant broken: {what}")
+            }
         }
     }
 }

@@ -771,6 +771,8 @@ impl ExperimentPlan {
             ExperimentGrid::Service { .. } => "service",
             ExperimentGrid::Joint { .. } => "joint",
         };
+        // lint:allow(panic-hygiene): the three grid families are enumerated one
+        // match above; a gap is a compile-time-visible programming error.
         headline_channel_for(family).expect("every grid family has a headline channel")
     }
 
@@ -857,10 +859,11 @@ impl ExperimentPlan {
     /// retry, backoff, quarantine and lost heartbeat is appended to this
     /// worker's health journal (`events-<worker>.jsonl`).
     fn run_claimed(&self) -> Result<(Vec<EnsembleSummary>, ResumeReport), AoiCacheError> {
-        let dir = self
-            .artifacts
-            .clone()
-            .expect("validate() guarantees an artifact directory in claim mode");
+        let Some(dir) = self.artifacts.clone() else {
+            return Err(AoiCacheError::Internal {
+                what: "claim mode reached run_claimed without an artifact directory",
+            });
+        };
         let dir = dir.as_path();
         let owner = self.effective_worker_id();
         let ttl = std::time::Duration::from_millis(self.lease_ttl_ms);
@@ -991,12 +994,14 @@ impl ExperimentPlan {
                     .unwrap_or_else(|| executor::worker_count(batch.len(), true, 1));
                 let results = executor::parallel_map_supervised(workers, &batch, |_, id| {
                     if poison == Some((id.scenario, id.replicate, id.policy)) {
+                        // lint:allow(panic-hygiene): deliberate test hook — the panic is
+                        // the supervised-campaign fault being injected.
                         panic!("poisoned by AOI_POISON_CELL={}", id.coords());
                     }
                     self.run_cell_batch(std::slice::from_ref(id))
                 });
                 let survivors = keeper.stop();
-                let mut kept = std::collections::HashSet::new();
+                let mut kept = std::collections::BTreeSet::new();
                 for guard in survivors {
                     // A lost lease means another worker took the cell over
                     // after a stall; its (bit-identical) artifact stands.
@@ -1145,7 +1150,7 @@ impl ExperimentPlan {
         // the gap is counted per group instead of erroring — unless
         // another worker landed the artifact anyway, in which case its
         // (bit-identical) curve folds in and there is no gap.
-        let quarantined_ids: std::collections::HashSet<(usize, usize, usize)> = all_ids
+        let quarantined_ids: std::collections::BTreeSet<(usize, usize, usize)> = all_ids
             .iter()
             .zip(&quarantined)
             .filter(|&(_, &q)| q)
@@ -1210,7 +1215,7 @@ impl ExperimentPlan {
         if ids.is_empty() {
             return Ok(());
         }
-        let mut finals = std::collections::HashSet::new();
+        let mut finals = std::collections::BTreeSet::new();
         for id in ids {
             let path = Self::cell_artifact_path_with(dir, *id, self.compression);
             match std::fs::remove_file(&path) {
@@ -1298,7 +1303,9 @@ impl ExperimentPlan {
                 executor::parallel_map(workers, ids, |_, id| {
                     let sim = keys
                         .binary_search(&(id.scenario, id.replicate))
-                        .expect("batch provides a simulation for each of its cells");
+                        .map_err(|_| AoiCacheError::Internal {
+                            what: "batch is missing this cell's shared simulation",
+                        })?;
                     match artifacts {
                         Some(dir) => sims[sim].run_artifact_with(
                             policies[id.policy],
@@ -1381,12 +1388,13 @@ impl ExperimentPlan {
                     .iter()
                     .map(|&i| {
                         let id = ids[i];
-                        let sim = keys
-                            .binary_search(&(id.scenario, id.replicate))
-                            .expect("batch provides a simulation for each of its cells");
-                        &sims[sim]
+                        keys.binary_search(&(id.scenario, id.replicate))
+                            .map(|sim| &sims[sim])
+                            .map_err(|_| AoiCacheError::Internal {
+                                what: "batch is missing a lockstep cell's shared simulation",
+                            })
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 let kind = policies[ids[job[0]].policy];
                 match artifacts {
                     Some(dir) => {
@@ -1408,6 +1416,8 @@ impl ExperimentPlan {
         }
         Ok(outcomes
             .into_iter()
+            // lint:allow(panic-hygiene): the jobs vector is a partition of
+            // 0..ids.len() by construction directly above.
             .map(|o| o.expect("every cell belongs to exactly one lockstep job"))
             .collect())
     }
@@ -1460,9 +1470,9 @@ impl ExperimentPlan {
                     Err(_) => continue,
                 }
             } else {
-                group
-                    .finish()
-                    .expect("every group has one curve per replicate")
+                group.finish().map_err(|_| AoiCacheError::Internal {
+                    what: "a group with zero quarantined cells is missing a replicate curve",
+                })?
             };
             let ensemble = EnsembleSummary {
                 scenario,

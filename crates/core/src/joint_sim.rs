@@ -274,6 +274,7 @@ fn run_joint_sunk(
     let mut network = Network::new(scenario.network)?;
     let layout = network.layout().clone();
     let n_rsus = layout.n_rsus();
+    // lint:allow(panic-hygiene): Scenario::validate already rejected a zero cap.
     let cap = Age::new(scenario.age_cap).expect("validated >= 1");
 
     // Catalog over all regions.
@@ -345,6 +346,7 @@ fn run_joint_sunk(
         .map(|k| {
             let n_local = layout.coverage_len(RsuId(k));
             let v: Vec<Age> = (0..n_local)
+                // lint:allow(panic-hygiene): gen_range(1..=cap) draws are >= 1.
                 .map(|_| Age::new(init_rng.gen_range(1..=scenario.age_cap)).expect(">= 1"))
                 .collect();
             AgeVector::from_ages(v, cap)

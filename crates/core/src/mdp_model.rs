@@ -152,6 +152,8 @@ impl RsuCacheMdp {
             .max_ages()
             .iter()
             .max()
+            // lint:allow(panic-hygiene): RewardModel construction rejects empty
+            // catalogs, so max_ages() is non-empty.
             .expect("reward model has contents");
         if age_cap < *largest {
             return Err(AoiCacheError::BadScenario {
@@ -238,6 +240,8 @@ impl RsuCacheMdp {
         let idx = self
             .age_space
             .encode_iter(ages.coord_iter())
+            // lint:allow(panic-hygiene): AgeVector keeps every age <= cap, and
+            // the age space is sized by the same cap.
             .expect("ages within cap encode");
         phase * self.age_space.len() + idx
     }
@@ -293,6 +297,8 @@ impl FiniteMdp for RsuCacheMdp {
         let age_next = self
             .age_space
             .encode(&coords)
+            // lint:allow(panic-hygiene): Age::aged saturates at the cap, so the
+            // aged coordinates always encode.
             .expect("aged coordinates stay in range");
         match &self.popularity {
             PopularityModel::Static(_) => {

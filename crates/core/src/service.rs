@@ -91,6 +91,8 @@ impl ServicePolicy for LyapunovServicePolicy {
             .collect();
         self.dpp
             .decide(ctx.backlog, &options)
+            // lint:allow(panic-hygiene): the controller validated its service
+            // levels at construction and the backlog is its own queue state.
             .expect("levels are non-empty and backlog is valid")
     }
 }

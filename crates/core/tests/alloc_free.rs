@@ -21,18 +21,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a pure pass-through to the System allocator; the only addition is
+// a relaxed atomic counter, which cannot affect GlobalAlloc's contract.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards `System.alloc`'s own contract unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller upholds GlobalAlloc's layout contract, which is
+        // forwarded verbatim to the System allocator.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards `System.dealloc`'s own contract unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the matching alloc/realloc below,
+        // which delegate to System, so System may free it.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards `System.realloc`'s own contract unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` obey the caller's GlobalAlloc contract and
+        // came from System via this allocator.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,13 @@
+//! Fire fixture: raw file creation outside the atomic persistence layer.
+
+use std::fs;
+use std::fs::File;
+use std::path::Path;
+
+pub fn dump(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn open_final(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}

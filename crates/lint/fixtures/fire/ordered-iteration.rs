@@ -1,0 +1,11 @@
+//! Fire fixture: a HashMap in non-test code.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

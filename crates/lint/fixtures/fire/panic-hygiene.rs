@@ -1,0 +1,13 @@
+//! Fire fixture: unwrap / expect / panic! in panic-fenced library code.
+
+pub fn headline(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite headline");
+    }
+    *first
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    *xs.get(1).expect("at least two samples")
+}

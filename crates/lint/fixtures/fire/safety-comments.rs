@@ -1,0 +1,5 @@
+//! Fire fixture: an `unsafe` block with no `// SAFETY:` comment.
+
+pub fn read_raw(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

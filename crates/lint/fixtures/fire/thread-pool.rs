@@ -1,0 +1,8 @@
+//! Fire fixture: a thread spawn outside simkit::executor / lease::Heartbeat.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(run);
+    let _ = handle.join();
+}
+
+fn run() {}

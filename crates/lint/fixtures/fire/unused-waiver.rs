@@ -1,0 +1,6 @@
+//! Fire fixture: a stale waiver — the clock read it justified is gone.
+
+// lint:allow(wall-clock): the Instant::now below was removed in a refactor
+pub fn pure_now() -> u32 {
+    42
+}

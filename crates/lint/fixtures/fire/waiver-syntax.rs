@@ -1,0 +1,10 @@
+//! Fire fixture: malformed waivers, each a `waiver-syntax` violation.
+
+// lint:allow(wall-clock)
+pub fn missing_reason() {}
+
+// lint:allow(no-such-rule): names a rule the linter has never heard of
+pub fn unknown_rule() {}
+
+// lint:allow wall-clock: forgot the parentheses
+pub fn missing_parens() {}

@@ -1,0 +1,15 @@
+//! Fire fixture: wall-clock reads outside the sanctioned modules.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    expensive();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn expensive() {}

@@ -1,0 +1,7 @@
+//! Waived fixture: per-line waivers on membership-only HashMap uses.
+
+use std::collections::HashMap; // lint:allow(ordered-iteration): fixture — membership only, order never observed
+
+pub fn contains(map: &HashMap<u64, u64>, k: u64) -> bool { // lint:allow(ordered-iteration): fixture — membership only
+    map.contains_key(&k)
+}

@@ -1,0 +1,6 @@
+//! Waived fixture: an item-level waiver naming the invariant.
+
+// lint:allow(panic-hygiene): fixture — slice verified non-empty by the caller's validate()
+pub fn headline(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

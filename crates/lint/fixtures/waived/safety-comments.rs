@@ -1,0 +1,10 @@
+//! Waived fixture: one `unsafe` satisfied by a SAFETY comment, one by a waiver.
+
+pub fn read_documented(ptr: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `ptr` is valid, aligned, and live.
+    unsafe { *ptr }
+}
+
+pub fn read_waived(ptr: *const u8) -> u8 {
+    unsafe { *ptr } // lint:allow(safety-comments): fixture — soundness argued in the module docs
+}

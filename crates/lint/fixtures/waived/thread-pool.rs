@@ -1,0 +1,8 @@
+//! Waived fixture: a trailing waiver covering one line.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(run); // lint:allow(thread-pool): fixture — sanctioned helper thread
+    let _ = handle.join();
+}
+
+fn run() {}

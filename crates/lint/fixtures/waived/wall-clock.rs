@@ -1,0 +1,12 @@
+//! Waived fixture: an item-level waiver covering a whole function.
+
+use std::time::Instant;
+
+// lint:allow(wall-clock): fixture — measurement harness whose reported product IS elapsed wall time
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    expensive();
+    start.elapsed().as_millis()
+}
+
+fn expensive() {}

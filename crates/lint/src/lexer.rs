@@ -1,0 +1,451 @@
+//! A minimal, lossy Rust lexer that is exact about the three things the
+//! rules need: what is *code*, what is a *comment*, and where the *braces*
+//! are.
+//!
+//! The lexer understands line comments (`//`, `///`, `//!`), nested block
+//! comments, string literals with escapes, raw (and byte / C) strings with
+//! arbitrary `#` fencing, character literals vs. lifetimes, and numeric
+//! literals — so a rule that scans for `Instant::now` can never be fooled
+//! by the same text inside a string, a doc example, or a comment. It does
+//! **not** build a syntax tree: every rule in this workspace is expressible
+//! over the token stream plus brace depth.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is stored verbatim.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// Rules never need the contents, only the fact that it is not code.
+    Literal,
+    /// A lifetime such as `'static` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Brace depth at the token: `{` carries the depth *before* it opens,
+    /// `}` the depth *after* it closes, so a matching pair shares a value.
+    pub depth: u32,
+    pub kind: TokKind,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with its position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text *after* the `//` / `/*` opener (closer stripped too).
+    pub text: String,
+    /// True when code tokens precede the comment on the same line
+    /// (a "trailing" comment, e.g. `foo(); // note`).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+///
+/// The lexer is total: malformed input (unterminated strings, stray bytes)
+/// never panics, it simply consumes to end-of-file. That keeps the linter
+/// usable on any text the workspace might contain.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut depth: u32 = 0;
+    // Whether a code token has been emitted on the current line (for
+    // trailing-comment detection).
+    let mut code_on_line = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment (also doc comments: the third `/` or `!`
+                // simply becomes part of the text).
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..j].to_string(),
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let text_start = i + 2;
+                let mut level = 1u32;
+                let mut j = i + 2;
+                while j < b.len() && level > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        level += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        level -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: source[text_start..text_end].to_string(),
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let start_line = line;
+                i = consume_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    line: start_line,
+                    depth,
+                    kind: TokKind::Literal,
+                });
+                code_on_line = true;
+            }
+            b'\'' => {
+                // Lifetime vs. char literal. `'ident` not followed by a
+                // closing quote is a lifetime; everything else is a char.
+                let start_line = line;
+                let is_lifetime =
+                    i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') && {
+                        // Scan the identifier after the quote; a lifetime
+                        // never ends in `'`.
+                        let mut j = i + 1;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        !(j < b.len() && b[j] == b'\'')
+                    };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line: start_line,
+                        depth,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                } else {
+                    i = consume_char_literal(b, i + 1, &mut line);
+                    out.tokens.push(Token {
+                        line: start_line,
+                        depth,
+                        kind: TokKind::Literal,
+                    });
+                }
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                        // `1.5` continues the number; `1..5` and `x.0.meth()`
+                        // stop at the dot so ranges and field access lex as
+                        // punctuation.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line: start_line,
+                    depth,
+                    kind: TokKind::Literal,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let ident = &source[start..j];
+                // Raw / byte / C string prefixes: the *whole* identifier
+                // must be a prefix and be immediately followed by the
+                // literal opener.
+                let next = b.get(j).copied();
+                let raw_prefix =
+                    matches!(ident, "r" | "br" | "cr") && matches!(next, Some(b'"') | Some(b'#'));
+                let plain_prefix =
+                    matches!(ident, "b" | "c") && matches!(next, Some(b'"') | Some(b'\''));
+                if raw_prefix {
+                    let start_line = line;
+                    i = consume_raw_string(b, j, &mut line);
+                    out.tokens.push(Token {
+                        line: start_line,
+                        depth,
+                        kind: TokKind::Literal,
+                    });
+                } else if plain_prefix {
+                    let start_line = line;
+                    if b[j] == b'"' {
+                        i = consume_string(b, j + 1, &mut line);
+                    } else {
+                        i = consume_char_literal(b, j + 1, &mut line);
+                    }
+                    out.tokens.push(Token {
+                        line: start_line,
+                        depth,
+                        kind: TokKind::Literal,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        line,
+                        depth,
+                        kind: TokKind::Ident(ident.to_string()),
+                    });
+                    i = j;
+                }
+                code_on_line = true;
+            }
+            b'{' => {
+                out.tokens.push(Token {
+                    line,
+                    depth,
+                    kind: TokKind::Punct('{'),
+                });
+                depth += 1;
+                code_on_line = true;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                out.tokens.push(Token {
+                    line,
+                    depth,
+                    kind: TokKind::Punct('}'),
+                });
+                code_on_line = true;
+                i += 1;
+            }
+            _ => {
+                // Any other byte (operators, non-ASCII) is one punct token.
+                let ch = source[i..].chars().next().unwrap_or('?');
+                out.tokens.push(Token {
+                    line,
+                    depth,
+                    kind: TokKind::Punct(ch),
+                });
+                code_on_line = true;
+                i += ch.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a double-quoted string body starting *after* the opening quote;
+/// returns the index just past the closing quote.
+fn consume_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a char / byte-char literal body starting *after* the opening
+/// quote; returns the index just past the closing quote.
+fn consume_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                // Unterminated char literal; bail at end of line so the
+                // rest of the file still lexes sensibly.
+                *line += 1;
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string starting at the `#`s / quote after the `r` / `br` /
+/// `cr` prefix; returns the index just past the closing fence.
+fn consume_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        // Not actually a raw string (e.g. `r#ident` raw identifier); leave
+        // the cursor where it is and let the main loop re-lex.
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized() {
+        let src = r###"
+// Instant::now() in a comment
+/* HashMap in a block /* nested */ comment */
+let a = "Instant::now()";
+let b = r#"HashMap "quoted" inside raw"#;
+let c = b"unwrap()";
+real_ident();
+"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn brace_depth_matches_pairs() {
+        let src = "mod m { fn f() { g(); } }";
+        let lexed = lex(src);
+        let braces: Vec<(char, u32)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(c @ ('{' | '}')) => Some((c, t.depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(braces, vec![('{', 0), ('{', 1), ('}', 1), ('}', 0)]);
+    }
+
+    #[test]
+    fn trailing_comments_are_flagged() {
+        let src = "code(); // trailing\n// standalone\n";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        // `pair.0.unwrap()` must expose `unwrap` as an identifier.
+        let ids = idents("pair.0.unwrap()");
+        assert!(ids.contains(&"unwrap".to_string()));
+        // but `1.5` lexes as one literal, and `0..10` as two.
+        assert!(idents("let x = 1.5e3; let r = 0..10;").contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let a = \"one\ntwo\";\nafter();";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("after"))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+}

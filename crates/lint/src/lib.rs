@@ -1,0 +1,353 @@
+//! `aoi-lint` — a static workspace invariant checker.
+//!
+//! Every guarantee the campaign stack sells — bit-identical replays,
+//! crash-safe artifacts, panic-isolated cells — is enforced dynamically by
+//! proptests, counting allocators, and the crash-point sweep. This crate is
+//! the static twin: a comment/string/raw-string-aware lexical pass over the
+//! workspace's own source that proves the confinement rules those suites
+//! can only catch after the fact, at the commit that introduces a
+//! violation.
+//!
+//! Exceptions are inline waivers, visible and justified in place:
+//!
+//! ```text
+//! let t = Instant::now(); // lint:allow(wall-clock): measurement harness output
+//! ```
+//!
+//! or, on the line above an item, covering the whole item. See
+//! [`rules::RULES`] for the rule set and `aoi-lint --explain <rule>` for
+//! the rationale behind each.
+//!
+//! The crate is std-only by design: it must build offline, before any
+//! other workspace crate, and lint itself.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use rules::{check_file, waivable_rule_ids, RawFinding};
+use source::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, waived or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line, for context in reports.
+    pub snippet: String,
+    /// The waiver reason when this finding is covered by one.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// True when the finding counts against the exit status.
+    pub fn is_violation(&self) -> bool {
+        self.waived.is_none()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.waived.is_some() {
+            " (waived)"
+        } else {
+            ""
+        };
+        write!(
+            f,
+            "{}:{}: [{}]{} {}\n    {}",
+            self.file, self.line, self.rule, status, self.message, self.snippet
+        )
+    }
+}
+
+/// Result of scanning a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a waiver.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_violation())
+    }
+
+    /// Number of unwaived findings.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings.len() - self.violation_count()
+    }
+
+    /// Renders the machine-readable `--json` form (hand-rolled: the
+    /// workspace serde is a no-op stub and this crate is std-only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+            s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            s.push_str(&format!("\"snippet\": {}, ", json_str(&f.snippet)));
+            match &f.waived {
+                Some(reason) => {
+                    s.push_str(&format!(
+                        "\"waived\": true, \"reason\": {}",
+                        json_str(reason)
+                    ));
+                }
+                None => s.push_str("\"waived\": false"),
+            }
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"violations\": {},\n  \"waived\": {}\n}}\n",
+            self.files_scanned,
+            self.violation_count(),
+            self.waived_count()
+        ));
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Scans one file's source as if it lived at `rel_path` in the workspace.
+///
+/// This is the unit the fixture tests drive: the path determines which
+/// rules are in scope, so a fixture can opt into e.g. `panic-hygiene` by
+/// claiming a `crates/core/src/…` path.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let known = waivable_rule_ids();
+    let file = SourceFile::parse(rel_path, source, &known);
+    let raw = check_file(&file);
+    let mut used = vec![false; file.waivers.len()];
+    let mut findings = Vec::with_capacity(raw.len());
+    for RawFinding {
+        rule,
+        line,
+        message,
+    } in raw
+    {
+        let waiver = file
+            .waivers
+            .iter()
+            .enumerate()
+            .find(|(_, w)| w.rule == rule && w.covers.contains(&line));
+        let waived = waiver.map(|(idx, w)| {
+            used[idx] = true;
+            w.reason.clone()
+        });
+        findings.push(Finding {
+            rule: rule.to_string(),
+            file: rel_path.to_string(),
+            line,
+            message,
+            snippet: file.snippet(line),
+            waived,
+        });
+    }
+    for bw in &file.bad_waivers {
+        findings.push(Finding {
+            rule: "waiver-syntax".to_string(),
+            file: rel_path.to_string(),
+            line: bw.line,
+            message: bw.message.clone(),
+            snippet: file.snippet(bw.line),
+            waived: None,
+        });
+    }
+    for (idx, w) in file.waivers.iter().enumerate() {
+        if !used[idx] {
+            findings.push(Finding {
+                rule: "unused-waiver".to_string(),
+                file: rel_path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` covers no violation (lines {}..={}); delete it or move it \
+                     next to the code it justifies",
+                    w.rule,
+                    w.covers.start(),
+                    w.covers.end()
+                ),
+                snippet: file.snippet(w.line),
+                waived: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+/// Directories (workspace-relative) never scanned.
+const EXCLUDED_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".github",
+    // Fixtures contain violations *on purpose*.
+    "crates/lint/fixtures",
+];
+
+/// Scans every `.rs` file under `root` (a workspace checkout).
+///
+/// Returns an error only for I/O problems; findings — including in the
+/// linter's own source — land in the [`Report`].
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let text =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        report.findings.extend(scan_source(&rel, &text));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if EXCLUDED_DIRS.contains(&rel.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated form of `path`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waived_finding_is_not_a_violation() {
+        let src = "fn f() {\n    let t = std::time::Instant::now(); \
+                   // lint:allow(wall-clock): unit test of the waiver machinery\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_violation());
+        assert_eq!(
+            findings[0].waived.as_deref(),
+            Some("unit test of the waiver machinery")
+        );
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// lint:allow(wall-clock): nothing here uses the clock\nfn f() {}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-waiver");
+        assert!(findings[0].is_violation());
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_mask() {
+        let src = "fn f() {\n    let t = std::time::Instant::now(); \
+                   // lint:allow(thread-pool): wrong rule\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        // The wall-clock hit stays a violation AND the waiver is unused.
+        assert_eq!(findings.iter().filter(|f| f.is_violation()).count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "wall-clock".into(),
+                file: "a\"b.rs".into(),
+                line: 3,
+                message: "line\nbreak".into(),
+                snippet: "\tsnip".into(),
+                waived: None,
+            }],
+            files_scanned: 1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"a\\\"b.rs\""));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("\"violations\": 1"));
+    }
+
+    #[test]
+    fn test_paths_are_exempt_from_scoped_rules() {
+        let src = "fn helper() { x.unwrap(); }\n";
+        assert!(scan_source("crates/core/tests/t.rs", src).is_empty());
+        assert!(scan_source("crates/core/benches/b.rs", src).is_empty());
+        assert!(scan_source("examples/e.rs", src).is_empty());
+        assert_eq!(scan_source("crates/core/src/l.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn safety_rule_applies_even_in_tests() {
+        let src = "fn t() { unsafe { danger() } }\n";
+        let findings = scan_source("crates/core/tests/t.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "safety-comments");
+        let ok = "fn t() {\n    // SAFETY: fixture\n    unsafe { danger() }\n}\n";
+        assert!(scan_source("crates/core/tests/t.rs", ok).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! `aoi-lint` binary: scan the workspace, report invariant violations.
+//!
+//! Exit codes: `0` clean (waived findings allowed), `1` unwaived
+//! violations, `2` usage or I/O error.
+
+use aoi_lint::rules::{rule, RULES};
+use aoi_lint::scan_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+aoi-lint — static workspace invariant checker
+
+USAGE:
+    aoi-lint [--root DIR] [--json]
+    aoi-lint --explain RULE
+    aoi-lint --list
+
+OPTIONS:
+    --root DIR      Workspace root to scan (default: current directory)
+    --json          Machine-readable findings on stdout
+    --explain RULE  Print the rationale behind one rule
+    --list          List all rules with one-line summaries
+    --help          This text
+
+Waive a finding in place, with a mandatory reason:
+    offending_call(); // lint:allow(rule-id): why this exception is sound
+A waiver on its own line covers the following item (fn, impl, statement).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for r in RULES {
+                    println!("{:<20} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = args.get(i + 1) else {
+                    eprintln!("--explain needs a rule id (try --list)");
+                    return ExitCode::from(2);
+                };
+                match rule(id) {
+                    Some(r) => {
+                        println!("{} — {}\n\n{}", r.id, r.summary, r.explain);
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown rule `{id}` (try --list)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aoi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in report.violations() {
+            println!("{f}");
+        }
+        println!(
+            "aoi-lint: {} file(s), {} violation(s), {} waived",
+            report.files_scanned,
+            report.violation_count(),
+            report.waived_count()
+        );
+    }
+    if report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,388 @@
+//! The invariant rules.
+//!
+//! Each rule is the static twin of a guarantee the workspace already pays
+//! dynamic tests to defend (replay determinism, single-pool execution,
+//! atomic artifacts, panic isolation). A rule fires on the *commit that
+//! introduces* a violation, in every module — including ones no test
+//! exercises yet.
+
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+/// One rule's identity and documentation.
+pub struct RuleDef {
+    pub id: &'static str,
+    /// One-line summary for listings.
+    pub summary: &'static str,
+    /// Long-form text for `--explain`.
+    pub explain: &'static str,
+}
+
+/// All workspace rules, in severity-neutral declaration order.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        id: "wall-clock",
+        summary:
+            "wall-clock reads confined to simkit::{lease,supervise,time} and the criterion shim",
+        explain: "\
+Replays are bit-identical only because simulated time is the discrete\n\
+`TimeSlot` counter, never the host clock. `Instant::now()` / \n\
+`SystemTime::now()` anywhere else smuggles wall-clock state into results\n\
+or control flow that a replay cannot reproduce. Allowed homes: the lease\n\
+protocol (expiry stamps), the supervision journal (diagnostics), \n\
+simkit::time itself, and the criterion stand-in (measurement is its job).\n\
+Measurement harnesses that *report* elapsed time as their product may\n\
+waive the rule with a reason.",
+    },
+    RuleDef {
+        id: "thread-pool",
+        summary: "thread spawns confined to simkit::executor and lease::Heartbeat",
+        explain: "\
+The workspace runs on exactly one thread-pool implementation\n\
+(`simkit::executor`) so worker counts, panic poisoning, and determinism\n\
+contracts hold everywhere; `lease::Heartbeat`'s keeper thread is the one\n\
+sanctioned exception. Any other `spawn(..)` creates untracked\n\
+concurrency the executor's bit-identity guarantees cannot see.",
+    },
+    RuleDef {
+        id: "atomic-persistence",
+        summary: "file creation confined to simkit::{persist,lease,supervise,faults}",
+        explain: "\
+A crash must never leave a half-written file under a final name. The\n\
+persistence layer guarantees this by streaming to `*.tmp-<pid>` siblings\n\
+and renaming into place; leases, journals, and quarantine markers have\n\
+their own atomic protocols. Raw `File::create` / `fs::write` /\n\
+`OpenOptions` outside those modules bypasses every one of those\n\
+guarantees — route artifact bytes through `ArtifactWriter` instead.",
+    },
+    RuleDef {
+        id: "ordered-iteration",
+        summary: "no HashMap/HashSet in non-test code (iteration order is nondeterministic)",
+        explain: "\
+`HashMap`/`HashSet` iteration order varies between processes, so any\n\
+float accumulation or artifact bytes fed from one silently break\n\
+bit-identical replays and byte-diffable artifacts. Non-test code must\n\
+use `BTreeMap`/`BTreeSet` (or sort before iterating). Membership-only\n\
+uses are still flagged: iteration creeps in during refactors, and the\n\
+B-tree versions cost nothing at workspace scales. Waive only with a\n\
+reason explaining why order provably cannot reach observable state.",
+    },
+    RuleDef {
+        id: "panic-hygiene",
+        summary:
+            "no unwrap()/expect()/panic! in core/mdp/lyapunov/simkit library code without a waiver",
+        explain: "\
+Campaign cells run under a panic fence: a panic costs the whole cell a\n\
+retry and, eventually, quarantine. Library code in the solver and\n\
+simulation crates must therefore return structured errors for anything\n\
+that can actually fail, and may keep `expect` only for true invariants —\n\
+each justified by an inline waiver naming the invariant, so every\n\
+potential panic site in the hot crates is visible and reasoned about.",
+    },
+    RuleDef {
+        id: "safety-comments",
+        summary: "every `unsafe` is preceded by a // SAFETY: comment",
+        explain: "\
+Every workspace library crate carries `#![forbid(unsafe_code)]`; the few\n\
+`unsafe` blocks that exist (counting-allocator test shims) must each\n\
+state their soundness argument in a `// SAFETY:` comment on the same\n\
+line or immediately above, so the audit trail survives refactors.",
+    },
+    RuleDef {
+        id: "waiver-syntax",
+        summary: "waiver comments must parse: lint:allow(rule-id): reason",
+        explain: "\
+A waiver that does not parse (missing parentheses, unknown rule id,\n\
+empty reason) is silently *not* honoured — which would turn a typo into\n\
+an unreviewed suppression or an unsuppressed failure far from its\n\
+cause. Malformed waivers are therefore violations themselves, and can\n\
+never be waived.",
+    },
+    RuleDef {
+        id: "unused-waiver",
+        summary: "every waiver must cover at least one violation",
+        explain: "\
+A waiver that matches nothing is a stale exception: the code it\n\
+justified has moved or been fixed, and leaving it behind grants a\n\
+silent future suppression. Delete the waiver (or move it next to the\n\
+code it means to cover). Unused waivers can never be waived.",
+    },
+];
+
+/// Rule ids that inline waivers may name.
+pub fn waivable_rule_ids() -> Vec<&'static str> {
+    RULES
+        .iter()
+        .map(|r| r.id)
+        .filter(|id| *id != "waiver-syntax" && *id != "unused-waiver")
+        .collect()
+}
+
+/// Looks up a rule's definition by id.
+pub fn rule(id: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A raw rule hit, before waiver resolution.
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Files exempt from `wall-clock` (the sanctioned clock readers).
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/simkit/src/lease.rs",
+    "crates/simkit/src/supervise.rs",
+    "crates/simkit/src/time.rs",
+    "crates/compat/criterion/src/lib.rs",
+];
+
+/// Files exempt from `thread-pool`.
+const THREAD_POOL_ALLOWED: &[&str] = &[
+    "crates/simkit/src/executor.rs",
+    "crates/simkit/src/lease.rs",
+];
+
+/// Files exempt from `atomic-persistence` (the atomic protocols themselves).
+const ATOMIC_PERSISTENCE_ALLOWED: &[&str] = &[
+    "crates/simkit/src/persist.rs",
+    "crates/simkit/src/persist/compress.rs",
+    "crates/simkit/src/lease.rs",
+    "crates/simkit/src/supervise.rs",
+    "crates/simkit/src/faults.rs",
+];
+
+/// Crates whose library code is under `panic-hygiene`.
+const PANIC_HYGIENE_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/mdp/src/",
+    "crates/lyapunov/src/",
+    "crates/simkit/src/",
+];
+
+/// True for files that are test/bench/example code by *path* (in addition
+/// to `#[cfg(test)]` regions inside library files).
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|part| part == "tests" || part == "benches" || part == "examples")
+}
+
+/// Runs every applicable rule over one parsed file.
+pub fn check_file(file: &SourceFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let path = file.rel_path.as_str();
+    let test_file = is_test_path(path);
+
+    if !test_file {
+        if !WALL_CLOCK_ALLOWED.contains(&path) {
+            check_wall_clock(file, &mut out);
+        }
+        if !THREAD_POOL_ALLOWED.contains(&path) {
+            check_thread_pool(file, &mut out);
+        }
+        if !ATOMIC_PERSISTENCE_ALLOWED.contains(&path) {
+            check_atomic_persistence(file, &mut out);
+        }
+        check_ordered_iteration(file, &mut out);
+        if PANIC_HYGIENE_SCOPE.iter().any(|p| path.starts_with(p)) {
+            check_panic_hygiene(file, &mut out);
+        }
+    }
+    // Safety comments are required everywhere, test code included: the
+    // only unsafe in the workspace *is* in test shims.
+    check_safety_comments(file, &mut out);
+    // Overlapping path patterns (e.g. `std::fs::File::create`) can hit one
+    // line twice; one finding per (rule, line) is enough.
+    out.sort_by_key(|f| (f.rule, f.line));
+    out.dedup_by_key(|f| (f.rule, f.line));
+    out
+}
+
+/// True when `tokens[i..]` spells `first :: … :: last` (a path ending in
+/// `last`, with only `:` separators and intermediate idents between).
+fn path_call(tokens: &[Token], i: usize, first: &str, last: &str) -> bool {
+    if tokens[i].ident() != Some(first) {
+        return false;
+    }
+    let mut j = i + 1;
+    // Require `::` immediately after, then accept `segment ::` repeats.
+    loop {
+        if !(j + 1 < tokens.len() && tokens[j].is_punct(':') && tokens[j + 1].is_punct(':')) {
+            return false;
+        }
+        j += 2;
+        match tokens.get(j).and_then(Token::ident) {
+            Some(seg) if seg == last => return true,
+            Some(_) => j += 1,
+            None => return false,
+        }
+    }
+}
+
+fn check_wall_clock(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        for ty in ["Instant", "SystemTime"] {
+            if path_call(toks, i, ty, "now") {
+                out.push(RawFinding {
+                    rule: "wall-clock",
+                    line: toks[i].line,
+                    message: format!(
+                        "`{ty}::now()` outside simkit::{{lease,supervise,time}} breaks replay determinism"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_thread_pool(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        if toks[i].ident() == Some("spawn") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            out.push(RawFinding {
+                rule: "thread-pool",
+                line: toks[i].line,
+                message: "thread spawn outside simkit::executor / lease::Heartbeat creates \
+                          untracked concurrency"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_atomic_persistence(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        let hit = if path_call(toks, i, "File", "create")
+            || path_call(toks, i, "File", "create_new")
+            || path_call(toks, i, "File", "options")
+        {
+            Some("`File::create`-family call")
+        } else if path_call(toks, i, "fs", "write") {
+            // `std::fs::write` also matches: the walk starts at `fs`.
+            Some("`fs::write` call")
+        } else if toks[i].ident() == Some("OpenOptions") {
+            Some("`OpenOptions` use")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(RawFinding {
+                rule: "atomic-persistence",
+                line: toks[i].line,
+                message: format!(
+                    "{what} outside simkit::{{persist,lease,supervise,faults}} bypasses the \
+                     tmp-rename atomic-artifact path (use ArtifactWriter)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_ordered_iteration(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for t in toks {
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+            out.push(RawFinding {
+                rule: "ordered-iteration",
+                line: t.line,
+                message: format!(
+                    "`{name}` in non-test code: iteration order is nondeterministic; use \
+                     BTreeMap/BTreeSet or sorted iteration"
+                ),
+            });
+        }
+    }
+}
+
+fn check_panic_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(toks[i].line) {
+            continue;
+        }
+        let t = &toks[i];
+        let next_is = |c| toks.get(i + 1).is_some_and(|n: &Token| n.is_punct(c));
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+        let hit = match t.ident() {
+            Some(m @ ("unwrap" | "expect")) if prev_is_dot && next_is('(') => {
+                Some(format!("`.{m}(..)`"))
+            }
+            Some("panic") if next_is('!') => Some("`panic!(..)`".to_string()),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(RawFinding {
+                rule: "panic-hygiene",
+                line: t.line,
+                message: format!(
+                    "{what} in library code of a panic-fenced crate: return a structured \
+                     error, or waive naming the invariant that makes this unreachable"
+                ),
+            });
+        }
+    }
+}
+
+fn check_safety_comments(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for t in &file.tokens {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        if has_safety_comment(file, t.line) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: "safety-comments",
+            line: t.line,
+            message: "`unsafe` without a `// SAFETY:` comment on the same line or immediately \
+                      above"
+                .to_string(),
+        });
+    }
+}
+
+/// True when a `SAFETY:` comment sits on `line` or in the contiguous
+/// comment/attribute block directly above it.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let safety_on = |l: u32| {
+        file.comments
+            .iter()
+            .any(|c| c.line == l && c.text.contains("SAFETY:"))
+    };
+    if safety_on(line) {
+        return true;
+    }
+    let mut l = line - 1;
+    while l >= 1 {
+        let text = file
+            .lines
+            .get(l as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or("");
+        if text.starts_with("//") || text.starts_with("/*") || text.starts_with('*') {
+            if safety_on(l) {
+                return true;
+            }
+        } else if !(text.is_empty() || text.starts_with("#[")) {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}

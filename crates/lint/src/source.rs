@@ -1,0 +1,361 @@
+//! Per-file analysis context: lexed tokens, `#[cfg(test)]` regions, and
+//! inline waivers.
+//!
+//! # Waiver syntax
+//!
+//! ```text
+//! some_call(); // lint:allow(rule-id): why this exception is sound
+//! ```
+//!
+//! A *trailing* waiver (code before it on the line) covers that line only.
+//! A waiver on its own line covers the **next item**: everything from the
+//! following statement or declaration through its terminating `;` or the
+//! matching `}` of its first brace block — so one waiver above a `fn` can
+//! cover every occurrence inside the body, keeping justified exceptions
+//! readable instead of repeated per line.
+//!
+//! A comment is only recognised as a waiver when its text *begins* with the
+//! marker; doc comments that merely mention the syntax are ignored.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+use std::ops::RangeInclusive;
+
+/// A parsed inline waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id this waiver exempts.
+    pub rule: String,
+    /// The mandatory free-form justification.
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// Inclusive line range the waiver covers.
+    pub covers: RangeInclusive<u32>,
+}
+
+/// A syntactically invalid waiver comment (reported, never honoured).
+#[derive(Debug, Clone)]
+pub struct BadWaiver {
+    pub line: u32,
+    pub message: String,
+}
+
+/// One file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<RangeInclusive<u32>>,
+    pub waivers: Vec<Waiver>,
+    pub bad_waivers: Vec<BadWaiver>,
+}
+
+/// The marker a waiver comment must begin with.
+const WAIVER_MARKER: &str = "lint:allow";
+
+impl SourceFile {
+    /// Parses `source` as the file at `rel_path` (workspace-relative).
+    pub fn parse(rel_path: &str, source: &str, known_rules: &[&str]) -> SourceFile {
+        let Lexed { tokens, comments } = lex(source);
+        let lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let test_regions = find_test_regions(&tokens);
+        let (waivers, bad_waivers) = parse_waivers(&comments, &tokens, known_rules);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            tokens,
+            comments,
+            test_regions,
+            waivers,
+            bad_waivers,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// Source text of a 1-based line, trimmed, for finding snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Finds `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` line ranges.
+fn find_test_regions(tokens: &[Token]) -> Vec<RangeInclusive<u32>> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Scan the attribute body up to its closing `]` (attributes in
+            // this workspace never nest brackets around a bare `test`).
+            let attr_line = tokens[i].line;
+            let mut j = i + 2;
+            let mut is_test_attr = false;
+            let mut body_len = 0usize;
+            while j < tokens.len() && !tokens[j].is_punct(']') && body_len < 32 {
+                if tokens[j].ident() == Some("test") {
+                    is_test_attr = true;
+                }
+                j += 1;
+                body_len += 1;
+            }
+            if is_test_attr && j < tokens.len() {
+                // Skip any further attributes, then span the item.
+                let mut k = j + 1;
+                while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[')
+                {
+                    k += 2;
+                    while k < tokens.len() && !tokens[k].is_punct(']') {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                if let Some(end) = item_end(tokens, k) {
+                    regions.push(attr_line..=tokens[end].line);
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Given the index of an item's first token, returns the index of its last
+/// token: the matching `}` of the first brace block opened at the item's
+/// depth, or the `;` that terminates a braceless item.
+fn item_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let depth = tokens.get(start)?.depth;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // The enclosing scope closed before the item found a terminator
+        // (e.g. a waiver above the tail expression of a block): the item
+        // cannot extend past its scope.
+        if t.depth < depth && t.is_punct('}') {
+            return Some(i);
+        }
+        if t.depth == depth && t.is_punct(';') {
+            return Some(i);
+        }
+        if t.depth == depth && t.is_punct('{') {
+            // Find the matching close: the next `}` recorded at this depth.
+            let mut j = i + 1;
+            while j < tokens.len() {
+                if tokens[j].depth == depth && tokens[j].is_punct('}') {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            return Some(tokens.len() - 1);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses waiver comments, resolving each one's coverage range.
+fn parse_waivers(
+    comments: &[Comment],
+    tokens: &[Token],
+    known_rules: &[&str],
+) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start();
+        if !text.starts_with(WAIVER_MARKER) {
+            continue;
+        }
+        let rest = &text[WAIVER_MARKER.len()..];
+        let parsed = parse_waiver_body(rest);
+        let (rule, reason) = match parsed {
+            Ok(pair) => pair,
+            Err(msg) => {
+                bad.push(BadWaiver {
+                    line: c.line,
+                    message: msg,
+                });
+                continue;
+            }
+        };
+        if !known_rules.contains(&rule.as_str()) {
+            bad.push(BadWaiver {
+                line: c.line,
+                message: format!("waiver names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let covers = if c.trailing {
+            c.line..=c.line
+        } else {
+            next_item_range(tokens, c.line)
+        };
+        waivers.push(Waiver {
+            rule,
+            reason,
+            line: c.line,
+            covers,
+        });
+    }
+    (waivers, bad)
+}
+
+/// Parses `(rule-id): reason` after the marker.
+fn parse_waiver_body(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err("expected `(rule-id)` after `lint:allow`".to_string());
+    };
+    let Some(close) = body.find(')') else {
+        return Err("unclosed `(` in waiver".to_string());
+    };
+    let rule = body[..close].trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|ch| ch.is_ascii_lowercase() || ch == '-') {
+        return Err(format!("invalid rule id `{rule}` in waiver"));
+    }
+    let after = body[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("waiver must carry a `: reason`".to_string());
+    };
+    let reason = reason.trim().to_string();
+    if reason.is_empty() {
+        return Err("waiver reason must not be empty".to_string());
+    }
+    Ok((rule, reason))
+}
+
+/// Coverage of a standalone waiver at `line`: the next item or statement.
+fn next_item_range(tokens: &[Token], line: u32) -> RangeInclusive<u32> {
+    let start = tokens.iter().position(|t| t.line > line);
+    match start {
+        Some(s) => match item_end(tokens, s) {
+            Some(e) => line..=tokens[e].line,
+            None => line..=tokens.last().map_or(line, |t| t.line),
+        },
+        // Nothing follows; the waiver covers only its own line (and will
+        // be reported unused).
+        None => line..=line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["panic-hygiene", "wall-clock"];
+
+    #[test]
+    fn trailing_waiver_covers_one_line() {
+        let src = "fn f() {\n    x.unwrap(); // lint:allow(panic-hygiene): invariant\n}\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].covers, 2..=2);
+        assert_eq!(f.waivers[0].reason, "invariant");
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_item() {
+        let src = "\
+// lint:allow(panic-hygiene): whole fn is invariant-checked
+fn f() {
+    a.unwrap();
+    b.unwrap();
+}
+fn g() {}
+";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].covers, 1..=5);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_braceless_statement() {
+        let src = "// lint:allow(wall-clock): one-off\nlet t = now();\nlet u = 1;\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert_eq!(f.waivers[0].covers, 1..=2);
+    }
+
+    #[test]
+    fn waiver_on_tail_expression_stays_inside_its_scope() {
+        let src = "\
+fn f() -> u32 {
+    // lint:allow(panic-hygiene): tail expression
+    x.unwrap()
+}
+fn g() {
+    let y = 1;
+}
+";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        // Coverage must end at f's closing brace, not leak into g.
+        assert!(*f.waivers[0].covers.end() <= 4);
+    }
+
+    #[test]
+    fn doc_comments_mentioning_syntax_are_not_waivers() {
+        let src = "/// Use `lint:allow(panic-hygiene): reason` to waive.\nfn f() {}\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert!(f.waivers.is_empty());
+        assert!(f.bad_waivers.is_empty());
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported() {
+        for src in [
+            "// lint:allow(panic-hygiene)\nfn f() {}\n", // missing reason
+            "// lint:allow(panic-hygiene):\nfn f() {}\n", // empty reason
+            "// lint:allow(no-such-rule): reason\nfn f() {}\n", // unknown rule
+            "// lint:allow panic-hygiene: reason\nfn f() {}\n", // missing parens
+        ] {
+            let f = SourceFile::parse("a.rs", src, RULES);
+            assert!(f.waivers.is_empty(), "src: {src}");
+            assert_eq!(f.bad_waivers.len(), 1, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+fn also_prod() {}
+";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(7));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn prod() {}\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert!(f.in_test_region(3));
+        assert!(!f.in_test_region(5));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"test\")]\nfn gated() {}\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        // "test" only appears inside a string literal.
+        assert!(!f.in_test_region(2));
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixture suite: every rule has a firing case and a waived case, and
+//! deleting any single waiver from a waived fixture re-fires the rule.
+//!
+//! Fixtures live under `crates/lint/fixtures/` (excluded from workspace
+//! scans — they contain violations on purpose) and are scanned through
+//! [`aoi_lint::scan_source`] under a virtual `crates/core/src/` path so
+//! every scoped rule is in force.
+
+use aoi_lint::{scan_source, Finding};
+
+/// Virtual path that opts fixtures into every scoped rule.
+const FIXTURE_PATH: &str = "crates/core/src/fixture_under_test.rs";
+
+/// (rule id, fire fixture, waived fixture). The two hygiene rules have no
+/// waived form — they are unwaivable by construction.
+const WAIVABLE: &[(&str, &str, &str)] = &[
+    (
+        "wall-clock",
+        include_str!("../fixtures/fire/wall-clock.rs"),
+        include_str!("../fixtures/waived/wall-clock.rs"),
+    ),
+    (
+        "thread-pool",
+        include_str!("../fixtures/fire/thread-pool.rs"),
+        include_str!("../fixtures/waived/thread-pool.rs"),
+    ),
+    (
+        "atomic-persistence",
+        include_str!("../fixtures/fire/atomic-persistence.rs"),
+        include_str!("../fixtures/waived/atomic-persistence.rs"),
+    ),
+    (
+        "ordered-iteration",
+        include_str!("../fixtures/fire/ordered-iteration.rs"),
+        include_str!("../fixtures/waived/ordered-iteration.rs"),
+    ),
+    (
+        "panic-hygiene",
+        include_str!("../fixtures/fire/panic-hygiene.rs"),
+        include_str!("../fixtures/waived/panic-hygiene.rs"),
+    ),
+    (
+        "safety-comments",
+        include_str!("../fixtures/fire/safety-comments.rs"),
+        include_str!("../fixtures/waived/safety-comments.rs"),
+    ),
+];
+
+fn violations(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.is_violation()).collect()
+}
+
+#[test]
+fn every_fire_fixture_fires_its_rule_and_only_its_rule() {
+    for (rule, fire, _) in WAIVABLE {
+        let findings = scan_source(FIXTURE_PATH, fire);
+        let viols = violations(&findings);
+        assert!(
+            viols.iter().any(|f| f.rule == *rule),
+            "fire fixture for `{rule}` produced no `{rule}` violation: {findings:?}"
+        );
+        for f in &viols {
+            assert_eq!(
+                f.rule, *rule,
+                "fire fixture for `{rule}` leaked a `{}` violation at line {}",
+                f.rule, f.line
+            );
+        }
+        assert!(
+            findings.iter().all(|f| f.waived.is_none()),
+            "fire fixture for `{rule}` unexpectedly contains a waiver"
+        );
+    }
+}
+
+#[test]
+fn every_waived_fixture_is_clean_but_not_silent() {
+    for (rule, _, waived) in WAIVABLE {
+        let findings = scan_source(FIXTURE_PATH, waived);
+        let viols = violations(&findings);
+        assert!(
+            viols.is_empty(),
+            "waived fixture for `{rule}` still has violations: {viols:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == *rule && f.waived.is_some()),
+            "waived fixture for `{rule}` produced no waived `{rule}` finding — \
+             the fixture no longer exercises the rule"
+        );
+    }
+}
+
+/// Removes the `idx`-th waiver comment from `src` (whole line for a
+/// standalone waiver, the comment tail for a trailing one).
+fn strip_waiver(src: &str, idx: usize) -> String {
+    let mut seen = 0usize;
+    let mut out = Vec::new();
+    for line in src.lines() {
+        if let Some(pos) = line.find("// lint:allow") {
+            if seen == idx {
+                seen += 1;
+                let head = line[..pos].trim_end();
+                if head.is_empty() {
+                    continue; // standalone waiver: drop the whole line
+                }
+                out.push(head.to_string());
+                continue;
+            }
+            seen += 1;
+        }
+        out.push(line.to_string());
+    }
+    out.join("\n")
+}
+
+#[test]
+fn deleting_any_single_waiver_refires_the_rule() {
+    for (rule, _, waived) in WAIVABLE {
+        let n_waivers = waived.matches("// lint:allow").count();
+        assert!(n_waivers >= 1, "waived fixture for `{rule}` has no waivers");
+        for idx in 0..n_waivers {
+            let stripped = strip_waiver(waived, idx);
+            let findings = scan_source(FIXTURE_PATH, &stripped);
+            assert!(
+                findings.iter().any(|f| f.is_violation() && f.rule == *rule),
+                "removing waiver #{idx} from the `{rule}` fixture did not \
+                 re-fire the rule — the waiver was load-bearing for nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_waivers_are_violations_themselves() {
+    let src = include_str!("../fixtures/fire/waiver-syntax.rs");
+    let findings = scan_source(FIXTURE_PATH, src);
+    let viols = violations(&findings);
+    assert_eq!(
+        viols.len(),
+        3,
+        "expected one waiver-syntax violation per malformed waiver: {viols:?}"
+    );
+    assert!(viols.iter().all(|f| f.rule == "waiver-syntax"));
+}
+
+#[test]
+fn stale_waivers_are_violations_themselves() {
+    let src = include_str!("../fixtures/fire/unused-waiver.rs");
+    let findings = scan_source(FIXTURE_PATH, src);
+    let viols = violations(&findings);
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert_eq!(viols[0].rule, "unused-waiver");
+}
+
+#[test]
+fn test_regions_inside_library_files_are_exempt_from_scoped_rules() {
+    let src = "\
+pub fn prod() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        let _ = std::time::Instant::now();
+    }
+}
+";
+    let findings = scan_source(FIXTURE_PATH, src);
+    assert!(
+        findings.is_empty(),
+        "scoped rules fired inside #[cfg(test)]: {findings:?}"
+    );
+}
+
+#[test]
+fn item_level_waiver_covers_every_hit_in_the_item() {
+    let src = "\
+// lint:allow(panic-hygiene): fixture — every access is bounds-checked one line above
+pub fn f(a: Option<u32>, b: Option<u32>) -> u32 {
+    let a = a.unwrap();
+    a + b.expect(\"checked\")
+}
+pub fn g(c: Option<u32>) -> u32 {
+    c.unwrap()
+}
+";
+    let findings = scan_source(FIXTURE_PATH, src);
+    // Both hits in `f` are waived; the hit in `g` is outside the item.
+    assert_eq!(findings.iter().filter(|f| f.waived.is_some()).count(), 2);
+    let viols = violations(&findings);
+    assert_eq!(viols.len(), 1, "{viols:?}");
+    assert_eq!(viols[0].rule, "panic-hygiene");
+}

@@ -1,0 +1,31 @@
+//! The linter's own acceptance gate: the workspace — this crate included —
+//! scans clean. Any new violation anywhere in the tree fails this test
+//! before it ever reaches CI's `aoi-lint --json` job.
+
+use aoi_lint::scan_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace scan must succeed");
+    let violations: Vec<String> = report.violations().map(|f| f.to_string()).collect();
+    assert!(
+        violations.is_empty(),
+        "unwaived violations in the workspace:\n{}",
+        violations.join("\n")
+    );
+    // Guard against the scan silently walking the wrong directory: the
+    // workspace has far more than 50 Rust files.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    // The waiver inventory is intentional: each one was justified in
+    // review. A collapse to zero means the scan lost its waiver parsing.
+    assert!(
+        report.waived_count() > 0,
+        "expected at least one waived finding in the workspace"
+    );
+}

@@ -43,6 +43,7 @@ pub fn check_stability(backlogs: &[f64], tolerance: f64) -> StabilityVerdict {
         return StabilityVerdict::Inconclusive;
     }
     let t = backlogs.len() as f64;
+    // lint:allow(panic-hygiene): the len() < 16 guard above returned already.
     let last = *backlogs.last().expect("non-empty");
     if last / t < tolerance {
         return StabilityVerdict::Stable;
@@ -65,6 +66,8 @@ pub fn check_stability(backlogs: &[f64], tolerance: f64) -> StabilityVerdict {
 /// the `V`-sorted curve.
 pub fn has_v_tradeoff_signature(points: &[TradeoffPoint], slack: f64) -> bool {
     let mut sorted: Vec<&TradeoffPoint> = points.iter().collect();
+    // lint:allow(panic-hygiene): V values come from TradeoffPoint producers
+    // that reject non-finite parameters.
     sorted.sort_by(|a, b| a.v.partial_cmp(&b.v).expect("finite V values"));
     sorted.windows(2).all(|w| {
         w[1].mean_cost <= w[0].mean_cost + slack && w[1].mean_backlog >= w[0].mean_backlog - slack

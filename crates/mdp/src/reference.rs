@@ -21,6 +21,7 @@ pub fn two_state() -> (TabularMdp, f64) {
         .transition(1, 0, 1, 1.0, 1.0)
         .transition(1, 1, 1, 1.0, 1.0)
         .build()
+        // lint:allow(panic-hygiene): constant model, validated by its own tests.
         .expect("two_state reference model is valid");
     (mdp, 0.9)
 }
@@ -140,6 +141,8 @@ pub fn gridworld(w: usize, h: usize, slip: f64) -> (TabularMdp, f64) {
 fn mdp_or_panic(b: crate::model::TabularMdpBuilder) -> TabularMdp {
     match b.build() {
         Ok(m) => m,
+        // lint:allow(panic-hygiene): reference models are compile-time constants;
+        // a build failure is a programming error in this module, not a runtime one.
         Err(e) => panic!("reference model construction failed: {e}"),
     }
 }

@@ -197,6 +197,8 @@ impl BackwardInduction {
                     }
                 }
                 values[s] = best_q;
+                // lint:allow(panic-hygiene): models validate >= 1 valid action per
+                // state at construction.
                 actions[s] = best_a.expect("state must have at least one valid action");
             }
             stage_values[stage] = values.clone();

@@ -105,6 +105,8 @@ pub fn greedy_policy<M: FiniteMdp>(mdp: &M, values: &[f64], gamma: f64) -> Tabul
                     }
                 }
             }
+            // lint:allow(panic-hygiene): models validate >= 1 valid action per
+            // state at construction.
             best.expect("state must have at least one valid action").0
         })
         .collect();
@@ -223,6 +225,8 @@ pub(crate) fn evaluate_actions_compiled(
         max_sweeps,
         |s, values| {
             mdp.q_value(s, actions[s], values, gamma)
+                // lint:allow(panic-hygiene): the policy was produced by this
+                // solver over the same model, so its actions are valid.
                 .expect("policy must choose valid actions")
         },
         |_, stats, _| stats.max_abs < tolerance,
@@ -260,6 +264,8 @@ pub(crate) fn evaluate_policy_callback<M: FiniteMdp>(
         for s in 0..mdp.n_states() {
             let a = policy.action(s);
             let q = q_value(mdp, s, a, &values, gamma, &mut buf)
+                // lint:allow(panic-hygiene): the policy was produced by this
+                // solver over the same model, so its actions are valid.
                 .expect("policy must choose valid actions");
             delta = delta.max((q - values[s]).abs());
             values[s] = q;

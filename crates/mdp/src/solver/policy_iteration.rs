@@ -114,6 +114,8 @@ impl PolicyIteration {
                 AtomicUsize::new(
                     (0..mdp.n_actions())
                         .find(|&a| mdp.is_valid(s, a))
+                        // lint:allow(panic-hygiene): compile() rejects states
+                        // with no valid action.
                         .expect("compiled models have a valid action per state"),
                 )
             })
@@ -143,6 +145,8 @@ impl PolicyIteration {
                 .saturating_mul(self.max_eval_sweeps),
             |s, values| {
                 mdp.q_value(s, actions[s].load(Ordering::Relaxed), values, self.gamma)
+                    // lint:allow(panic-hygiene): actions only ever hold values
+                    // the validity bitmap approved.
                     .expect("policy actions stay valid")
             },
             |values, stats, _| {
@@ -163,6 +167,8 @@ impl PolicyIteration {
                     let mut best_a = current;
                     let mut best_q = mdp
                         .q_value(s, current, values, self.gamma)
+                        // lint:allow(panic-hygiene): `current` came from the
+                        // validity-checked initial policy or a prior improvement.
                         .expect("current policy action must be valid");
                     for a in 0..mdp.n_actions() {
                         if a == current {
@@ -251,6 +257,8 @@ impl PolicyIteration {
                 let current = policy.action(s);
                 let mut best_a = current;
                 let mut best_q = q_value(mdp, s, current, &values, self.gamma, &mut buf)
+                    // lint:allow(panic-hygiene): `current` came from the
+                    // validity-checked initial policy or a prior improvement.
                     .expect("current policy action must be valid");
                 for a in 0..mdp.n_actions() {
                     if a == current {

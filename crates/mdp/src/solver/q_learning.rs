@@ -114,6 +114,8 @@ pub(crate) fn epsilon_greedy_valid<M: FiniteMdp>(
         (0..mdp.n_actions())
             .filter(|&a| mdp.is_action_valid(state, a))
             .nth(k)
+            // lint:allow(panic-hygiene): k < n_valid, counted over this very
+            // filter one statement above.
             .expect("k indexes a valid action")
     } else {
         let mut best = None;
@@ -128,6 +130,7 @@ pub(crate) fn epsilon_greedy_valid<M: FiniteMdp>(
                 best = Some(a);
             }
         }
+        // lint:allow(panic-hygiene): n_valid > 0 was asserted on entry.
         best.expect("at least one valid action")
     }
 }

@@ -374,15 +374,21 @@ where
                     }
                     let compute = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut local = R::identity();
+                        // lint:allow(panic-hygiene): a poisoned round lock means a
+                        // sibling worker panicked; propagating is the pool's contract.
                         let old = shared.read().expect("round lock");
                         run_blocks(lo, hi, block, &old, &mut out, &mut local, task);
                         local
                     }));
                     match compute {
+                        // lint:allow(panic-hygiene): stat slots are poisoned only by a
+                        // worker panic, which the pool re-raises.
                         Ok(local) => *stat_slot.lock().expect("stat slot") = Some(local),
                         Err(_) => poisoned.store(true, Ordering::SeqCst),
                     }
                     barrier.wait(); // phase 2: all chunks computed
+                                    // lint:allow(panic-hygiene): see the read() above — poisoning
+                                    // only follows a sibling panic the pool re-raises.
                     shared.write().expect("round lock")[lo..hi].copy_from_slice(&out);
                     barrier.wait(); // phase 3: iterate published
                 }
@@ -409,6 +415,8 @@ where
             let stat = {
                 let mut merged = R::identity();
                 for slot in &round_stats {
+                    // lint:allow(panic-hygiene): stat-slot poisoning only follows a
+                    // worker panic the pool re-raises.
                     if let Some(local) = slot.lock().expect("stat slot").take() {
                         merged.merge(&local);
                     }
@@ -421,6 +429,8 @@ where
             // implicit join forever. Catch it, release the workers through
             // the shutdown path, and re-raise once they have exited.
             let stop = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // lint:allow(panic-hygiene): round-lock poisoning only follows a
+                // worker panic the pool re-raises.
                 let mut iterate = shared.write().expect("round lock");
                 epilogue(&mut iterate, &stat, rounds)
             })) {
@@ -452,6 +462,8 @@ where
     );
 
     RoundOutcome {
+        // lint:allow(panic-hygiene): the worker-panic assert above already
+        // fired if the lock could be poisoned.
         values: shared.into_inner().expect("round lock"),
         rounds,
         last,
@@ -512,6 +524,8 @@ where
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         job(i, &items[i])
                     })) {
+                        // lint:allow(panic-hygiene): result slots are poisoned only by
+                        // a job panic, which parallel_map re-raises below.
                         Ok(r) => *results[i].lock().expect("result slot") = Some(r),
                         Err(_) => panicked.store(true, Ordering::SeqCst),
                     }
@@ -527,6 +541,8 @@ where
     results
         .into_iter()
         .map(|slot| {
+            // lint:allow(panic-hygiene): the panicked assert above already fired
+            // for any poisoned slot, and the index loop visits every job.
             slot.into_inner()
                 .expect("result slot")
                 .expect("every job ran")

@@ -112,6 +112,8 @@ pub fn inject(plan: FaultPlan) {
 /// Arm the harness with a full `schedule`, resetting the operation
 /// counter.  An empty schedule counts operations without ever firing.
 pub fn inject_schedule(schedule: FaultSchedule) {
+    // lint:allow(panic-hygiene): a poisoned fault-plan mutex means a test
+    // already panicked mid-injection; staying loud is correct for a harness.
     *PLAN.lock().unwrap() = Some(schedule);
     SAMPLES.store(0, Ordering::Relaxed);
     ARMED.store(true, Ordering::Relaxed);
@@ -120,6 +122,7 @@ pub fn inject_schedule(schedule: FaultSchedule) {
 /// Disarm the harness and clear any pending plan.
 pub fn clear() {
     ARMED.store(false, Ordering::Relaxed);
+    // lint:allow(panic-hygiene): poisoning means a prior test panic; loud is right.
     *PLAN.lock().unwrap() = None;
     SAMPLES.store(0, Ordering::Relaxed);
 }
@@ -201,6 +204,7 @@ pub fn on_sample() -> io::Result<()> {
 
 #[cold]
 fn on_sample_armed() -> io::Result<()> {
+    // lint:allow(panic-hygiene): poisoning means a prior test panic; loud is right.
     let mut guard = PLAN.lock().unwrap();
     let Some(schedule) = guard.as_mut() else {
         return Ok(());
@@ -248,6 +252,7 @@ pub fn on_finalize(path: &Path) {
         return;
     }
     let triggered = {
+        // lint:allow(panic-hygiene): poisoning means a prior test panic; loud is right.
         let mut guard = PLAN.lock().unwrap();
         let Some(schedule) = guard.as_mut() else {
             return;

@@ -204,6 +204,8 @@ pub fn config_hash(config: &impl fmt::Debug) -> u64 {
         }
     }
     let mut hasher = Fnv(0xcbf2_9ce4_8422_2325);
+    // lint:allow(panic-hygiene): fmt::Write into the local FNV hasher is
+    // infallible (write_str never errors).
     fmt::Write::write_fmt(&mut hasher, format_args!("{config:?}")).expect("Fnv never fails");
     hasher.0
 }
@@ -365,6 +367,8 @@ impl ArtifactWriter {
     /// Same conditions as [`finish`](ArtifactWriter::finish).
     pub fn finish_shared(writer: SharedArtifactWriter) -> Result<(), PersistError> {
         Rc::try_unwrap(writer)
+            // lint:allow(panic-hygiene): documented API-misuse panic — finishing
+            // with live sinks is a caller bug, not a runtime failure.
             .expect("all recorder sinks must be dropped before finishing the artifact")
             .into_inner()
             .finish()
@@ -929,6 +933,8 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, PersistError> {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| corrupt(number, "footer without samples".to_string()))?,
                 ));
+                // lint:allow(panic-hygiene): `footer` was assigned Some(..) in the
+                // statement directly above.
                 let (want_channels, want_curves, want_samples) = footer.expect("just set");
                 if want_channels != channels.len()
                     || want_curves != curves.len()
@@ -1149,7 +1155,7 @@ impl JsonParser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -1182,7 +1188,7 @@ impl JsonParser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -1193,7 +1199,7 @@ impl JsonParser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             fields.push((key, self.value()?));
             self.skip_ws();
             match self.peek() {
@@ -1208,7 +1214,7 @@ impl JsonParser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -1230,7 +1236,7 @@ impl JsonParser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -1312,6 +1318,8 @@ impl JsonParser<'_> {
                 break;
             }
         }
+        // lint:allow(panic-hygiene): the scan loop above only advanced over
+        // ASCII digit/sign/exponent bytes, which are valid UTF-8.
         let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
         raw.parse::<f64>()
             .map_err(|_| format!("invalid number token {raw:?}"))?;

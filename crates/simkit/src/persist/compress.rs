@@ -465,7 +465,10 @@ impl<R: Read> DecompressReader<R> {
         let corrupt = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
         let mut header = [0u8; 8];
         self.inner.read_exact(&mut header).map_err(truncated)?;
+        // lint:allow(panic-hygiene): both slices are constant 4-byte ranges of
+        // the fixed 8-byte block header.
         let raw_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        // lint:allow(panic-hygiene): constant 4-byte range, as above.
         let payload_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
         if raw_len == 0 {
             // End marker: the checksum trailer must follow and match.
@@ -528,7 +531,9 @@ impl<R: Read> Read for DecompressReader<R> {
 /// One-shot convenience: compresses `data` into a complete stream.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut writer = CompressWriter::new(Vec::new());
+    // lint:allow(panic-hygiene): io::Write for Vec<u8> is infallible.
     writer.write_all(data).expect("Vec never fails");
+    // lint:allow(panic-hygiene): io::Write for Vec<u8> is infallible.
     writer.finish().expect("Vec never fails")
 }
 

@@ -136,6 +136,7 @@ impl TimeSeries {
                 out.push(p.slot, p.value);
             }
         }
+        // lint:allow(panic-hygiene): the is_empty() fast path returned above.
         let last = *self.points.last().expect("non-empty by construction");
         if out.last() != Some(last) {
             out.push(last.slot, last.value);

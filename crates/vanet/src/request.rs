@@ -307,7 +307,9 @@ mod tests {
             position_m: 250.0,
             speed_mps: 0.0,
         }];
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap so the failure message (and any future per-region
+        // accounting) iterates in region order, deterministically.
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..5_000 {
             for r in generator.generate(&vehicles, &road, &layout, &mut rng) {
                 *counts.entry(r.region.0).or_insert(0usize) += 1;
