@@ -115,6 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "n_seeds",
             help: "seed replicates per policy (default 5)",
         }),
+        extras: &[],
     }
     .parse()?;
     let n_seeds: u64 = match &args.positional {

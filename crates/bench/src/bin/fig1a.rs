@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         horizon: true,
         batch: false,
         positional: None,
+        extras: &[],
     }
     .parse()?;
     let scenario = CacheScenario {

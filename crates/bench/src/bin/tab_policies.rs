@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         horizon: false,
         batch: false,
         positional: None,
+        extras: &[],
     }
     .parse()?;
     let scenario = fig1a_scenario();

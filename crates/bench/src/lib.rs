@@ -60,6 +60,19 @@ pub struct Positional {
     pub help: &'static str,
 }
 
+/// One bin-specific flag beyond the shared set — parsed, validated and
+/// listed in `--help` with the same style as the shared flags.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraFlag {
+    /// The flag itself, with leading dashes (e.g. `"--rate"`).
+    pub name: &'static str,
+    /// Display name of the flag's value (e.g. `"R"`); `None` for a
+    /// boolean flag.
+    pub value: Option<&'static str>,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+}
+
 /// Which of the shared command-line flags a binary accepts.
 ///
 /// ```no_run
@@ -76,6 +89,7 @@ pub struct Positional {
 ///         name: "n_seeds",
 ///         help: "seed replicates per policy (default 5)",
 ///     }),
+///     extras: &[],
 /// }
 /// .parse()?;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -107,6 +121,9 @@ pub struct CliSpec {
     pub batch: bool,
     /// At most one positional argument.
     pub positional: Option<Positional>,
+    /// Bin-specific flags beyond the shared set (read back with
+    /// [`CliArgs::extra`] / [`CliArgs::extra_flag`]).
+    pub extras: &'static [ExtraFlag],
 }
 
 impl CliSpec {
@@ -122,6 +139,7 @@ impl CliSpec {
             horizon: false,
             batch: false,
             positional: None,
+            extras: &[],
         }
     }
 
@@ -160,6 +178,7 @@ impl CliSpec {
             horizon: None,
             batch: None,
             positional: None,
+            extras: Vec::new(),
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -222,13 +241,27 @@ impl CliSpec {
                         .ok_or_else(|| self.error("--horizon needs a positive integer"))?;
                     parsed.horizon = Some(n);
                 }
-                _ if arg.starts_with('-') => {
-                    return Err(self.error(&format!("unrecognized flag '{arg}'")));
+                other => {
+                    if let Some(flag) = self.extras.iter().find(|f| f.name == other) {
+                        let value =
+                            match flag.value {
+                                Some(what) => {
+                                    iter.next().filter(|v| !v.starts_with("--")).ok_or_else(
+                                        || self.error(&format!("{} needs a {what}", flag.name)),
+                                    )?
+                                }
+                                None => String::new(),
+                            };
+                        parsed.extras.push((flag.name, value));
+                    } else if other.starts_with('-') {
+                        return Err(self.error(&format!("unrecognized flag '{arg}'")));
+                    } else {
+                        match (self.positional, &parsed.positional) {
+                            (Some(_), None) => parsed.positional = Some(arg),
+                            _ => return Err(self.error(&format!("unrecognized argument '{arg}'"))),
+                        }
+                    }
                 }
-                _ => match (self.positional, &parsed.positional) {
-                    (Some(_), None) => parsed.positional = Some(arg),
-                    _ => return Err(self.error(&format!("unrecognized argument '{arg}'"))),
-                },
             }
         }
         if parsed.compression == Compression::Deflate && parsed.out.is_none() {
@@ -271,6 +304,13 @@ impl CliSpec {
         text.push_str(" [FLAGS]\n\nFlags:\n");
         if let Some(p) = self.positional {
             text.push_str(&format!("  {:<14} {}\n", p.name, p.help));
+        }
+        for flag in self.extras {
+            let head = match flag.value {
+                Some(what) => format!("{} {what}", flag.name),
+                None => flag.name.to_string(),
+            };
+            text.push_str(&format!("  {head:<14} {}\n", flag.help));
         }
         if self.workers {
             text.push_str("  --workers N    pin the executor fan-out to N workers (1 = serial)\n");
@@ -334,6 +374,26 @@ pub struct CliArgs {
     pub batch: Option<usize>,
     /// The positional argument, when accepted and given.
     pub positional: Option<String>,
+    /// Values of the spec's bin-specific [`ExtraFlag`]s, in occurrence
+    /// order (boolean flags record an empty value).
+    pub extras: Vec<(&'static str, String)>,
+}
+
+impl CliArgs {
+    /// The value of a value-taking [`ExtraFlag`] (last occurrence wins),
+    /// if given.
+    pub fn extra(&self, name: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a boolean [`ExtraFlag`] was given.
+    pub fn extra_flag(&self, name: &str) -> bool {
+        self.extras.iter().any(|(n, _)| *n == name)
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +414,18 @@ mod tests {
                 name: "n",
                 help: "a number",
             }),
+            extras: &[
+                ExtraFlag {
+                    name: "--rate",
+                    value: Some("R"),
+                    help: "a number flag",
+                },
+                ExtraFlag {
+                    name: "--fast",
+                    value: None,
+                    help: "a boolean flag",
+                },
+            ],
         }
     }
 
@@ -479,6 +551,30 @@ mod tests {
         }
         assert!(bare.parse_from(args(&["extra"])).is_err());
         assert!(bare.parse_from(Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn extras_parse_and_render() {
+        let parsed = spec()
+            .parse_from(args(&["--rate", "3.5", "--fast"]))
+            .unwrap();
+        assert_eq!(parsed.extra("--rate"), Some("3.5"));
+        assert!(parsed.extra_flag("--fast"));
+        assert_eq!(parsed.extra("--missing"), None);
+        // The last occurrence of a value flag wins.
+        let parsed = spec()
+            .parse_from(args(&["--rate", "1", "--rate", "2"]))
+            .unwrap();
+        assert_eq!(parsed.extra("--rate"), Some("2"));
+        // A value flag without its value fails in the shared style.
+        let err = spec().parse_from(args(&["--rate"])).unwrap_err();
+        assert!(err.starts_with("demo: ") && err.contains("--rate"));
+        // Help lists extras; specs without them reject them.
+        let usage = spec().usage();
+        assert!(usage.contains("--rate R") && usage.contains("--fast"));
+        assert!(CliSpec::bare("bare", "x")
+            .parse_from(args(&["--rate", "1"]))
+            .is_err());
     }
 
     #[test]

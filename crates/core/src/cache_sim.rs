@@ -7,10 +7,10 @@
 
 use crate::aoi::{Age, AgeVector};
 use crate::catalog::Catalog;
+use crate::engine::RsuCacheEngine;
 use crate::policy::{
     CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp, RsuSpec,
 };
-use crate::reward::RewardModel;
 use crate::AoiCacheError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -339,9 +339,21 @@ impl CacheSimulation {
         Ok(report)
     }
 
+    /// The per-RSU initial AoI vectors drawn from the scenario seed (the
+    /// state every run — simulated or served — starts from).
+    pub fn initial_ages(&self) -> &[AgeVector] {
+        &self.initial_ages
+    }
+
     /// Builds one policy of `kind` per RSU from per-RSU deterministic RNG
     /// streams (solving on the shared compiled kernels for MDP kinds).
-    fn build_policies(
+    /// The same policy tables drive simulator runs and the online
+    /// `aoi-serve` engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-construction errors.
+    pub fn build_policies(
         &self,
         kind: CachePolicyKind,
     ) -> Result<Vec<Box<dyn CacheUpdatePolicy>>, AoiCacheError> {
@@ -364,6 +376,52 @@ impl CacheSimulation {
         })
         .into_iter()
         .collect::<Result<_, _>>()
+    }
+
+    /// Builds the per-RSU clock-agnostic stage-1 cores for `kind`: one
+    /// [`RsuCacheEngine`] per RSU, loaded with this experiment's solved
+    /// policy table, reward model, freshness limits and seed-derived
+    /// initial ages. [`run`](CacheSimulation::run) drives exactly these
+    /// cores through its slot loop; the online `aoi-serve` layer drives
+    /// the same cores from an external request stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-construction errors.
+    pub fn cache_engines(
+        &self,
+        kind: CachePolicyKind,
+    ) -> Result<Vec<RsuCacheEngine>, AoiCacheError> {
+        let policies = self.build_policies(kind)?;
+        self.assemble_engines(policies)
+    }
+
+    /// Wraps caller-supplied policies into per-RSU engine cores (the
+    /// shared assembly step of [`cache_engines`](Self::cache_engines) and
+    /// every run entry point).
+    fn assemble_engines(
+        &self,
+        policies: Vec<Box<dyn CacheUpdatePolicy>>,
+    ) -> Result<Vec<RsuCacheEngine>, AoiCacheError> {
+        if policies.len() != self.specs.len() {
+            return Err(AoiCacheError::BadParameter {
+                what: "policies",
+                valid: "one per RSU",
+            });
+        }
+        let mut engines = Vec::with_capacity(self.specs.len());
+        for (k, policy) in policies.into_iter().enumerate() {
+            let spec = &self.specs[k];
+            engines.push(RsuCacheEngine::new(
+                policy,
+                spec.reward_model()?,
+                self.initial_ages[k].clone(),
+                spec.max_ages.clone(),
+                spec.weight,
+                spec.update_cost,
+            )?);
+        }
+        Ok(engines)
     }
 
     /// Runs the experiment with caller-supplied per-RSU policies.
@@ -412,12 +470,10 @@ impl CacheSimulation {
 /// [`finish`]: CacheRunState::finish
 struct CacheRunState<'a> {
     sim: &'a CacheSimulation,
-    policies: Vec<Box<dyn CacheUpdatePolicy>>,
+    engines: Vec<RsuCacheEngine>,
     label: String,
     artifact: Option<&'a SharedArtifactWriter>,
     rng: StdRng,
-    rewards: Vec<RewardModel>,
-    ages: Vec<AgeVector>,
     clock: SlotClock,
     aoi_recorders: Vec<TraceRecorder>,
     reward_series: TimeSeries,
@@ -452,11 +508,7 @@ impl<'a> CacheRunState<'a> {
         let n_rsus = sim.scenario.n_rsus;
         let per_rsu = sim.scenario.regions_per_rsu;
         let horizon = sim.scenario.horizon;
-        let rewards: Vec<RewardModel> = sim
-            .specs
-            .iter()
-            .map(|s| s.reward_model())
-            .collect::<Result<_, _>>()?;
+        let engines = sim.assemble_engines(policies)?;
         let mut aoi_recorders: Vec<TraceRecorder> = Vec::with_capacity(n_rsus * per_rsu);
         for k in 0..n_rsus {
             for h in 0..per_rsu {
@@ -469,12 +521,10 @@ impl<'a> CacheRunState<'a> {
         }
         Ok(CacheRunState {
             sim,
-            policies,
+            engines,
             label,
             artifact,
             rng,
-            rewards,
-            ages: sim.initial_ages.clone(),
             clock: SlotClock::new(),
             aoi_recorders,
             reward_series: TimeSeries::with_capacity("reward", horizon),
@@ -487,7 +537,10 @@ impl<'a> CacheRunState<'a> {
     }
 
     /// Advances the run by one slot: per-RSU decisions, refreshes, Eq. 1
-    /// reward accounting, per-content recording, and aging.
+    /// reward accounting, per-content recording, and aging — each RSU's
+    /// state transition delegated to its [`RsuCacheEngine`] core, in the
+    /// exact legacy statement order (bit-identity is pinned by
+    /// `core/tests/engine_identity.rs`).
     fn step(&mut self) -> Result<(), AoiCacheError> {
         let n_rsus = self.sim.scenario.n_rsus;
         let per_rsu = self.sim.scenario.regions_per_rsu;
@@ -495,36 +548,21 @@ impl<'a> CacheRunState<'a> {
         let mut slot_reward = 0.0;
         for k in 0..n_rsus {
             let spec = &self.sim.specs[k];
-            let decision = {
-                let ctx = CacheDecisionContext {
-                    slot: now,
-                    ages: &self.ages[k],
-                    max_ages: &spec.max_ages,
-                    popularity: &spec.popularity,
-                    weight: spec.weight,
-                    update_cost: spec.update_cost,
-                };
-                self.policies[k].decide(&ctx, &mut self.rng)
-            };
+            let engine = &mut self.engines[k];
+            let decision = engine.decide_static(now, &spec.popularity, &mut self.rng);
             if let Some(h) = decision {
-                if h >= per_rsu {
-                    return Err(AoiCacheError::BadParameter {
-                        what: "policy decision",
-                        valid: "local content index",
-                    });
-                }
-                self.ages[k].refresh(h);
+                engine.apply_refresh(h)?;
                 self.updates += 1;
             }
             // Post-action bookkeeping.
             let updated = decision.is_some();
-            let utility = self.rewards[k].aoi_utility(&self.ages[k], &spec.popularity);
-            let cost = self.rewards[k].action_cost(updated);
+            let utility = engine.aoi_utility(&spec.popularity);
+            let cost = engine.action_cost(updated);
             slot_reward += spec.weight * utility - cost;
             self.utility_sum += spec.weight * utility;
             self.cost_sum += cost;
             for h in 0..per_rsu {
-                let age = self.ages[k].age(h);
+                let age = engine.age(h);
                 let max_age = spec.max_ages[h];
                 self.aoi_recorders[k * per_rsu + h].record(now, f64::from(age.get()));
                 self.aoi_ratio_sum += age.ratio_to(max_age);
@@ -534,8 +572,8 @@ impl<'a> CacheRunState<'a> {
             }
         }
         self.reward_series.push(now, slot_reward);
-        for a in &mut self.ages {
-            a.advance();
+        for engine in &mut self.engines {
+            engine.advance();
         }
         self.clock.tick();
         Ok(())

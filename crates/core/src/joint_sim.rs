@@ -20,13 +20,11 @@
 
 use crate::aoi::{Age, AgeVector};
 use crate::catalog::Catalog;
-use crate::policy::{
-    CacheDecisionContext, CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp, RsuSpec,
-};
+use crate::engine::{RsuCacheEngine, RsuServiceEngine};
+use crate::policy::{CachePolicyKind, CacheUpdatePolicy, CompiledRsuMdp, RsuSpec};
 use crate::reward::RewardModel;
-use crate::service::{ServiceDecisionContext, ServiceLevel, ServicePolicy, ServicePolicyKind};
+use crate::service::{ServiceLevel, ServicePolicy, ServicePolicyKind};
 use crate::AoiCacheError;
-use lyapunov::Queue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -332,17 +330,8 @@ fn run_joint_sunk(
     })
     .into_iter()
     .collect::<Result<_, _>>()?;
-    let mut cache_policies: Vec<Box<dyn CacheUpdatePolicy>> = Vec::with_capacity(n_rsus);
-    let mut service_policies: Vec<Box<dyn ServicePolicy>> = Vec::with_capacity(n_rsus);
-    let mut rewards: Vec<RewardModel> = Vec::with_capacity(n_rsus);
-    for (cache_policy, service_policy, reward) in built {
-        cache_policies.push(cache_policy);
-        service_policies.push(service_policy);
-        rewards.push(reward);
-    }
-
     let mut init_rng = seeds.rng("init-ages");
-    let mut ages: Vec<AgeVector> = (0..n_rsus)
+    let ages: Vec<AgeVector> = (0..n_rsus)
         .map(|k| {
             let n_local = layout.coverage_len(RsuId(k));
             let v: Vec<Age> = (0..n_local)
@@ -353,10 +342,28 @@ fn run_joint_sunk(
         })
         .collect::<Result<_, _>>()?;
 
+    // Assemble the clock-agnostic per-RSU cores the slot loop drives (the
+    // same `RsuCacheEngine`/`RsuServiceEngine` ops the standalone
+    // simulator and the `aoi-serve` engine compose).
+    let mut cache_engines: Vec<RsuCacheEngine> = Vec::with_capacity(n_rsus);
+    let mut service_engines: Vec<RsuServiceEngine> = Vec::with_capacity(n_rsus);
+    for (k, ((cache_policy, service_policy, reward), ages_k)) in
+        built.into_iter().zip(ages).enumerate()
+    {
+        cache_engines.push(RsuCacheEngine::new(
+            cache_policy,
+            reward,
+            ages_k,
+            specs[k].max_ages.clone(),
+            scenario.weight,
+            specs[k].update_cost,
+        )?);
+        service_engines.push(RsuServiceEngine::new(service_policy));
+    }
+
     let mut rng = seeds.rng("run");
     network.warm_up(scenario.warmup, &mut rng);
 
-    let mut queues: Vec<Queue> = (0..n_rsus).map(|_| Queue::new()).collect();
     let mut queue_recorders: Vec<TraceRecorder> = Vec::with_capacity(n_rsus);
     for k in 0..n_rsus {
         let name = format!("rsu{k}/queue");
@@ -387,38 +394,31 @@ fn run_joint_sunk(
         let slot = network.step(&mut rng);
 
         // Stage 1: collect decisions first so congestion pricing sees the
-        // slot's true concurrency.
+        // slot's true concurrency. (The engine core is told the *base*
+        // update cost — the congestion-priced cost is only knowable after
+        // every RSU has decided.)
         decisions.clear();
         for k in 0..n_rsus {
             network.popularity_into(RsuId(k), &mut popularity);
-            let ctx = CacheDecisionContext {
-                slot: now,
-                ages: &ages[k],
-                max_ages: &specs[k].max_ages,
-                popularity: &popularity,
-                weight: scenario.weight,
-                update_cost: specs[k].update_cost,
-            };
-            decisions.push(cache_policies[k].decide(&ctx, &mut rng));
+            decisions.push(cache_engines[k].decide(
+                now,
+                &popularity,
+                specs[k].update_cost,
+                &mut rng,
+            ));
         }
         let concurrent = decisions.iter().filter(|d| d.is_some()).count();
         let mut slot_reward = 0.0;
         for k in 0..n_rsus {
             if let Some(h) = decisions[k] {
-                if h >= ages[k].len() {
-                    return Err(AoiCacheError::BadParameter {
-                        what: "cache decision",
-                        valid: "local content index",
-                    });
-                }
-                ages[k].refresh(h);
+                cache_engines[k].apply_refresh(h)?;
                 updates += 1;
                 let cost = network.update_cost(RsuId(k), concurrent.max(1));
                 update_cost_sum += cost;
                 slot_reward -= cost;
             }
             network.popularity_into(RsuId(k), &mut popularity);
-            slot_reward += scenario.weight * rewards[k].aoi_utility(&ages[k], &popularity);
+            slot_reward += scenario.weight * cache_engines[k].aoi_utility(&popularity);
         }
         reward_series.push(now, slot_reward);
 
@@ -429,36 +429,23 @@ fn run_joint_sunk(
             let k = request.rsu.0;
             arrivals[k] += 1.0;
             let local = request.region.0 - layout.coverage(request.rsu).start;
-            let age = ages[k].age(local);
+            let age = cache_engines[k].age(local);
             if age.exceeds(catalog.max_age(request.region.0)) {
                 stale_requests += 1;
                 stale_cost_sum += scenario.mbs_fetch_cost;
             }
         }
         for k in 0..n_rsus {
-            let decision = {
-                let ctx = ServiceDecisionContext {
-                    slot: now,
-                    backlog: queues[k].backlog(),
-                    levels: &scenario.levels,
-                };
-                service_policies[k].decide(&ctx, &mut rng)
-            };
-            if decision >= scenario.levels.len() {
-                return Err(AoiCacheError::BadParameter {
-                    what: "service decision",
-                    valid: "level index",
-                });
-            }
+            let decision = service_engines[k].decide(now, &scenario.levels, &mut rng)?;
             let level = scenario.levels[decision];
-            queues[k].step(arrivals[k], level.rate);
+            service_engines[k].apply(arrivals[k], level);
             service_cost_sum += level.cost;
-            queue_sum += queues[k].backlog();
-            queue_recorders[k].record(now, queues[k].backlog());
+            queue_sum += service_engines[k].backlog();
+            queue_recorders[k].record(now, service_engines[k].backlog());
         }
 
-        for a in &mut ages {
-            a.advance();
+        for engine in &mut cache_engines {
+            engine.advance();
         }
         clock.tick();
     }

@@ -62,6 +62,7 @@
 mod aoi;
 mod cache_sim;
 mod catalog;
+mod engine;
 mod error;
 pub mod experiment;
 mod freshness_service;
@@ -78,6 +79,7 @@ pub use cache_sim::{
     run_batch, run_batch_artifacts, CacheRunReport, CacheScenario, CacheSimulation,
 };
 pub use catalog::{Catalog, ContentSpec};
+pub use engine::{RsuCacheEngine, RsuServiceEngine};
 pub use error::AoiCacheError;
 pub use experiment::{
     ensemble_manifest_hash, group_curve_name, headline_channel_for, parse_cell_coords,

@@ -92,19 +92,47 @@ impl ServiceController {
         self.dpp.v()
     }
 
-    /// Runs one slot: decide on the pre-arrival backlog, drain, then admit
-    /// `arrivals`.
+    /// The pure decision half of [`step`](ServiceController::step):
+    /// evaluates the drift-plus-penalty rule on the current (pre-arrival)
+    /// backlog without touching any state. Feed the result to
+    /// [`step_chosen`](ServiceController::step_chosen) to apply it, or
+    /// discard it to ask "what would the controller do?".
     ///
     /// # Errors
     ///
     /// Propagates [`LyapunovError::NoDecisions`] /
     /// [`LyapunovError::BadQuantity`] from the decision rule.
-    pub fn step(
+    pub fn decide(&self, options: &[DecisionOption]) -> Result<usize, LyapunovError> {
+        self.dpp.decide(self.queue.backlog(), options)
+    }
+
+    /// The state-transition half of [`step`](ServiceController::step):
+    /// applies an externally chosen decision — drain at its service rate,
+    /// admit `arrivals`, account cost and backlog. The decision need not
+    /// come from [`decide`](ServiceController::decide); any policy (or a
+    /// replayed log) can drive the same queue dynamics through this entry
+    /// point, which is what makes the controller a clock-agnostic core:
+    /// arrivals and decisions are inputs, never synthesized internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LyapunovError::NoDecisions`] for an empty option set and
+    /// [`LyapunovError::BadParameter`] if `decision` is out of range.
+    pub fn step_chosen(
         &mut self,
         arrivals: f64,
         options: &[DecisionOption],
+        decision: usize,
     ) -> Result<StepOutcome, LyapunovError> {
-        let decision = self.dpp.decide(self.queue.backlog(), options)?;
+        if options.is_empty() {
+            return Err(LyapunovError::NoDecisions);
+        }
+        if decision >= options.len() {
+            return Err(LyapunovError::BadParameter {
+                what: "decision",
+                valid: "an index into the option set",
+            });
+        }
         let chosen = options[decision];
         let served = self.queue.step(arrivals, chosen.service);
         self.cost_stats.push(chosen.cost);
@@ -115,6 +143,23 @@ impl ServiceController {
             served,
             backlog: self.queue.backlog(),
         })
+    }
+
+    /// Runs one slot: decide on the pre-arrival backlog, drain, then admit
+    /// `arrivals`. Exactly [`decide`](ServiceController::decide) followed
+    /// by [`step_chosen`](ServiceController::step_chosen).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LyapunovError::NoDecisions`] /
+    /// [`LyapunovError::BadQuantity`] from the decision rule.
+    pub fn step(
+        &mut self,
+        arrivals: f64,
+        options: &[DecisionOption],
+    ) -> Result<StepOutcome, LyapunovError> {
+        let decision = self.decide(options)?;
+        self.step_chosen(arrivals, options, decision)
     }
 
     /// Time-average penalty incurred so far.
@@ -196,5 +241,31 @@ mod tests {
         let mut ctl = ServiceController::new(1.0).unwrap();
         assert!(ctl.step(1.0, &[]).is_err());
         assert!(ServiceController::new(-2.0).is_err());
+    }
+
+    #[test]
+    fn decide_then_step_chosen_equals_step() {
+        let mut split = ServiceController::new(30.0).unwrap();
+        let mut fused = ServiceController::new(30.0).unwrap();
+        for t in 0..2_000 {
+            let arrivals = f64::from(t % 3);
+            let d = split.decide(&options()).unwrap();
+            let a = split.step_chosen(arrivals, &options(), d).unwrap();
+            let b = fused.step(arrivals, &options()).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(split, fused);
+    }
+
+    #[test]
+    fn step_chosen_accepts_external_decisions() {
+        // An external (non-DPP) schedule drives the same queue dynamics.
+        let mut ctl = ServiceController::new(10.0).unwrap();
+        let out = ctl.step_chosen(4.0, &options(), 1).unwrap();
+        assert_eq!(out.decision, 1);
+        assert_eq!(out.cost, 0.5);
+        assert_eq!(out.backlog, 4.0); // nothing to drain pre-arrival
+        assert!(ctl.step_chosen(0.0, &options(), 9).is_err());
+        assert!(ctl.step_chosen(0.0, &[], 0).is_err());
     }
 }

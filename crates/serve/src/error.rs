@@ -1,0 +1,57 @@
+//! Error type of the serving layer.
+
+use aoi_cache::persist::PersistError;
+use aoi_cache::AoiCacheError;
+use std::fmt;
+
+/// Anything that can go wrong while assembling or driving a
+/// [`ServeEngine`](crate::ServeEngine).
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// An engine-core or policy-construction failure from the `aoi-cache`
+    /// layer.
+    Cache(AoiCacheError),
+    /// A telemetry-artifact write failure from `simkit::persist`.
+    Persist(PersistError),
+    /// A serving-layer parameter was out of range.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// What would have been accepted.
+        valid: &'static str,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Cache(e) => write!(f, "engine core error: {e}"),
+            ServeError::Persist(e) => write!(f, "telemetry error: {e}"),
+            ServeError::BadParameter { what, valid } => {
+                write!(f, "bad parameter {what}: expected {valid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Cache(e) => Some(e),
+            ServeError::Persist(e) => Some(e),
+            ServeError::BadParameter { .. } => None,
+        }
+    }
+}
+
+impl From<AoiCacheError> for ServeError {
+    fn from(e: AoiCacheError) -> Self {
+        ServeError::Cache(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}

@@ -1,0 +1,80 @@
+//! What one served window reports back: per-request answers in aggregate,
+//! the ordered MBS refresh hand-off, and per-shard accounting.
+
+use simkit::TimeSlot;
+
+/// One MBS→RSU refresh pushed by the stage-1 policy while serving.
+///
+/// The engine merges per-shard decisions **slot-major in RSU order**, so
+/// the refresh log is a single totally ordered hand-off stream no matter
+/// how many workers served the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbsRefresh {
+    /// Slot the refresh was decided in.
+    pub slot: TimeSlot,
+    /// Destination RSU (shard index).
+    pub rsu: usize,
+    /// Local content index refreshed at that RSU.
+    pub content: usize,
+}
+
+/// Per-shard accounting for one served window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardStats {
+    /// Requests ingested by this shard.
+    pub requests: u64,
+    /// Requests answered from cache within the freshness limit.
+    pub fresh_hits: u64,
+    /// Requests answered from cache past the freshness limit.
+    pub stale_hits: u64,
+    /// Requests for contents outside this RSU's coverage (fetched from
+    /// the MBS instead of the cache).
+    pub misses: u64,
+    /// Stage-1 refreshes pushed to this shard.
+    pub refreshes: u64,
+    /// Total stage-2 service cost incurred over the window.
+    pub service_cost: f64,
+    /// Request-queue backlog at the end of the window.
+    pub backlog: f64,
+}
+
+/// Aggregate outcome of serving one request window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// First slot of the window (the engine's clock keeps running across
+    /// windows).
+    pub start: TimeSlot,
+    /// Number of slots served.
+    pub slots: usize,
+    /// Requests ingested across all shards.
+    pub requests: u64,
+    /// Cache hits answered within the freshness limit.
+    pub fresh_hits: u64,
+    /// Cache hits answered past the freshness limit.
+    pub stale_hits: u64,
+    /// Requests not in the receiving RSU's coverage.
+    pub misses: u64,
+    /// The ordered MBS refresh hand-off (slot-major, RSU order).
+    pub refreshes: Vec<MbsRefresh>,
+    /// Per-shard accounting, indexed by RSU.
+    pub per_rsu: Vec<ShardStats>,
+}
+
+impl ServeOutcome {
+    /// Fraction of requests answered from cache (fresh or stale).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.fresh_hits + self.stale_hits) as f64 / self.requests as f64
+    }
+
+    /// Fraction of cache hits that were within the freshness limit.
+    pub fn fresh_rate(&self) -> f64 {
+        let hits = self.fresh_hits + self.stale_hits;
+        if hits == 0 {
+            return 0.0;
+        }
+        self.fresh_hits as f64 / hits as f64
+    }
+}

@@ -84,4 +84,4 @@ pub use series::{SeriesPoint, TimeSeries};
 pub use stats::{
     percentile, summarize_curves, CurveAccumulator, CurveSummary, Histogram, RunningStats, Summary,
 };
-pub use time::{SlotClock, TimeSlot};
+pub use time::{SlotClock, Stopwatch, TimeSlot};

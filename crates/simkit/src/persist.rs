@@ -12,6 +12,11 @@
 //!
 //! ## Format (version 1)
 //!
+//! The full wire-level specification (record grammar, compression
+//! framing, integrity classification, directory naming) lives in
+//! `docs/artifact-format.md` at the repository root; the summary below
+//! covers what a user of this API needs.
+//!
 //! An artifact is a JSONL file: one self-describing JSON record per line.
 //! The first record is always the manifest; the last is a footer whose
 //! record counts let a reader detect truncation.

@@ -139,6 +139,51 @@ impl SlotClock {
     }
 }
 
+/// A wall-clock stopwatch for throughput headlines.
+///
+/// Simulation *results* never depend on wall time (that invariant is
+/// machine-checked by `aoi-lint`'s wall-clock rule, and this module is one
+/// of the few places allowed to touch it). What benchmarks may report is
+/// how fast a deterministic computation ran — `Stopwatch` measures exactly
+/// that: elapsed real time around a workload, turned into an events/second
+/// rate.
+///
+/// ```
+/// let watch = simkit::Stopwatch::start();
+/// let work: u64 = (0..10_000).sum();
+/// assert!(work > 0);
+/// assert!(watch.elapsed_seconds() >= 0.0);
+/// assert!(watch.per_second(work) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`start`](Stopwatch::start).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Events per second: `count` over the elapsed time, `0.0` if no time
+    /// has measurably passed (never a division by zero).
+    pub fn per_second(&self, count: u64) -> f64 {
+        let seconds = self.elapsed_seconds();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        count as f64 / seconds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

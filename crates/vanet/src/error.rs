@@ -20,6 +20,15 @@ pub enum VanetError {
         /// Number of RSUs requested.
         n_rsus: usize,
     },
+    /// A recorded request-trace file could not be read back (see
+    /// [`RequestTrace::read_from`](crate::RequestTrace::read_from)).
+    BadTrace {
+        /// 1-based line the problem was found at (`0` for whole-file
+        /// problems such as a missing trailer).
+        line: usize,
+        /// What was wrong.
+        why: String,
+    },
 }
 
 impl fmt::Display for VanetError {
@@ -32,6 +41,10 @@ impl fmt::Display for VanetError {
                 f,
                 "cannot cover {n_regions} regions with {n_rsus} RSUs (need 1 <= RSUs <= regions)"
             ),
+            VanetError::BadTrace { line: 0, why } => write!(f, "bad request trace: {why}"),
+            VanetError::BadTrace { line, why } => {
+                write!(f, "bad request trace at line {line}: {why}")
+            }
         }
     }
 }

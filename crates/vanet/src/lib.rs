@@ -55,5 +55,5 @@ pub use popularity::PopularityEstimator;
 pub use request::{Request, RequestGenerator, Zipf};
 pub use road::{RegionId, Road};
 pub use rsu::{RsuId, RsuLayout};
-pub use trace::RequestTrace;
+pub use trace::{RequestTrace, TRACE_HEADER};
 pub use vehicle::{MobilityConfig, MobilitySlot, Traffic, Vehicle, VehicleId};

@@ -6,10 +6,19 @@
 //! against it (and, being serde-serializable, traces can be persisted and
 //! shared as synthetic "datasets").
 
+use crate::error::VanetError;
 use crate::network::Network;
 use crate::request::Request;
+use crate::road::RegionId;
+use crate::rsu::RsuId;
+use crate::vehicle::VehicleId;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::io;
+
+/// Header line of the on-disk trace format (see
+/// [`RequestTrace::write_to`]).
+pub const TRACE_HEADER: &str = "aoi-request-trace v1";
 
 /// A frozen per-slot request stream.
 ///
@@ -100,6 +109,120 @@ impl RequestTrace {
             .map(|slot| slot.iter().filter(|r| r.rsu == rsu).count() as f64)
             .collect()
     }
+
+    /// Writes the trace in its versioned line format, so recorded request
+    /// logs can drive the `aoi-serve` engine (or any replay) from disk:
+    ///
+    /// ```text
+    /// aoi-request-trace v1
+    /// slot
+    /// req <vehicle> <rsu> <region>
+    /// ...
+    /// end <total-requests>
+    /// ```
+    ///
+    /// Each `slot` line opens the next slot (empty slots are just
+    /// consecutive `slot` lines); every `req` belongs to the most recent
+    /// one; the `end` trailer carries the total request count so
+    /// truncation is detectable. The writer is destination-agnostic —
+    /// callers open files (or sockets, or in-memory buffers) themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the destination.
+    pub fn write_to(&self, mut w: impl io::Write) -> io::Result<()> {
+        writeln!(w, "{TRACE_HEADER}")?;
+        for slot in &self.slots {
+            writeln!(w, "slot")?;
+            for r in slot {
+                writeln!(w, "req {} {} {}", r.vehicle.0, r.rsu.0, r.region.0)?;
+            }
+        }
+        writeln!(w, "end {}", self.total_requests())
+    }
+
+    /// Reads a trace written by [`write_to`](RequestTrace::write_to) back,
+    /// bit-identically. Blank lines are skipped and unknown *fields* after
+    /// a record's known ones are ignored (the same forward-compatibility
+    /// rule the artifact format uses); unknown record kinds, a missing or
+    /// foreign header, a count-mismatched or absent `end` trailer all
+    /// fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VanetError::BadTrace`] naming the offending line.
+    pub fn read_from(r: impl io::BufRead) -> Result<Self, VanetError> {
+        let bad = |line: usize, why: String| VanetError::BadTrace { line, why };
+        let mut slots: Vec<Vec<Request>> = Vec::new();
+        let mut total = 0usize;
+        let mut saw_header = false;
+        let mut ended = false;
+        for (i, line) in r.lines().enumerate() {
+            let n = i + 1;
+            let line = line.map_err(|e| bad(n, format!("read failed: {e}")))?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !saw_header {
+                if line != TRACE_HEADER {
+                    return Err(bad(n, format!("expected `{TRACE_HEADER}` header")));
+                }
+                saw_header = true;
+                continue;
+            }
+            if ended {
+                return Err(bad(n, "content after `end` trailer".to_string()));
+            }
+            let mut fields = line.split_whitespace();
+            let kind = fields.next().unwrap_or_default();
+            let mut field = |what: &str| -> Result<u64, VanetError> {
+                fields
+                    .next()
+                    .ok_or_else(|| bad(n, format!("missing {what}")))?
+                    .parse::<u64>()
+                    .map_err(|_| bad(n, format!("unparseable {what}")))
+            };
+            match kind {
+                "slot" => slots.push(Vec::new()),
+                "req" => {
+                    let vehicle = VehicleId(field("vehicle id")?);
+                    let rsu = RsuId(field("rsu id")? as usize);
+                    let region = RegionId(field("region id")? as usize);
+                    slots
+                        .last_mut()
+                        .ok_or_else(|| bad(n, "`req` before any `slot`".to_string()))?
+                        .push(Request {
+                            vehicle,
+                            rsu,
+                            region,
+                        });
+                    total += 1;
+                }
+                "end" => {
+                    let declared = field("request count")? as usize;
+                    if declared != total {
+                        return Err(bad(
+                            n,
+                            format!("trailer declares {declared} requests, file has {total}"),
+                        ));
+                    }
+                    ended = true;
+                }
+                other => return Err(bad(n, format!("unknown record `{other}`"))),
+            }
+        }
+        if !saw_header {
+            return Err(bad(0, "empty trace file".to_string()));
+        }
+        if !ended {
+            return Err(bad(
+                0,
+                "missing `end` trailer (truncated trace)".to_string(),
+            ));
+        }
+        Ok(RequestTrace { slots })
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +270,45 @@ mod tests {
             let direct = trace.slot(t).iter().filter(|r| r.rsu == RsuId(0)).count();
             assert_eq!(*a, direct as f64);
         }
+    }
+
+    #[test]
+    fn disk_format_round_trips() {
+        let trace = recorded(11, 60);
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let back = RequestTrace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back, trace);
+        // Empty slots survive too.
+        let sparse = RequestTrace::from_slots(vec![vec![], trace.slot(0).to_vec(), vec![]]);
+        let mut bytes = Vec::new();
+        sparse.write_to(&mut bytes).unwrap();
+        assert_eq!(RequestTrace::read_from(bytes.as_slice()).unwrap(), sparse);
+    }
+
+    #[test]
+    fn disk_format_rejects_malformed_input() {
+        let reject = |text: &str, needle: &str| {
+            let err = RequestTrace::read_from(text.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` gave {err} (wanted `{needle}`)"
+            );
+        };
+        reject("", "empty");
+        reject("not-a-trace v1\nend 0\n", "header");
+        reject("aoi-request-trace v1\nslot\n", "missing `end`");
+        reject(
+            "aoi-request-trace v1\nreq 0 0 0\nend 1\n",
+            "before any `slot`",
+        );
+        reject(
+            "aoi-request-trace v1\nslot\nreq 0 0 0\nend 7\n",
+            "declares 7",
+        );
+        reject("aoi-request-trace v1\nslot\nreq 0 x 0\nend 1\n", "rsu id");
+        reject("aoi-request-trace v1\nslot\nwat\nend 0\n", "unknown record");
+        reject("aoi-request-trace v1\nend 0\nslot\n", "after `end`");
     }
 
     #[test]

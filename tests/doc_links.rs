@@ -1,0 +1,124 @@
+//! Markdown link checker: every relative link in the repo's curated
+//! documentation must point at a file that exists.
+//!
+//! Scope is the hand-maintained docs (`README.md`, `ARCHITECTURE.md`,
+//! `ROADMAP.md`, `CHANGES.md` and everything under `docs/`) — the
+//! generated research-context files (`PAPER.md`, `PAPERS.md`,
+//! `SNIPPETS.md`, `ISSUE.md`) are inputs, not documentation, and are
+//! not checked. CI runs this in the docs job so a moved or renamed
+//! file cannot leave a dangling link behind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The hand-maintained Markdown files at the repository root.
+const ROOT_DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"];
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the umbrella crate is the repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Collects the documentation set: the curated root files plus every
+/// `.md` under `docs/`, recursively.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = ROOT_DOCS
+        .iter()
+        .map(|name| root.join(name))
+        .filter(|path| path.exists())
+        .collect();
+    let mut stack = vec![root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts the targets of inline Markdown links `](target)` from one
+/// line. Good enough for the repo's hand-written docs: it does not try
+/// to handle nested parentheses or reference-style links (none are
+/// used).
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find("](") {
+        let tail = &rest[open + 2..];
+        let Some(close) = tail.find(')') else {
+            break;
+        };
+        targets.push(&tail[..close]);
+        rest = &tail[close + 1..];
+    }
+    targets
+}
+
+/// True for link targets that are not relative file paths.
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let files = doc_files();
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "doc set must include README.md (wrong repo root?)"
+    );
+    let mut dangling: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text =
+            fs::read_to_string(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let base = file.parent().unwrap_or(Path::new("."));
+        let mut in_code_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_fence = !in_code_fence;
+                continue;
+            }
+            if in_code_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                if is_external(target) || target.is_empty() {
+                    continue;
+                }
+                // Drop a fragment (`file.md#section`); an empty
+                // remainder was an in-page anchor handled above.
+                let path_part = target.split('#').next().unwrap_or(target);
+                if path_part.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                if !base.join(path_part).exists() {
+                    dangling.push(format!(
+                        "{}:{}: dangling link -> {target}",
+                        file.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "link checker found no links at all");
+    assert!(
+        dangling.is_empty(),
+        "dangling documentation links:\n{}",
+        dangling.join("\n")
+    );
+}
